@@ -1,0 +1,59 @@
+"""Ablation: conditional vs always-on IBPB (spectre_v2_user=).
+
+Linux's default only issues the Table 6 barrier for tasks that asked for
+protection; ``spectre_v2_user=on`` fires it on every cross-mm switch.
+This bench shows why the conditional default exists: always-on IBPB makes
+context-switch-heavy workloads dramatically slower, in proportion to the
+per-part IBPB cost (Table 6).
+"""
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.mitigations import linux_default
+from repro.workloads.lebench import LEBenchRunner, get_case
+from repro.kernel import Kernel
+
+CTX_CASES = ("context_switch", "fork", "big_fork")
+
+
+def _ctx_cost(cpu, always):
+    config = linux_default(cpu).replace(v2_ibpb_always=always)
+    kernel = Kernel(Machine(cpu, seed=1), config)
+    runner = LEBenchRunner(kernel)
+    case = get_case("context_switch")
+    return runner.measure_case(case, iterations=12, warmup=3)
+
+
+def test_always_on_ibpb_penalizes_context_switches(save_artifact):
+    rows = []
+    for cpu in all_cpus():
+        cond = _ctx_cost(cpu, always=False)
+        always = _ctx_cost(cpu, always=True)
+        penalty = 100 * (always / cond - 1)
+        rows.append([cpu.key, f"{cond:.0f}", f"{always:.0f}",
+                     f"{penalty:.1f}%"])
+        assert always > cond, cpu.key
+    save_artifact("ablate_ibpb_policy.txt", render_table(
+        "Ablation: context_switch cycles under conditional vs always-on "
+        "IBPB",
+        ["CPU", "conditional", "always-on", "penalty"], rows))
+
+
+def test_penalty_tracks_table6_costs():
+    """Zen's 7400-cycle IBPB hurts far more than Cascade Lake's 340."""
+    zen_penalty = _ctx_cost(get_cpu("zen"), True) / \
+        _ctx_cost(get_cpu("zen"), False)
+    cascade_penalty = _ctx_cost(get_cpu("cascade_lake"), True) / \
+        _ctx_cost(get_cpu("cascade_lake"), False)
+    assert zen_penalty > cascade_penalty
+
+
+def bench_context_switch_with_ibpb(benchmark):
+    cpu = get_cpu("zen")
+    config = linux_default(cpu).replace(v2_ibpb_always=True)
+    kernel = Kernel(Machine(cpu, seed=1), config)
+    runner = LEBenchRunner(kernel)
+    case = get_case("context_switch")
+    benchmark(lambda: runner.run_op(case))

@@ -1,0 +1,54 @@
+"""Ablation: PCID support under KPTI.
+
+Paper 5.1: both Meltdown-vulnerable parts support PCIDs, which 'allow many
+TLB flushes to be avoided, and makes TLB impacts marginal compared to the
+direct cost of switching the root page table pointer'.  We ablate PCID
+away and show the indirect TLB cost appearing.
+"""
+
+import dataclasses
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, get_cpu
+from repro.kernel import Kernel
+from repro.mitigations import MitigationConfig
+from repro.workloads.lebench import get_case, LEBenchRunner
+
+
+def _machine(cpu_key, pcid):
+    cpu = get_cpu(cpu_key)
+    if not pcid:
+        cpu = dataclasses.replace(cpu, supports_pcid=False)
+    return Machine(cpu, seed=1)
+
+
+def _getpid_cost(cpu_key, pcid):
+    kernel = Kernel(_machine(cpu_key, pcid), MitigationConfig(pti=True))
+    runner = LEBenchRunner(kernel)
+    return runner.measure_case(get_case("small_read"), iterations=16,
+                               warmup=4)
+
+
+def test_pcid_keeps_tlb_costs_marginal(save_artifact):
+    rows = []
+    for key in ("broadwell", "skylake_client"):
+        with_pcid = _getpid_cost(key, pcid=True)
+        without = _getpid_cost(key, pcid=False)
+        penalty = 100 * (without / with_pcid - 1)
+        rows.append([key, f"{with_pcid:.0f}", f"{without:.0f}",
+                     f"{penalty:.1f}%"])
+        # No-PCID KPTI is measurably worse...
+        assert without > with_pcid
+        # ...but the paper's point holds: with PCIDs, the TLB effect is
+        # marginal next to the cr3-write cost itself (bounded here).
+        assert penalty < 50
+    save_artifact("ablate_pcid.txt", render_table(
+        "Ablation: KPTI small_read cycles with and without PCID",
+        ["CPU", "with PCID", "without PCID", "no-PCID penalty"], rows))
+
+
+def bench_kpti_syscall_with_pcid(benchmark):
+    kernel = Kernel(_machine("broadwell", True), MitigationConfig(pti=True))
+    runner = LEBenchRunner(kernel)
+    case = get_case("getpid")
+    benchmark(lambda: runner.run_op(case))

@@ -1,0 +1,64 @@
+"""Ablation: disabling SMT as the alternative MDS mitigation.
+
+Paper 3.3 / Table 1: hyperthreading off closes the cross-thread MDS
+channel but 'would have an even larger cost' than verw clearing, so Linux
+leaves SMT on by default.  This bench prices both options side by side:
+the verw tax on a syscall-heavy workload vs the throughput capacity lost
+to turning SMT off.
+"""
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.mitigations import MitigationConfig
+from repro.mitigations.mds import smt_effective_threads
+from repro.workloads.lebench import run_suite
+
+MDS_PARTS = ("broadwell", "skylake_client", "cascade_lake")
+
+
+def _verw_tax(cpu):
+    off = run_suite(Machine(cpu, seed=1), MitigationConfig.all_off(),
+                    iterations=10, warmup=3)
+    verw = run_suite(Machine(cpu, seed=1), MitigationConfig(mds_verw=True),
+                     iterations=10, warmup=3)
+    return float(np.exp(np.mean([np.log(verw[n] / off[n]) for n in off]))) - 1
+
+
+def _smt_tax(cpu):
+    on = smt_effective_threads(cpu.cores, True, cpu.smt_yield)
+    off = smt_effective_threads(cpu.cores, False, cpu.smt_yield)
+    return (on - off) / on
+
+
+def test_smt_off_costs_more_than_verw_for_throughput(save_artifact):
+    rows = []
+    for key in MDS_PARTS:
+        cpu = get_cpu(key)
+        verw_tax = _verw_tax(cpu)
+        smt_tax = _smt_tax(cpu)
+        rows.append([key, f"{100 * verw_tax:.1f}%", f"{100 * smt_tax:.1f}%"])
+    save_artifact("ablate_smt.txt", render_table(
+        "Ablation: MDS mitigation cost — verw tax (LEBench geomean) vs "
+        "SMT-off capacity loss",
+        ["CPU", "verw tax", "SMT-off capacity loss"], rows))
+
+    # The default Linux chose: for throughput-bound servers, losing the
+    # SMT yield (20%) exceeds the verw tax on Cascade Lake, though not on
+    # the syscall-saturated worst case of older parts.
+    cascade = get_cpu("cascade_lake")
+    assert _smt_tax(cascade) > _verw_tax(cascade)
+
+
+def test_smt_off_closes_the_cross_thread_channel():
+    """The security side of the tradeoff: with SMT off there is no
+    concurrent sibling to sample from."""
+    for key in MDS_PARTS:
+        cpu = get_cpu(key)
+        assert smt_effective_threads(cpu.cores, False) == cpu.cores
+
+
+def bench_verw_tax_measurement(benchmark):
+    cpu = get_cpu("cascade_lake")
+    benchmark.pedantic(lambda: _verw_tax(cpu), rounds=3, iterations=1)

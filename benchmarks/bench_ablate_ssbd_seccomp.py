@@ -1,0 +1,48 @@
+"""Ablation: SSBD policy — pre-5.16 (seccomp implies SSBD) vs 5.16+.
+
+Paper 4.3/7: Firefox uses seccomp, so pre-5.16 kernels silently enabled
+SSBD for it; Linux 5.16 stopped doing that.  This bench quantifies the
+Octane score the policy change returns, per CPU.
+"""
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.jsengine import octane
+from repro.mitigations import linux_default
+
+
+def _score(cpu, kernel):
+    scores = octane.run_suite(Machine(cpu, seed=1),
+                              linux_default(cpu, kernel=kernel),
+                              iterations=8, warmup=2)
+    return octane.suite_score(scores)
+
+
+def test_linux_5_16_recovers_the_ssbd_share(save_artifact):
+    rows = []
+    for cpu in all_cpus():
+        old = _score(cpu, (5, 14))
+        new = _score(cpu, (5, 16))
+        gain = 100 * (new / old - 1)
+        rows.append([cpu.key, f"{old:.0f}", f"{new:.0f}", f"{gain:+.1f}%"])
+        # Every part gains; the gain tracks its SSBD load penalty.
+        assert new > old, cpu.key
+    save_artifact("ablate_ssbd_seccomp.txt", render_table(
+        "Ablation: Octane suite score under pre-5.16 (seccomp->SSBD) vs "
+        "5.16+ (prctl-only) policy",
+        ["CPU", "score (5.14)", "score (5.16)", "gain"], rows))
+
+
+def test_gain_largest_on_zen3():
+    """Zen 3 has the worst SSBD penalty, so the policy change helps it
+    most — the same gradient as Figure 5."""
+    gains = {}
+    for key in ("broadwell", "zen3"):
+        cpu = get_cpu(key)
+        gains[key] = _score(cpu, (5, 16)) / _score(cpu, (5, 14))
+    assert gains["zen3"] > gains["broadwell"]
+
+
+def bench_octane_under_516_policy(benchmark):
+    cpu = get_cpu("zen3")
+    benchmark.pedantic(lambda: _score(cpu, (5, 16)), rounds=3, iterations=1)

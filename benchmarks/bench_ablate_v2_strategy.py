@@ -1,0 +1,80 @@
+"""Ablation: kernel Spectre V2 strategy — IBRS vs retpoline vs eIBRS.
+
+Reproduces the section 6.2.1 story: legacy IBRS pays an MSR write on
+every kernel entry *and* kills user-space indirect prediction on
+pre-eIBRS parts; retpolines avoid both; eIBRS makes the whole question
+moot on parts that have it.
+"""
+
+import numpy as np
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, get_cpu
+from repro.cpu import isa
+from repro.mitigations import MitigationConfig, V2Strategy, linux_default
+from repro.workloads.lebench import run_suite
+
+
+def _geomean_cycles(cpu, strategy):
+    config = MitigationConfig(
+        v2_strategy=strategy,
+        v2_rsb_stuffing=True,
+        v2_ibpb=True,
+    )
+    results = run_suite(Machine(cpu, seed=1), config, iterations=10,
+                        warmup=3)
+    return float(np.exp(np.mean(np.log(list(results.values())))))
+
+
+def test_retpolines_beat_legacy_ibrs_on_old_intel(save_artifact):
+    """Why 'the cycle cost of doing this MSR write on every system call
+    was viewed as unacceptably high' (section 5.3)."""
+    rows = []
+    for key in ("broadwell", "skylake_client"):
+        cpu = get_cpu(key)
+        ibrs = _geomean_cycles(cpu, V2Strategy.IBRS)
+        retpoline = _geomean_cycles(cpu, V2Strategy.RETPOLINE_GENERIC)
+        rows.append([key, f"{retpoline:.0f}", f"{ibrs:.0f}",
+                     f"{100 * (ibrs / retpoline - 1):.1f}%"])
+        assert ibrs > retpoline, key
+    save_artifact("ablate_v2_strategy.txt", render_table(
+        "Ablation: LEBench geomean cycles under retpoline vs legacy IBRS",
+        ["CPU", "retpoline", "IBRS", "IBRS penalty"], rows))
+
+
+def test_eibrs_beats_retpolines_where_available():
+    """Why Linux prefers eIBRS on Cascade Lake and Ice Lake."""
+    for key in ("cascade_lake", "ice_lake_server"):
+        cpu = get_cpu(key)
+        eibrs = _geomean_cycles(cpu, V2Strategy.EIBRS)
+        retpoline = _geomean_cycles(cpu, V2Strategy.RETPOLINE_GENERIC)
+        assert eibrs < retpoline, key
+
+
+def test_ibrs_collateral_damage_to_user_prediction():
+    """Section 6.2.1: on pre-Spectre parts, IBRS 'was disabling all
+    indirect branch prediction both in user space and kernel space'."""
+    cpu = get_cpu("broadwell")
+    machine = Machine(cpu)
+    branch = isa.branch_indirect(0x2000, pc=0x100)
+    machine.execute(branch)  # train
+    predicted_cost = machine.execute(branch)
+    machine.msr.set_ibrs(True)
+    blocked_cost = machine.execute(branch)  # user-mode branch!
+    assert blocked_cost > predicted_cost
+
+
+def test_eibrs_leaves_user_prediction_alone():
+    cpu = get_cpu("cascade_lake")
+    machine = Machine(cpu)
+    machine.msr.set_ibrs(True)
+    branch = isa.branch_indirect(0x2000, pc=0x100)
+    machine.execute(branch)
+    assert machine.execute(branch) == cpu.costs.indirect_base
+
+
+def bench_lebench_under_eibrs(benchmark):
+    cpu = get_cpu("cascade_lake")
+    benchmark.pedantic(
+        lambda: _geomean_cycles(cpu, V2Strategy.EIBRS),
+        rounds=3, iterations=1)

@@ -1,0 +1,46 @@
+"""Consolidation host: per-process mitigations under real multitasking.
+
+Generalizes the paper's context-switch microbenchmarks into the shape a
+cloud host runs (mixed plain/sandboxed tasks under preemptive
+scheduling) and regenerates the per-CPU overhead table for it.
+"""
+
+from repro.core.reporting import render_table
+from repro.cpu import all_cpus, get_cpu
+from repro.mitigations import linux_default
+from repro.workloads.consolidation import (
+    ConsolidationMix,
+    consolidation_overhead_percent,
+    run_host,
+)
+
+MIX = ConsolidationMix(plain_tasks=3, sandboxed_tasks=3,
+                       work_per_task=60_000, timeslice_cycles=10_000)
+
+
+def test_consolidation_overheads(save_artifact):
+    rows = []
+    overheads = {}
+    for cpu in all_cpus():
+        pct = consolidation_overhead_percent(cpu, linux_default(cpu), MIX)
+        overheads[cpu.key] = pct
+        rows.append([cpu.key, f"{pct:.1f}%"])
+        assert 0 < pct < 60, cpu.key
+    save_artifact("consolidation.txt", render_table(
+        "Consolidation host (3 plain + 3 seccomp'd tasks, 10k-cycle "
+        "slices): mitigation overhead",
+        ["CPU", "overhead"], rows))
+
+    # The boundary-heavy pattern tracks the boundary-mitigation story:
+    # old Intel (PTI+verw on every tick/switch) pays the most, the
+    # eIBRS-era parts the least.
+    assert overheads["broadwell"] > overheads["cascade_lake"] > \
+        overheads["ice_lake_server"]
+    assert overheads["zen"] > overheads["zen3"]
+
+
+def bench_consolidation_host(benchmark):
+    cpu = get_cpu("zen2")
+    config = linux_default(cpu)
+    benchmark.pedantic(lambda: run_host(cpu, config, MIX),
+                       rounds=3, iterations=1)

@@ -1,0 +1,64 @@
+"""Per-case LEBench overhead: the raw data behind Figure 2's geomean.
+
+The suite-level geomean hides the structure the paper explains in 4.2:
+tiny operations (getpid) suffer multi-x slowdowns on PTI/MDS parts while
+fork-sized ones barely register.  This bench regenerates the full
+per-case ratio table and asserts that structure per CPU.
+"""
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.mitigations import MitigationConfig, linux_default
+from repro.workloads import lebench
+
+
+def case_ratios(cpu):
+    off = lebench.run_suite(Machine(cpu, seed=1), MitigationConfig.all_off(),
+                            iterations=10, warmup=3)
+    on = lebench.run_suite(Machine(cpu, seed=1), linux_default(cpu),
+                           iterations=10, warmup=3)
+    return {name: on[name] / off[name] for name in off}
+
+
+def test_per_case_table(save_artifact):
+    selected = ("getpid", "small_read", "big_read", "mmap",
+                "small_page_fault", "context_switch", "fork", "big_fork")
+    rows = []
+    for cpu in all_cpus():
+        ratios = case_ratios(cpu)
+        rows.append([cpu.key] + [f"{ratios[name]:.2f}x"
+                                 for name in selected])
+
+        # Structure per part: on parts paying per-crossing taxes (PTI or
+        # MDS) the tiniest syscall is the worst case; elsewhere the
+        # remaining cost concentrates on context switches (RSB stuffing,
+        # eager FPU).  Everywhere, big ops amortize to ~nothing and the
+        # small->big read gradient is monotone.
+        worst = max(ratios, key=ratios.get)
+        if cpu.vulns.meltdown or cpu.vulns.mds:
+            assert worst == "getpid", cpu.key
+        else:
+            assert worst in ("context_switch", "getpid"), cpu.key
+        assert ratios["big_fork"] <= 1.06, cpu.key
+        assert ratios["getpid"] >= ratios["small_read"] >= \
+            ratios["big_read"] or not (cpu.vulns.meltdown or cpu.vulns.mds), \
+            cpu.key
+    save_artifact("lebench_cases.txt", render_table(
+        "Per-case LEBench slowdown (default mitigations vs none)",
+        ["CPU"] + list(selected), rows))
+
+
+def test_getpid_worst_case_spans_the_generational_story():
+    """getpid: >3x on Broadwell down to ~1.05x on Ice Lake Server."""
+    assert case_ratios(get_cpu("broadwell"))["getpid"] > 3.0
+    assert case_ratios(get_cpu("ice_lake_server"))["getpid"] < 1.15
+
+
+def bench_lebench_single_case(benchmark):
+    from repro.kernel import Kernel
+    from repro.workloads.lebench import LEBenchRunner, get_case
+    cpu = get_cpu("broadwell")
+    kernel = Kernel(Machine(cpu, seed=1), linux_default(cpu))
+    runner = LEBenchRunner(kernel)
+    case = get_case("small_read")
+    benchmark(lambda: runner.run_op(case))

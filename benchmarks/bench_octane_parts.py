@@ -1,0 +1,68 @@
+"""Per-part Octane sensitivity: which workloads pay for which mitigation.
+
+The paper reports suite-level Octane numbers; real Octane runs report
+per-part scores, and the per-part sensitivities are where the mechanism
+shows: array-heavy parts pay for index masking, shape-heavy parts for
+object guards, pointer-chasing parts for poisoning, forwarding-dense
+parts for SSBD.  This bench regenerates the per-part slowdown table and
+asserts those orderings.
+"""
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, get_cpu
+from repro.jsengine.octane import OctaneRunner, SUITE, get_workload
+from repro.mitigations import MitigationConfig
+
+CPU = "cascade_lake"
+
+
+def _slowdown(workload, config, iterations=8):
+    cpu = get_cpu(CPU)
+    base = OctaneRunner(Machine(cpu, seed=1),
+                        MitigationConfig.all_off()).measure(
+        workload, iterations=iterations, warmup=2)
+    treated = OctaneRunner(Machine(cpu, seed=1), config).measure(
+        workload, iterations=iterations, warmup=2)
+    return 100 * (treated / base - 1)
+
+
+MASKING = MitigationConfig(js_index_masking=True)
+GUARDS = MitigationConfig(js_object_guards=True)
+OTHER = MitigationConfig(js_other=True)
+
+
+def test_per_part_sensitivities(save_artifact):
+    rows = []
+    table = {}
+    for workload in SUITE:
+        masking = _slowdown(workload, MASKING)
+        guards = _slowdown(workload, GUARDS)
+        other = _slowdown(workload, OTHER)
+        table[workload.name] = (masking, guards, other)
+        rows.append([workload.name, f"{masking:.1f}%", f"{guards:.1f}%",
+                     f"{other:.1f}%"])
+    save_artifact("octane_parts.txt", render_table(
+        f"Octane per-part slowdown by mitigation ({CPU})",
+        ["part", "index masking", "object guards", "other JS"], rows))
+
+    # Array-heavy parts pay most for masking...
+    assert table["navier-stokes"][0] > table["splay"][0]
+    assert table["zlib"][0] > table["deltablue"][0]
+    # ...shape-heavy parts for guards...
+    assert table["deltablue"][1] > table["navier-stokes"][1]
+    assert table["raytrace"][1] > table["zlib"][1]
+    # ...and pointer-chasers for the poisoning bucket.
+    assert table["splay"][2] > table["navier-stokes"][2]
+
+
+def test_every_part_pays_something_under_full_hardening():
+    full = MitigationConfig(js_index_masking=True, js_object_guards=True,
+                            js_other=True)
+    for workload in SUITE:
+        assert _slowdown(workload, full, iterations=6) > 3.0, workload.name
+
+
+def bench_one_part_measurement(benchmark):
+    workload = get_workload("richards")
+    benchmark.pedantic(lambda: _slowdown(workload, MASKING, iterations=6),
+                       rounds=3, iterations=1)

@@ -1,0 +1,31 @@
+"""Section 4.5: PARSEC with default mitigations — negligible overhead."""
+
+from repro.core import study
+from repro.core.reporting import render_paired
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.mitigations import MitigationConfig
+from repro.workloads import parsec
+
+
+def test_parsec_default_reproduces_paper_band(save_artifact):
+    # The ±0.5% claim needs the CI driven tight, so this band uses more
+    # samples than the other benches (the simulation is still run once
+    # per config; only the noise-averaging loop is longer).
+    from repro.core.study import Settings
+    settings = Settings(iterations=12, warmup=3, max_samples=80,
+                        rel_tol=0.002)
+    results = study.parsec_default_overheads(all_cpus(), settings=settings)
+    for r in results:
+        # 'usually within ±0.5% ... never differed by more than 2%.'
+        assert abs(r.overhead_percent) < 2.0, (r.cpu, r.workload)
+    within_half = sum(1 for r in results if abs(r.overhead_percent) < 0.5)
+    assert within_half >= len(results) * 0.6
+    save_artifact("parsec_default.txt", render_paired(
+        results, "Section 4.5: PARSEC, default mitigations vs none"))
+
+
+def bench_parsec_swaptions_iterations(benchmark):
+    from repro.kernel import Kernel
+    kernel = Kernel(Machine(get_cpu("zen2")), MitigationConfig.all_off())
+    runner = parsec.PARSECRunner(kernel, parsec.SWAPTIONS)
+    benchmark(runner.run_iteration)

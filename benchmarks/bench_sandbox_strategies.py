@@ -1,0 +1,97 @@
+"""Comparison: the three user-space sandboxing strategies of section 2.
+
+The paper's related work names three ways to keep Spectre inside a
+browser sandbox — targeted JIT mitigations (what Figure 3 measures),
+Swivel-style deterministic hardening, and Site Isolation.  This bench
+puts all three on one axis: what each costs, and which escapes each
+stops, per CPU.
+"""
+
+from repro.core.reporting import render_table
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.jsengine.site_isolation import (
+    Browser,
+    PROCESS_PER_SITE,
+    SHARED_RENDERER,
+)
+from repro.jsengine.wasm import (
+    WasmCompiler,
+    attempt_wasm_indirect_escape,
+    attempt_wasm_sandbox_escape,
+    instantiate,
+)
+from repro.kernel import Kernel
+from repro.mitigations import linux_default
+
+TABS = ["a.example", "b.example"] * 8
+
+
+def test_security_matrix(save_artifact):
+    rows = []
+    for cpu in all_cpus():
+        # Swivel vs raw, V1 and V2 escapes.
+        v1_raw = attempt_wasm_sandbox_escape(
+            Machine(cpu), instantiate(), instantiate(), hardened=False)
+        v1_hard = attempt_wasm_sandbox_escape(
+            Machine(cpu), instantiate(), instantiate(), hardened=True)
+        v2_raw = attempt_wasm_indirect_escape(Machine(cpu), instantiate(),
+                                              hardened=False)
+        v2_hard = attempt_wasm_indirect_escape(Machine(cpu), instantiate(),
+                                               hardened=True)
+        rows.append([cpu.key,
+                     "escapes" if v1_raw else "held",
+                     "escapes" if v1_hard else "held",
+                     "escapes" if v2_raw else "held",
+                     "escapes" if v2_hard else "held"])
+        assert v1_raw and not v1_hard, cpu.key
+        assert not v2_hard, cpu.key
+    save_artifact("sandbox_security.txt", render_table(
+        "WASM sandbox escapes: raw vs Swivel-hardened",
+        ["CPU", "V1 raw", "V1 Swivel", "V2 raw", "V2 Swivel"], rows))
+
+
+def test_site_isolation_is_structural():
+    """Process-per-site needs no predictor cooperation on any part."""
+    for key in ("broadwell", "zen3"):
+        cpu = get_cpu(key)
+        browser = Browser(Kernel(Machine(cpu, seed=1), linux_default(cpu)),
+                          PROCESS_PER_SITE)
+        browser.open_site("ads.example")
+        browser.open_site("bank.example")
+        assert browser.cross_site_speculative_read_possible(
+            "ads.example", "bank.example") is False
+
+
+def test_cost_comparison(save_artifact):
+    """Site isolation's tax is per tab-switch (IBPB-sized); Swivel's is
+    per memory access (ALU-sized); both stay far below disabling
+    speculation would."""
+    rows = []
+    for cpu in all_cpus():
+        isolated = Browser(Kernel(Machine(cpu, seed=1), linux_default(cpu)),
+                           PROCESS_PER_SITE)
+        shared = Browser(Kernel(Machine(cpu, seed=1), linux_default(cpu)),
+                         SHARED_RENDERER)
+        switch_tax = 100 * (isolated.tab_switch_cost(list(TABS))
+                            / shared.tab_switch_cost(list(TABS)) - 1)
+        machine = Machine(cpu)
+        module = instantiate()
+        raw = WasmCompiler(machine, hardened=False)
+        hard = WasmCompiler(machine, hardened=True)
+        raw.access_cost(module, 64)
+        hard.access_cost(module, 64)
+        swivel_tax = 100 * (hard.access_cost(module, 64)
+                            / raw.access_cost(module, 64) - 1)
+        rows.append([cpu.key, f"{switch_tax:.1f}%", f"{swivel_tax:.1f}%"])
+        assert switch_tax > 0
+    save_artifact("sandbox_costs.txt", render_table(
+        "Sandboxing strategy costs: site isolation (tab-switch workload) "
+        "vs Swivel (per access)",
+        ["CPU", "site isolation tax", "Swivel per-access tax"], rows))
+
+
+def bench_tab_switching_isolated(benchmark):
+    cpu = get_cpu("skylake_client")
+    browser = Browser(Kernel(Machine(cpu, seed=1), linux_default(cpu)),
+                      PROCESS_PER_SITE)
+    benchmark(lambda: browser.tab_switch_cost(list(TABS)))

@@ -1,0 +1,73 @@
+"""Crossover curves behind the paper's qualitative claims.
+
+Two sweeps turn section 4's prose into numbers:
+
+* overhead vs kernel-work size — why getpid suffers multi-x slowdowns
+  while fork barely notices (4.2), and where "operations big enough not
+  to care" begins on each part;
+* SSBD slowdown vs store->load density — the single curve whose three
+  points are swaptions/bodytrack/facesim (5.5), steepening across
+  generations.
+"""
+
+from repro.core.reporting import render_table
+from repro.core.sweeps import (
+    overhead_vs_operation_size,
+    ssbd_overhead_vs_forwarding_density,
+)
+from repro.cpu import all_cpus, get_cpu
+from repro.mitigations import linux_default
+
+SIZES = (100, 300, 1000, 3000, 10000, 30000, 100000)
+DENSITIES = (0, 20, 40, 80, 120, 160)
+
+
+def test_opsize_crossover_shrinks_on_newer_parts(save_artifact):
+    rows = []
+    crossovers = {}
+    for cpu in all_cpus():
+        curve = overhead_vs_operation_size(cpu, linux_default(cpu),
+                                           sizes=SIZES)
+        crossing = curve.first_below(5.0)
+        crossovers[cpu.key] = crossing
+        rows.append([cpu.key] + [f"{y:.1f}%" for y in curve.ys]
+                    + [f"{crossing:.0f}" if crossing else "never"])
+        # Overhead decays monotonically with operation size everywhere.
+        assert list(curve.ys) == sorted(curve.ys, reverse=True), cpu.key
+    save_artifact("sweep_opsize.txt", render_table(
+        "Overhead vs kernel-work size (percent), plus the <5% crossover",
+        ["CPU"] + [str(s) for s in SIZES] + ["<5% at"], rows))
+
+    # On old Intel only tens-of-thousands-of-cycle operations escape the
+    # tax; on Ice Lake even syscall-sized work is (nearly) free.
+    assert crossovers["broadwell"] > 10_000
+    assert crossovers["ice_lake_server"] < 3_000
+
+
+def test_ssbd_density_curve_steepens_across_generations(save_artifact):
+    rows = []
+    slopes = {}
+    for cpu in all_cpus():
+        curve = ssbd_overhead_vs_forwarding_density(cpu,
+                                                    densities=DENSITIES)
+        slopes[cpu.key] = curve.ys[-1] / DENSITIES[-1]
+        rows.append([cpu.key] + [f"{y:.1f}%" for y in curve.ys])
+        assert curve.ys[0] < 0.5, cpu.key        # no pairs, no penalty
+        assert list(curve.ys) == sorted(curve.ys), cpu.key
+    save_artifact("sweep_ssbd_density.txt", render_table(
+        "SSBD slowdown (%) vs store->load pairs per 10k-cycle iteration",
+        ["CPU"] + [str(d) for d in DENSITIES], rows))
+
+    intel = [slopes[k] for k in ("broadwell", "skylake_client",
+                                 "cascade_lake", "ice_lake_client",
+                                 "ice_lake_server")]
+    assert intel == sorted(intel)
+    assert slopes["zen3"] == max(slopes.values())
+
+
+def bench_opsize_sweep(benchmark):
+    cpu = get_cpu("zen2")
+    benchmark.pedantic(
+        lambda: overhead_vs_operation_size(cpu, linux_default(cpu),
+                                           sizes=(100, 1000, 10000)),
+        rounds=3, iterations=1)

@@ -1,0 +1,41 @@
+"""Table 10: speculation matrix with IBRS enabled."""
+
+from repro.core.probe import SCENARIOS, speculation_matrix, speculation_row
+from repro.core.reporting import render_speculation_matrix
+from repro.cpu import all_cpus, get_cpu
+
+PAPER = {  # None = the paper's N/A row (no IBRS support)
+    "broadwell":       (False, False, False, False, False),
+    "skylake_client":  (False, False, False, False, False),
+    "cascade_lake":    (False, True, True, True, True),
+    "ice_lake_client": (False, True, False, True, False),
+    "ice_lake_server": (False, True, True, True, True),
+    "zen":             None,
+    "zen2":            (False, False, False, False, False),
+    "zen3":            (False, False, False, False, False),
+}
+
+
+def test_table10_reproduces_paper(save_artifact):
+    matrix = speculation_matrix(all_cpus(), ibrs=True)
+    for key, expected in PAPER.items():
+        row = matrix[key]
+        if expected is None:
+            assert row is None, key
+        else:
+            assert tuple(row[s] for s in SCENARIOS) == expected, key
+    save_artifact("table10.txt",
+                  render_speculation_matrix(matrix, ibrs=True))
+
+
+def test_ibrs_blocks_user_to_kernel_everywhere_it_exists():
+    """The security claim IBRS makes, verified on every supporting part."""
+    for cpu in all_cpus():
+        row = speculation_row(cpu, ibrs=True, trials=3)
+        if row is not None:
+            assert row[SCENARIOS[0]] is False, cpu.key
+
+
+def bench_probe_with_ibrs(benchmark):
+    benchmark(lambda: speculation_row(get_cpu("cascade_lake"), ibrs=True,
+                                      trials=3))

@@ -1,0 +1,37 @@
+"""Table 3: syscall / sysret / swap-cr3 cycles on all eight CPUs."""
+
+import pytest
+
+from repro.core import microbench as mb
+from repro.core.reporting import render_table3
+from repro.cpu import Machine, all_cpus, get_cpu
+
+PAPER = {  # cpu -> (syscall, sysret, swap_cr3 or None)
+    "broadwell": (49, 40, 206),
+    "skylake_client": (42, 42, 191),
+    "cascade_lake": (70, 43, None),
+    "ice_lake_client": (21, 29, None),
+    "ice_lake_server": (45, 32, None),
+    "zen": (63, 53, None),
+    "zen2": (53, 46, None),
+    "zen3": (83, 55, None),
+}
+
+
+def test_table3_reproduces_paper(save_artifact):
+    rows = [mb.table3_row(cpu, iterations=500) for cpu in all_cpus()]
+    for row in rows:
+        syscall, sysret, cr3 = PAPER[row.cpu]
+        assert row.syscall == pytest.approx(syscall, abs=1), row.cpu
+        assert row.sysret == pytest.approx(sysret, abs=1), row.cpu
+        if cr3 is None:
+            assert row.swap_cr3 is None
+        else:
+            assert row.swap_cr3 == pytest.approx(cr3, abs=2)
+    save_artifact("table3.txt", render_table3(rows))
+
+
+def bench_syscall_timed_loop(benchmark):
+    """Time the rdtsc-bracketed syscall loop on Broadwell."""
+    machine = Machine(get_cpu("broadwell"))
+    benchmark(lambda: mb.measure_syscall(machine, iterations=200))

@@ -1,0 +1,29 @@
+"""Table 4: verw buffer-clear cycles (MDS mitigation primitive)."""
+
+import pytest
+
+from repro.core import microbench as mb
+from repro.core.reporting import render_table4
+from repro.cpu import Machine, all_cpus, get_cpu
+
+PAPER = {
+    "broadwell": 610, "skylake_client": 518, "cascade_lake": 458,
+    "ice_lake_client": None, "ice_lake_server": None,
+    "zen": None, "zen2": None, "zen3": None,
+}
+
+
+def test_table4_reproduces_paper(save_artifact):
+    values = {cpu.key: mb.table4_value(cpu, iterations=500)
+              for cpu in all_cpus()}
+    for key, expected in PAPER.items():
+        if expected is None:
+            assert values[key] is None, key
+        else:
+            assert values[key] == pytest.approx(expected, abs=1), key
+    save_artifact("table4.txt", render_table4(values))
+
+
+def bench_verw_loop(benchmark):
+    machine = Machine(get_cpu("skylake_client"))
+    benchmark(lambda: mb.measure_verw(machine, iterations=200))

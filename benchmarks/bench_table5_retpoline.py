@@ -1,0 +1,50 @@
+"""Table 5: indirect branch cost under baseline/IBRS/retpoline variants."""
+
+import pytest
+
+from repro.core import microbench as mb
+from repro.core.reporting import render_table5
+from repro.cpu import Machine, all_cpus, get_cpu
+
+PAPER = {  # cpu -> (baseline, ibrs_extra, generic_extra, amd_extra)
+    "broadwell": (16, 32, 28, None),
+    "skylake_client": (11, 15, 19, None),
+    "cascade_lake": (3, 0, 49, None),
+    "ice_lake_client": (5, 0, 21, None),
+    "ice_lake_server": (1, 1, 50, None),
+    "zen": (30, None, 25, 28),
+    "zen2": (3, 13, 14, 0),
+    "zen3": (23, 19, 13, 18),
+}
+
+
+def _check(measured, expected, label):
+    if expected is None:
+        assert measured is None, label
+    else:
+        assert measured == pytest.approx(expected, abs=1), label
+
+
+def test_table5_reproduces_paper(save_artifact):
+    rows = [mb.table5_row(cpu, iterations=500) for cpu in all_cpus()]
+    for row in rows:
+        base, ibrs, generic, amd = PAPER[row.cpu]
+        assert row.baseline == pytest.approx(base, abs=1), row.cpu
+        _check(row.ibrs_extra, ibrs, f"{row.cpu} ibrs")
+        _check(row.generic_extra, generic, f"{row.cpu} generic")
+        _check(row.amd_extra, amd, f"{row.cpu} amd")
+    save_artifact("table5.txt", render_table5(rows))
+
+
+def test_eibrs_parts_have_free_ibrs():
+    """The Table 5 crossover the paper highlights: on eIBRS parts the
+    IBRS delta is ~0 while retpolines stay expensive."""
+    for key in ("cascade_lake", "ice_lake_client", "ice_lake_server"):
+        row = mb.table5_row(get_cpu(key), iterations=300)
+        assert row.ibrs_extra <= 1
+        assert row.generic_extra >= 20
+
+
+def bench_indirect_branch_measurement(benchmark):
+    machine = Machine(get_cpu("ice_lake_server"))
+    benchmark(lambda: mb.measure_indirect_branch(machine, "baseline", 200))

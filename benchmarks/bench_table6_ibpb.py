@@ -1,0 +1,39 @@
+"""Table 6: IBPB cycles — the one mitigation that got much faster."""
+
+import pytest
+
+from repro.core import microbench as mb
+from repro.core.reporting import render_table6
+from repro.cpu import Machine, all_cpus, get_cpu
+
+PAPER = {
+    "broadwell": 5600, "skylake_client": 4500, "cascade_lake": 340,
+    "ice_lake_client": 2500, "ice_lake_server": 840,
+    "zen": 7400, "zen2": 1100, "zen3": 800,
+}
+
+
+def test_table6_reproduces_paper(save_artifact):
+    values = {cpu.key: mb.table6_value(cpu, iterations=100)
+              for cpu in all_cpus()}
+    for key, expected in PAPER.items():
+        assert values[key] == pytest.approx(expected, abs=10), key
+    save_artifact("table6.txt", render_table6(values))
+
+
+def test_ibpb_cost_declined_across_generations():
+    """'The cost of an IBPB has generally declined over time' (5.3)."""
+    values = {cpu.key: mb.table6_value(cpu, iterations=60)
+              for cpu in all_cpus()}
+    assert values["cascade_lake"] < values["skylake_client"] < \
+        values["broadwell"]
+    assert values["zen3"] < values["zen2"] < values["zen"]
+    # Ice Lake Client "bucks the trend" vs Cascade Lake but still beats
+    # Broadwell/Skylake by a wide margin.
+    assert values["ice_lake_client"] > values["cascade_lake"]
+    assert values["ice_lake_client"] < values["skylake_client"]
+
+
+def bench_ibpb(benchmark):
+    machine = Machine(get_cpu("zen"))
+    benchmark(lambda: mb.measure_ibpb(machine, iterations=50))

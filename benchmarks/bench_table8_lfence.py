@@ -1,0 +1,33 @@
+"""Table 8: lfence cycles (the Spectre V1 serialization primitive)."""
+
+import pytest
+
+from repro.core import microbench as mb
+from repro.core.reporting import render_table8
+from repro.cpu import Machine, all_cpus, get_cpu
+
+PAPER = {
+    "broadwell": 28, "skylake_client": 20, "cascade_lake": 15,
+    "ice_lake_client": 8, "ice_lake_server": 13,
+    "zen": 48, "zen2": 4, "zen3": 30,
+}
+
+
+def test_table8_reproduces_paper(save_artifact):
+    values = {cpu.key: mb.table8_value(cpu, iterations=500)
+              for cpu in all_cpus()}
+    for key, expected in PAPER.items():
+        assert values[key] == pytest.approx(expected, abs=1), key
+    save_artifact("table8.txt", render_table8(values))
+
+
+def test_newer_intel_parts_fence_faster():
+    values = {cpu.key: mb.table8_value(cpu, iterations=200)
+              for cpu in all_cpus()}
+    assert values["ice_lake_client"] < values["cascade_lake"] < \
+        values["skylake_client"] < values["broadwell"]
+
+
+def bench_lfence(benchmark):
+    machine = Machine(get_cpu("zen"))
+    benchmark(lambda: mb.measure_lfence(machine, iterations=200))

@@ -1,0 +1,31 @@
+"""Table 9: speculation matrix with IBRS disabled (the section 6 probe)."""
+
+from repro.core.probe import SCENARIOS, speculation_matrix
+from repro.core.reporting import render_speculation_matrix
+from repro.cpu import Machine, all_cpus, get_cpu
+
+PAPER = {  # column order: u->k(sc), u->u(sc), k->k(sc), u->u, k->k
+    "broadwell":       (True, True, True, True, True),
+    "skylake_client":  (True, True, True, True, True),
+    "cascade_lake":    (False, True, True, True, True),
+    "ice_lake_client": (False, True, True, True, True),
+    "ice_lake_server": (False, True, True, True, True),
+    "zen":             (True, True, True, True, True),
+    "zen2":            (True, True, True, True, True),
+    "zen3":            (False, False, False, False, False),
+}
+
+
+def test_table9_reproduces_paper(save_artifact):
+    matrix = speculation_matrix(all_cpus(), ibrs=False)
+    for key, expected in PAPER.items():
+        assert tuple(matrix[key][s] for s in SCENARIOS) == expected, key
+    save_artifact("table9.txt",
+                  render_speculation_matrix(matrix, ibrs=False))
+
+
+def bench_probe_full_row(benchmark):
+    """Time running all five probe scenarios on one CPU."""
+    from repro.core.probe import speculation_row
+    benchmark(lambda: speculation_row(get_cpu("broadwell"), ibrs=False,
+                                      trials=3))

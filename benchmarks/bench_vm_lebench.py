@@ -1,0 +1,44 @@
+"""Section 4.4a: LEBench inside a VM — host mitigations within ±3%."""
+
+from repro.core import study
+from repro.core.reporting import render_paired
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.mitigations import MitigationConfig
+from repro.workloads import vm_lebench
+
+
+def test_vm_lebench_reproduces_paper_band(save_artifact, fast_settings):
+    results = study.vm_lebench_overheads(all_cpus(), fast_settings)
+    for r in results:
+        assert abs(r.overhead_percent) < 3.0, r.cpu
+    save_artifact("vm_lebench.txt", render_paired(
+        results, "Section 4.4: LEBench in a VM, host mitigations on vs off"))
+
+
+def test_host_mitigations_cheaper_than_guest_mitigations(fast_settings):
+    """The boundary matters: the same knobs cost ~0 from the host side
+    but full price inside the guest."""
+    import numpy as np
+    from repro.mitigations import linux_default
+    cpu = get_cpu("broadwell")
+
+    def geo(host, guest):
+        res = vm_lebench.run_suite(Machine(cpu, seed=1), host,
+                                   guest_config=guest,
+                                   iterations=10, warmup=3)
+        return float(np.exp(np.mean(np.log(list(res.values())))))
+
+    off = MitigationConfig.all_off()
+    full = linux_default(cpu)
+    host_cost = geo(full, off) / geo(off, off)
+    guest_cost = geo(off, full) / geo(off, off)
+    assert guest_cost > host_cost + 0.10
+
+
+def bench_guest_lebench_suite(benchmark):
+    cpu = get_cpu("cascade_lake")
+    benchmark.pedantic(
+        lambda: vm_lebench.run_suite(Machine(cpu, seed=1),
+                                     MitigationConfig.all_off(),
+                                     iterations=8, warmup=2),
+        rounds=3, iterations=1)

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Scenario: a browser vendor tuning its Spectre hardening budget.
+
+The paper's Figure 3 shows ~20% of JavaScript performance going to
+mitigations, with no hardware relief in sight.  A browser vendor deciding
+which switches to ship needs exactly the analysis this library automates:
+
+* per-mitigation score cost on the CPUs its users actually run;
+* what each switch buys in security, demonstrated mechanically (the
+  sandbox-escape attempts each one blocks);
+* the SSBD interaction with the kernel's seccomp policy across kernel
+  versions.
+
+Run:  python examples/browser_vendor_tuning.py
+"""
+
+from repro import Machine, get_cpu
+from repro.core import Settings, figure3
+from repro.jsengine import (
+    attempt_sandbox_oob_read,
+    attempt_type_confusion,
+    new_realm,
+)
+from repro.jsengine.octane import run_suite, suite_score
+from repro.mitigations import linux_default
+
+USER_CPUS = ("skylake_client", "ice_lake_client", "zen3")
+
+
+def main() -> None:
+    print("Per-mitigation Octane 2 score cost (stacked, like Figure 3):\n")
+    results = figure3(cpus=[get_cpu(key) for key in USER_CPUS],
+                      settings=Settings.fast())
+    for result in results:
+        parts = "  ".join(f"{c.knob.replace('js_', '')}={c.percent:.1f}%"
+                          for c in result.contributions)
+        print(f"  {result.cpu:16s} total {result.total_overhead_percent:5.1f}%"
+              f"   {parts}")
+
+    print("\nWhat each switch blocks (Skylake client):")
+    machine = Machine(get_cpu("skylake_client"))
+    attacker, victim = new_realm("ads.example"), new_realm("bank.example")
+    oob_raw = attempt_sandbox_oob_read(machine, attacker, victim,
+                                       index_masking=False)
+    oob_masked = attempt_sandbox_oob_read(machine, attacker, victim,
+                                          index_masking=True)
+    print(f"  cross-site OOB read : raw={'LEAKS' if oob_raw else 'safe'}, "
+          f"with index masking={'LEAKS' if oob_masked else 'safe'}")
+    confusion_raw = attempt_type_confusion(machine, attacker,
+                                           object_guards=False)
+    confusion_guarded = attempt_type_confusion(machine, attacker,
+                                               object_guards=True)
+    print(f"  type confusion      : raw="
+          f"{'LEAKS' if confusion_raw else 'safe'}, "
+          f"with object guards={'LEAKS' if confusion_guarded else 'safe'}")
+
+    print("\nThe SSBD/seccomp interaction across kernel versions (Zen 3):")
+    cpu = get_cpu("zen3")
+    for kernel in ((5, 14), (5, 16)):
+        score = suite_score(run_suite(
+            Machine(cpu, seed=1), linux_default(cpu, kernel=kernel),
+            iterations=8, warmup=2))
+        print(f"  kernel {kernel[0]}.{kernel[1]:2d}: suite score "
+              f"{score:8.0f}")
+    print("\n(5.16 stopped implying SSBD for seccomp processes; the "
+          "vendor must decide\nwhether to opt back in via prctl.)")
+
+
+if __name__ == "__main__":
+    main()

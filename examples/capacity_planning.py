@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scenario: capacity planning for a custom service with sweeps.
+
+A service owner wants to know how much the mitigation stack costs *their*
+workload — not LEBench's — and where the pain comes from.  This example
+composes the service with :class:`~repro.workloads.custom.WorkloadBuilder`
+(a request handler: parse, two syscalls, some forwarding-heavy state
+updates, periodic switches), prices it across candidate CPUs, then uses
+the sweep tooling to answer two planning questions:
+
+* how large would our requests have to be for the mitigation tax to stop
+  mattering on the old fleet?
+* how sensitive is our SSBD exposure (we run sandboxed, seccomp'd
+  workers) to the forwarding density of the handler code?
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import get_cpu, linux_default
+from repro.core.sweeps import (
+    overhead_vs_operation_size,
+    ssbd_overhead_vs_forwarding_density,
+)
+from repro.kernel import HandlerProfile
+from repro.workloads.custom import WorkloadBuilder
+
+RECV = HandlerProfile("svc_recv", work_cycles=2500, loads=12, stores=4,
+                      indirect_branches=8, copy_bytes=512)
+SEND = HandlerProfile("svc_send", work_cycles=2200, loads=6, stores=10,
+                      indirect_branches=8, copy_bytes=512)
+
+CANDIDATES = ("broadwell", "cascade_lake", "ice_lake_server", "zen3")
+
+
+def service() -> WorkloadBuilder:
+    return (WorkloadBuilder("request-handler")
+            .syscall(RECV)
+            .user_work(4000)          # parse + business logic
+            .store_load_pairs(25)     # session/state updates
+            .syscall(SEND)
+            .context_switch_every(20)
+            .process(uses_seccomp=True))
+
+
+def main() -> None:
+    print("Mitigation tax on the request handler, per candidate CPU:\n")
+    for key in CANDIDATES:
+        cpu = get_cpu(key)
+        tax = service().overhead_percent(cpu, linux_default(cpu))
+        print(f"  {cpu.microarchitecture:18s} {tax:6.1f}%")
+
+    print("\nHow big must an operation be before the old fleet stops "
+          "caring?\n")
+    for key in ("broadwell", "ice_lake_server"):
+        cpu = get_cpu(key)
+        curve = overhead_vs_operation_size(cpu, linux_default(cpu))
+        crossing = curve.first_below(5.0)
+        print(f"  {cpu.microarchitecture:18s} overhead <5% once kernel "
+              f"work exceeds ~{crossing:,.0f} cycles/op")
+
+    print("\nSSBD exposure vs how forwarding-dense the handler code is "
+          "(Zen 3 workers):\n")
+    curve = ssbd_overhead_vs_forwarding_density(get_cpu("zen3"))
+    for x, y in zip(curve.xs, curve.ys):
+        bar = "#" * int(y)
+        print(f"  {int(x):>4d} pairs/iter {y:6.1f}%  {bar}")
+    print("\nActionable: either refactor the state updates (fewer pairs), "
+          "move the\nworkers off the pre-5.16 seccomp policy, or don't "
+          "deploy the Zen 3 fleet\nfor this service.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""spectresim: reproduction of "Performance Evolution of Mitigating
+Transient Execution Attacks" (Behrens, Belay, Kaashoek; EuroSys '22).
+
+The paper is a measurement study on eight physical x86 machines; this
+library replaces the hardware with calibrated microarchitectural timing
+models and rebuilds the full software stack around them:
+
+* :mod:`repro.cpu` — the CPU simulator (eight paper CPUs, speculative
+  execution, BTB/RSB/caches/TLB/store buffer/MDS buffers);
+* :mod:`repro.kernel` — a model Linux kernel (entry/exit paths, scheduler,
+  processes) that splices in mitigation work;
+* :mod:`repro.mitigations` — every deployed mitigation plus working attack
+  demonstrations it defeats;
+* :mod:`repro.jsengine` — a model SpiderMonkey (JIT hardening, sandbox,
+  the Octane 2 suite);
+* :mod:`repro.hypervisor` — VM exits, the L1TF flush, an emulated disk;
+* :mod:`repro.workloads` — LEBench, PARSEC, LFS substitutes;
+* :mod:`repro.core` — the paper's methodology: adaptive measurement,
+  successive-disable attribution, the section-6 speculation probe, and
+  paper-shaped reporting.
+
+Quick start::
+
+    from repro import Machine, get_cpu, linux_default
+    from repro.core import figure2, Settings
+
+    results = figure2(cpus=[get_cpu("broadwell")], settings=Settings.fast())
+    print(results[0].total_overhead_percent)
+"""
+
+from .cpu import (
+    CATALOG,
+    CPU_ORDER,
+    CPUModel,
+    Machine,
+    Mode,
+    all_cpus,
+    get_cpu,
+)
+from .errors import (
+    ConfigurationError,
+    SegmentationFault,
+    SpectreSimError,
+    StatisticsError,
+    UnknownCPUError,
+    UnsupportedFeatureError,
+    WorkloadError,
+)
+from .kernel import Kernel, Process
+from .mitigations import (
+    MitigationConfig,
+    SSBDMode,
+    V2Strategy,
+    linux_default,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CATALOG",
+    "CPU_ORDER",
+    "CPUModel",
+    "ConfigurationError",
+    "Kernel",
+    "Machine",
+    "MitigationConfig",
+    "Mode",
+    "Process",
+    "SSBDMode",
+    "SegmentationFault",
+    "SpectreSimError",
+    "StatisticsError",
+    "UnknownCPUError",
+    "UnsupportedFeatureError",
+    "V2Strategy",
+    "WorkloadError",
+    "__version__",
+    "all_cpus",
+    "get_cpu",
+    "linux_default",
+]

@@ -1,0 +1,377 @@
+"""``spectresim`` command line interface.
+
+Reproduce any paper artifact from a shell::
+
+    spectresim cpus
+    spectresim table 5
+    spectresim table 9           # speculation matrix, IBRS off
+    spectresim figure 2 --fast
+    spectresim vm
+    spectresim parsec
+    spectresim bimodal --cpu cascade_lake
+    spectresim attacks --cpu broadwell
+    spectresim all --outdir results
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from .cpu import Machine, Mode, all_cpus, get_cpu
+from .core import microbench, reporting, study
+from .core.probe import speculation_matrix
+from .core.study import Settings
+from .mitigations import linux_default
+from .mitigations.meltdown import attempt_meltdown
+from .mitigations.mds import attempt_mds_sample, kernel_touched_secret
+from .mitigations.spectre_v1 import attempt_bounds_bypass
+from .mitigations.spectre_v2 import attempt_btb_injection
+from .mitigations.ssb import attempt_store_bypass
+
+
+def _settings(args: argparse.Namespace) -> Settings:
+    return Settings.fast() if getattr(args, "fast", False) else Settings()
+
+
+def _selected_cpus(args: argparse.Namespace):
+    keys = getattr(args, "cpus", None)
+    if not keys:
+        return list(all_cpus())
+    return [get_cpu(key) for key in keys]
+
+
+def cmd_cpus(args: argparse.Namespace) -> str:
+    return reporting.render_table2()
+
+
+def cmd_table(args: argparse.Namespace) -> str:
+    n = args.number
+    iters = args.iterations
+    if n == 1:
+        return reporting.render_table1()
+    if n == 2:
+        return reporting.render_table2()
+    if n == 3:
+        return reporting.render_table3(
+            [microbench.table3_row(cpu, iters) for cpu in all_cpus()])
+    if n == 4:
+        return reporting.render_table4(
+            {cpu.key: microbench.table4_value(cpu, iters) for cpu in all_cpus()})
+    if n == 5:
+        return reporting.render_table5(
+            [microbench.table5_row(cpu, iters) for cpu in all_cpus()])
+    if n == 6:
+        return reporting.render_table6(
+            {cpu.key: microbench.table6_value(cpu, min(iters, 200))
+             for cpu in all_cpus()})
+    if n == 7:
+        return reporting.render_table7(
+            {cpu.key: microbench.table7_value(cpu, iters) for cpu in all_cpus()})
+    if n == 8:
+        return reporting.render_table8(
+            {cpu.key: microbench.table8_value(cpu, iters) for cpu in all_cpus()})
+    if n in (9, 10):
+        matrix = speculation_matrix(tuple(all_cpus()), ibrs=(n == 10))
+        return reporting.render_speculation_matrix(matrix, ibrs=(n == 10))
+    raise SystemExit(f"no table {n} in the paper's evaluation")
+
+
+def cmd_figure(args: argparse.Namespace) -> str:
+    settings = _settings(args)
+    cpus = _selected_cpus(args)
+    if args.number == 2:
+        return reporting.render_figure2(study.figure2(cpus, settings))
+    if args.number == 3:
+        return reporting.render_figure3(study.figure3(cpus, settings))
+    if args.number == 5:
+        return reporting.render_figure5(study.figure5(cpus, settings=settings))
+    raise SystemExit(f"no figure {args.number} to regenerate")
+
+
+def cmd_vm(args: argparse.Namespace) -> str:
+    settings = _settings(args)
+    cpus = _selected_cpus(args)
+    out = reporting.render_paired(
+        study.vm_lebench_overheads(cpus, settings),
+        "Section 4.4: LEBench in a VM, host mitigations on vs off")
+    out += reporting.render_paired(
+        study.lfs_overheads(cpus, settings=settings),
+        "Section 4.4: LFS against an emulated disk, host mitigations on vs off")
+    return out
+
+
+def cmd_parsec(args: argparse.Namespace) -> str:
+    settings = _settings(args)
+    cpus = _selected_cpus(args)
+    return reporting.render_paired(
+        study.parsec_default_overheads(cpus, settings=settings),
+        "Section 4.5: PARSEC with default mitigations vs none")
+
+
+def cmd_bimodal(args: argparse.Namespace) -> str:
+    cpu = get_cpu(args.cpu)
+    latencies = microbench.kernel_entry_latencies(cpu, entries=args.entries)
+    return reporting.render_entry_distribution(cpu.key, latencies)
+
+
+def cmd_attacks(args: argparse.Namespace) -> str:
+    """Run every attack demo with and without its mitigation."""
+    cpu = get_cpu(args.cpu)
+    lines = [f"Attack demonstrations on {cpu.key}", ""]
+
+    machine = Machine(cpu)
+    lines.append(f"  Meltdown, KPTI off : leaked byte "
+                 f"{attempt_meltdown(machine, 0x42)!r}")
+    machine.kernel_mapped_in_user = False
+    lines.append(f"  Meltdown, KPTI on  : leaked byte "
+                 f"{attempt_meltdown(machine, 0x42)!r}")
+
+    lines.append(f"  Spectre V1 raw     : leaked byte "
+                 f"{attempt_bounds_bypass(Machine(cpu), 0x5A)!r}")
+    lines.append(f"  Spectre V1 lfence  : leaked byte "
+                 f"{attempt_bounds_bypass(Machine(cpu), 0x5A, lfence_hardened=True)!r}")
+    lines.append(f"  Spectre V1 masking : leaked byte "
+                 f"{attempt_bounds_bypass(Machine(cpu), 0x5A, masked=True)!r}")
+
+    lines.append(f"  Spectre V2 raw     : injected = "
+                 f"{attempt_btb_injection(Machine(cpu), Mode.USER, Mode.KERNEL)}")
+    lines.append(f"  Spectre V2 + IBPB  : injected = "
+                 f"{attempt_btb_injection(Machine(cpu), Mode.USER, Mode.KERNEL, ibpb_between=True)}")
+
+    machine = Machine(cpu)
+    lines.append(f"  SSB, SSBD off      : stale byte "
+                 f"{attempt_store_bypass(machine, 0x77)!r}")
+    machine = Machine(cpu)
+    machine.msr.set_ssbd(True)
+    lines.append(f"  SSB, SSBD on       : stale byte "
+                 f"{attempt_store_bypass(machine, 0x77)!r}")
+
+    machine = Machine(cpu)
+    kernel_touched_secret(machine, 0xDEAD)
+    lines.append(f"  MDS, no verw       : sampled "
+                 f"{attempt_mds_sample(machine)!r}")
+    from .cpu import isa as _isa
+    machine.mode = Mode.KERNEL
+    machine.execute(_isa.verw())
+    machine.mode = Mode.USER
+    lines.append(f"  MDS, after verw    : sampled "
+                 f"{attempt_mds_sample(machine)!r}")
+
+    from .mitigations.spectre_rsb import attempt_planted_return
+    lines.append(f"  SpectreRSB raw     : gadget ran = "
+                 f"{attempt_planted_return(Machine(cpu))}")
+    lines.append(f"  SpectreRSB stuffed : gadget ran = "
+                 f"{attempt_planted_return(Machine(cpu), stuffed=True)}")
+
+    from .mitigations.bhi import attempt_bhi
+    lines.append(f"  BHI vs eIBRS       : gadget ran = "
+                 f"{attempt_bhi(Machine(cpu), eibrs=True)}")
+    lines.append(f"  BHI vs retpolines  : gadget ran = "
+                 f"{attempt_bhi(Machine(cpu), retpolines=True)}")
+
+    if cpu.smt:
+        from .cpu.smt import SMTCore
+        from .mitigations.mds import attempt_cross_thread_mds
+        from .mitigations.stibp import attempt_cross_thread_injection
+        lines.append(f"  SMT V2, no STIBP   : injected = "
+                     f"{attempt_cross_thread_injection(SMTCore(cpu))}")
+        lines.append(f"  SMT V2, STIBP      : injected = "
+                     f"{attempt_cross_thread_injection(SMTCore(cpu), stibp=True)}")
+        lines.append(f"  SMT MDS sampling   : sampled "
+                     f"{attempt_cross_thread_mds(SMTCore(cpu))!r}")
+    return "\n".join(lines) + "\n"
+
+
+def cmd_sweep(args: argparse.Namespace) -> str:
+    """Draw the overhead-vs-operation-size or SSBD-density curve."""
+    from .core import sweeps
+    cpu = get_cpu(args.cpu)
+    if args.kind == "opsize":
+        result = sweeps.overhead_vs_operation_size(cpu, linux_default(cpu))
+        threshold = args.threshold
+        crossing = result.first_below(threshold)
+        lines = [f"Mitigation overhead vs kernel-work size on {cpu.key}:"]
+        for x, y in zip(result.xs, result.ys):
+            lines.append(f"  {int(x):>8d} cycles/op -> {y:7.1f}% overhead")
+        if crossing is not None:
+            lines.append(f"  overhead drops below {threshold:.0f}% at "
+                         f"~{crossing:.0f}-cycle operations")
+        return "\n".join(lines) + "\n"
+    if args.kind == "ssbd":
+        result = sweeps.ssbd_overhead_vs_forwarding_density(cpu)
+        lines = [f"SSBD slowdown vs store->load density on {cpu.key}:"]
+        for x, y in zip(result.xs, result.ys):
+            lines.append(f"  {int(x):>4d} pairs/iter -> {y:6.1f}% slowdown")
+        return "\n".join(lines) + "\n"
+    raise SystemExit(f"unknown sweep kind {args.kind!r}")
+
+
+def cmd_export(args: argparse.Namespace) -> str:
+    """Emit one experiment's results as JSON."""
+    from .core import export
+    settings = _settings(args)
+    cpus = _selected_cpus(args)
+    if args.experiment == "figure2":
+        return export.attributions_to_json(study.figure2(cpus, settings)) + "\n"
+    if args.experiment == "figure3":
+        return export.attributions_to_json(study.figure3(cpus, settings)) + "\n"
+    if args.experiment == "figure5":
+        return export.paired_to_json(
+            study.figure5(cpus, settings=settings)) + "\n"
+    if args.experiment == "table9":
+        return export.speculation_matrix_to_json(
+            speculation_matrix(tuple(cpus), ibrs=False)) + "\n"
+    if args.experiment == "table10":
+        return export.speculation_matrix_to_json(
+            speculation_matrix(tuple(cpus), ibrs=True)) + "\n"
+    raise SystemExit(f"unknown experiment {args.experiment!r}")
+
+
+def cmd_summary(args: argparse.Namespace) -> str:
+    """Recompute the paper's section-8 answers from the data."""
+    from .core.summary import render_summary, summarize
+    return render_summary(summarize(_settings(args)))
+
+
+def cmd_regress(args: argparse.Namespace) -> str:
+    """Diff two exported JSON result files."""
+    from .core.regression import diff_results, render_diff
+    with open(args.old) as f:
+        old = f.read()
+    with open(args.new) as f:
+        new = f.read()
+    return render_diff(diff_results(old, new, tolerance=args.tolerance))
+
+
+def cmd_all(args: argparse.Namespace) -> str:
+    """Run every experiment, writing one file per artifact to --outdir."""
+    os.makedirs(args.outdir, exist_ok=True)
+    settings = _settings(args)
+    cpus = list(all_cpus())
+    artifacts = {
+        "table1.txt": reporting.render_table1(),
+        "table2.txt": reporting.render_table2(),
+        "table3.txt": reporting.render_table3(
+            [microbench.table3_row(cpu) for cpu in cpus]),
+        "table4.txt": reporting.render_table4(
+            {cpu.key: microbench.table4_value(cpu) for cpu in cpus}),
+        "table5.txt": reporting.render_table5(
+            [microbench.table5_row(cpu) for cpu in cpus]),
+        "table6.txt": reporting.render_table6(
+            {cpu.key: microbench.table6_value(cpu) for cpu in cpus}),
+        "table7.txt": reporting.render_table7(
+            {cpu.key: microbench.table7_value(cpu) for cpu in cpus}),
+        "table8.txt": reporting.render_table8(
+            {cpu.key: microbench.table8_value(cpu) for cpu in cpus}),
+        "table9.txt": reporting.render_speculation_matrix(
+            speculation_matrix(tuple(cpus), ibrs=False), ibrs=False),
+        "table10.txt": reporting.render_speculation_matrix(
+            speculation_matrix(tuple(cpus), ibrs=True), ibrs=True),
+        "figure2.txt": reporting.render_figure2(study.figure2(cpus, settings)),
+        "figure3.txt": reporting.render_figure3(study.figure3(cpus, settings)),
+        "figure5.txt": reporting.render_figure5(
+            study.figure5(cpus, settings=settings)),
+        "vm.txt": cmd_vm(args),
+        "parsec.txt": cmd_parsec(args),
+        "bimodal.txt": reporting.render_entry_distribution(
+            "cascade_lake",
+            microbench.kernel_entry_latencies(get_cpu("cascade_lake"))),
+        "summary.txt": cmd_summary(args),
+    }
+    for name, content in artifacts.items():
+        path = os.path.join(args.outdir, name)
+        with open(path, "w") as f:
+            f.write(content)
+    return f"wrote {len(artifacts)} artifacts to {args.outdir}\n"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="spectresim",
+        description="Reproduce the EuroSys '22 transient-execution "
+                    "mitigation study on simulated CPUs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("cpus", help="list the modelled CPUs (Table 2)")
+
+    p = sub.add_parser("table", help="render a paper table (1-10)")
+    p.add_argument("number", type=int)
+    p.add_argument("--iterations", type=int, default=1000)
+
+    p = sub.add_parser("figure", help="regenerate a paper figure (2, 3, 5)")
+    p.add_argument("number", type=int)
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--cpus", nargs="*")
+
+    p = sub.add_parser("vm", help="section 4.4 VM experiments")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--cpus", nargs="*")
+
+    p = sub.add_parser("parsec", help="section 4.5 compute experiment")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--cpus", nargs="*")
+
+    p = sub.add_parser("bimodal", help="section 6.2.2 eIBRS entry latency")
+    p.add_argument("--cpu", default="cascade_lake")
+    p.add_argument("--entries", type=int, default=200)
+
+    p = sub.add_parser("attacks", help="attack demos with/without mitigations")
+    p.add_argument("--cpu", default="broadwell")
+
+    p = sub.add_parser("sweep", help="overhead curves and crossovers")
+    p.add_argument("kind", choices=["opsize", "ssbd"])
+    p.add_argument("--cpu", default="broadwell")
+    p.add_argument("--threshold", type=float, default=5.0)
+
+    p = sub.add_parser("export", help="emit one experiment as JSON")
+    p.add_argument("experiment",
+                   choices=["figure2", "figure3", "figure5",
+                            "table9", "table10"])
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--cpus", nargs="*")
+
+    p = sub.add_parser("summary",
+                       help="recompute the paper's section-8 answers")
+    p.add_argument("--fast", action="store_true", default=True)
+
+    p = sub.add_parser("regress", help="diff two exported JSON result files")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.add_argument("--tolerance", type=float, default=0.5)
+
+    p = sub.add_parser("all", help="run everything, write artifacts")
+    p.add_argument("--outdir", default="results")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--cpus", nargs="*")
+
+    return parser
+
+
+_COMMANDS = {
+    "cpus": cmd_cpus,
+    "table": cmd_table,
+    "figure": cmd_figure,
+    "vm": cmd_vm,
+    "parsec": cmd_parsec,
+    "bimodal": cmd_bimodal,
+    "attacks": cmd_attacks,
+    "sweep": cmd_sweep,
+    "export": cmd_export,
+    "summary": cmd_summary,
+    "regress": cmd_regress,
+    "all": cmd_all,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    output = _COMMANDS[args.command](args)
+    sys.stdout.write(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,93 @@
+"""Machine-readable export of experiment results (JSON / CSV).
+
+The text renderer in :mod:`~repro.core.reporting` is for eyeballs; this
+module serializes the same structures for downstream tooling (plotting,
+regression tracking between library versions, diffing against the
+paper's published numbers).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, List, Optional, Sequence
+
+from .attribution import AttributionResult
+from .probe import SCENARIOS, Scenario
+from .stats import Measurement
+from .study import PairedOverhead
+
+
+def _measurement_dict(m: Measurement) -> Dict[str, float]:
+    return {"mean": m.mean, "ci_half_width": m.ci_half_width,
+            "samples": m.samples}
+
+
+def attribution_to_dict(result: AttributionResult) -> Dict[str, object]:
+    """One Figure 2/3 bar as a JSON-ready dict."""
+    return {
+        "cpu": result.cpu,
+        "workload": result.workload,
+        "metric": result.metric,
+        "total_overhead_percent": result.total_overhead_percent,
+        "baseline": _measurement_dict(result.baseline),
+        "default": _measurement_dict(result.default),
+        "contributions": [
+            {
+                "knob": c.knob,
+                "boot_param": c.boot_param,
+                "percent": c.percent,
+                "significant": c.significant,
+            }
+            for c in result.contributions
+        ],
+        "other_percent": result.other_percent,
+    }
+
+
+def attributions_to_json(results: Sequence[AttributionResult],
+                         indent: int = 2) -> str:
+    return json.dumps([attribution_to_dict(r) for r in results],
+                      indent=indent)
+
+
+def paired_to_dict(result: PairedOverhead) -> Dict[str, object]:
+    return {
+        "cpu": result.cpu,
+        "workload": result.workload,
+        "overhead_percent": result.overhead_percent,
+        "significant": result.significant,
+        "baseline": _measurement_dict(result.baseline),
+        "treated": _measurement_dict(result.treated),
+    }
+
+
+def paired_to_json(results: Sequence[PairedOverhead], indent: int = 2) -> str:
+    return json.dumps([paired_to_dict(r) for r in results], indent=indent)
+
+
+def paired_to_csv(results: Sequence[PairedOverhead]) -> str:
+    """CSV with one row per (cpu, workload) comparison."""
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["cpu", "workload", "overhead_percent", "significant",
+                     "baseline_mean", "treated_mean"])
+    for r in results:
+        writer.writerow([r.cpu, r.workload, f"{r.overhead_percent:.4f}",
+                         int(r.significant), f"{r.baseline.mean:.4f}",
+                         f"{r.treated.mean:.4f}"])
+    return out.getvalue()
+
+
+def speculation_matrix_to_json(
+    matrix: Dict[str, Optional[Dict[Scenario, bool]]],
+    indent: int = 2,
+) -> str:
+    """Tables 9/10 as JSON: cpu -> scenario label -> bool (or null row)."""
+    serializable = {
+        cpu: (None if row is None
+              else {scenario.label: row[scenario] for scenario in SCENARIOS})
+        for cpu, row in matrix.items()
+    }
+    return json.dumps(serializable, indent=indent)

@@ -1,0 +1,218 @@
+"""Mitigation-primitive microbenchmarks: the paper's Tables 3-8.
+
+Each function measures one primitive with the paper's section-5
+methodology: execute the sequence in an rdtsc-bracketed loop, subtract
+loop overhead, average over many iterations.  The measurements run through
+the full :class:`~repro.cpu.machine.Machine` execution path (prediction,
+caches, MSR side effects), so they validate that the measurement pipeline
+recovers the calibrated hardware behaviour — and they expose the dynamic
+effects tables can't show (e.g. a retpoline-free indirect branch only hits
+its baseline cost once the BTB is warm).
+
+Values the paper reports as N/A (swap-cr3 on Meltdown-immune parts, verw
+clears on MDS-immune parts, AMD retpolines on Intel) are returned as
+``None`` by the ``table*_row`` helpers, keyed off the same vulnerability
+flags the reporting layer uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cpu import isa
+from ..cpu.machine import AMD_RETPOLINE, GENERIC_RETPOLINE, Machine
+from ..cpu.model import CPUModel
+from ..cpu.modes import Mode
+from ..cpu.msr import IA32_PRED_CMD, PRED_CMD_IBPB
+from ..errors import UnsupportedFeatureError
+
+#: Iterations for the timed loops.  The paper uses one million on real
+#: hardware; the simulator's per-iteration determinism converges far
+#: sooner, so the default trades nothing but matches the structure.
+DEFAULT_ITERATIONS = 2000
+
+#: Code addresses for the indirect-branch microbenchmark.
+_BRANCH_PC = 0x50_0000
+_BRANCH_TARGET = 0x50_8000
+
+
+def measure_syscall(machine: Machine, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Average cycles of the ``syscall`` instruction (Table 3)."""
+    return machine.measure([isa.syscall_instr()], iterations)
+
+
+def measure_sysret(machine: Machine, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Average cycles of the ``sysret`` instruction (Table 3)."""
+    machine.mode = Mode.KERNEL
+    return machine.measure([isa.sysret_instr()], iterations)
+
+
+def measure_swap_cr3(machine: Machine, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Average cycles to swap page tables, KPTI-style (Table 3).
+
+    Alternates between the two halves of a KPTI PCID pair, exactly like
+    the entry/exit paths do, so PCID-preserving switches are what's
+    measured (section 5.1: TLB impacts are marginal next to this).
+    """
+    machine.mode = Mode.KERNEL
+    body = [isa.mov_cr3(pcid=0x001), isa.mov_cr3(pcid=0x801)]
+    return machine.measure(body, iterations) / 2.0
+
+
+def measure_verw(machine: Machine, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Average cycles of ``verw`` (Table 4): the microcode-extended
+    buffer clear on MDS-vulnerable parts, legacy behaviour otherwise."""
+    machine.mode = Mode.KERNEL
+    return machine.measure([isa.verw()], iterations)
+
+
+def measure_lfence(machine: Machine, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Average cycles of a back-to-back ``lfence`` loop (Table 8).
+
+    The paper's caveat applies here too: with no loads in flight this is
+    the primitive's floor, not its cost inside a real gadget.
+    """
+    return machine.measure([isa.lfence()], iterations)
+
+
+def measure_indirect_branch(
+    machine: Machine,
+    variant: str = "baseline",
+    iterations: int = DEFAULT_ITERATIONS,
+) -> float:
+    """Average cycles of an indirect branch under one Table 5 variant.
+
+    ``variant`` is one of ``baseline``, ``ibrs``, ``generic`` or ``amd``.
+    The same branch site jumps to the same target every iteration, so
+    after warmup the predictor path is steady state.
+    """
+    if variant == "ibrs":
+        if not (machine.cpu.predictor.supports_ibrs
+                or machine.cpu.predictor.supports_eibrs):
+            raise UnsupportedFeatureError(
+                f"{machine.cpu.key} does not support IBRS (Table 5: N/A)")
+        machine.msr.set_ibrs(True)
+        body = [isa.branch_indirect(_BRANCH_TARGET, pc=_BRANCH_PC)]
+    elif variant == "baseline":
+        machine.msr.set_ibrs(False)
+        body = [isa.branch_indirect(_BRANCH_TARGET, pc=_BRANCH_PC)]
+    elif variant in (GENERIC_RETPOLINE, AMD_RETPOLINE):
+        machine.msr.set_ibrs(False)
+        machine.retpoline_variant = variant
+        body = [isa.branch_indirect(_BRANCH_TARGET, pc=_BRANCH_PC, retpoline=True)]
+    else:
+        raise ValueError(f"unknown indirect branch variant {variant!r}")
+    return machine.measure(body, iterations)
+
+
+def measure_ibpb(machine: Machine, iterations: int = 200) -> float:
+    """Average cycles of an IBPB (Table 6)."""
+    machine.mode = Mode.KERNEL
+    body = [isa.wrmsr(IA32_PRED_CMD, PRED_CMD_IBPB)]
+    return machine.measure(body, iterations)
+
+
+def measure_rsb_fill(machine: Machine, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Average cycles of the RSB stuffing sequence (Table 7)."""
+    machine.mode = Mode.KERNEL
+    return machine.measure([isa.rsb_fill()], iterations)
+
+
+# --------------------------------------------------------------------------- #
+# Table-shaped results
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class EntryExitRow:
+    """One Table 3 row."""
+
+    cpu: str
+    syscall: float
+    sysret: float
+    swap_cr3: Optional[float]  # None = N/A (not Meltdown-vulnerable)
+
+
+def table3_row(cpu: CPUModel, iterations: int = DEFAULT_ITERATIONS) -> EntryExitRow:
+    machine = Machine(cpu)
+    syscall = measure_syscall(machine, iterations)
+    sysret = measure_sysret(machine, iterations)
+    swap = measure_swap_cr3(Machine(cpu), iterations) if cpu.vulns.meltdown else None
+    return EntryExitRow(cpu=cpu.key, syscall=syscall, sysret=sysret, swap_cr3=swap)
+
+
+def table4_value(cpu: CPUModel, iterations: int = DEFAULT_ITERATIONS) -> Optional[float]:
+    """Table 4: verw clear cycles, or None (N/A) on MDS-immune parts."""
+    if not cpu.vulns.mds:
+        return None
+    return measure_verw(Machine(cpu), iterations)
+
+
+@dataclass(frozen=True)
+class IndirectBranchRow:
+    """One Table 5 row: baseline plus per-variant *extra* cycles."""
+
+    cpu: str
+    baseline: float
+    ibrs_extra: Optional[float]
+    generic_extra: float
+    amd_extra: Optional[float]
+
+
+def table5_row(cpu: CPUModel, iterations: int = DEFAULT_ITERATIONS) -> IndirectBranchRow:
+    baseline = measure_indirect_branch(Machine(cpu), "baseline", iterations)
+    ibrs: Optional[float]
+    if cpu.predictor.supports_ibrs or cpu.predictor.supports_eibrs:
+        ibrs = measure_indirect_branch(Machine(cpu), "ibrs", iterations) - baseline
+    else:
+        ibrs = None
+    generic = measure_indirect_branch(Machine(cpu), GENERIC_RETPOLINE,
+                                      iterations) - baseline
+    amd: Optional[float]
+    if cpu.costs.amd_retpoline_extra is not None:
+        amd = measure_indirect_branch(Machine(cpu), AMD_RETPOLINE,
+                                      iterations) - baseline
+    else:
+        amd = None
+    return IndirectBranchRow(cpu=cpu.key, baseline=baseline, ibrs_extra=ibrs,
+                             generic_extra=generic, amd_extra=amd)
+
+
+def kernel_entry_latencies(
+    cpu: CPUModel,
+    entries: int = 200,
+    eibrs: bool = True,
+    seed: int = 0,
+) -> list:
+    """Per-entry ``syscall`` latencies, for the section 6.2.2 analysis.
+
+    With eIBRS enabled on a part that has it, most entries cost the base
+    amount but every 8th-to-20th entry pays an extra ~210 cycles (the
+    hardware's periodic BTB scrub) — the bimodal behaviour the paper
+    observed.  With eIBRS off the distribution collapses to a single mode.
+    """
+    machine = Machine(cpu, seed=seed)
+    if eibrs:
+        if not cpu.predictor.supports_eibrs:
+            raise UnsupportedFeatureError(f"{cpu.key} has no enhanced IBRS")
+        machine.msr.set_ibrs(True)
+    latencies = []
+    for _ in range(entries):
+        latencies.append(machine.execute(isa.syscall_instr()))
+        machine.execute(isa.sysret_instr())
+    return latencies
+
+
+def table6_value(cpu: CPUModel, iterations: int = 200) -> float:
+    """Table 6: IBPB cycles."""
+    return measure_ibpb(Machine(cpu), iterations)
+
+
+def table7_value(cpu: CPUModel, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Table 7: RSB fill cycles."""
+    return measure_rsb_fill(Machine(cpu), iterations)
+
+
+def table8_value(cpu: CPUModel, iterations: int = DEFAULT_ITERATIONS) -> float:
+    """Table 8: lfence cycles."""
+    return measure_lfence(Machine(cpu), iterations)

@@ -1,0 +1,189 @@
+"""The speculation probe: the paper's Figure 6 / section 6 methodology.
+
+The probe determines whether a poisoned Branch Target Buffer entry can
+steer *transient* execution to an attacker-chosen landing pad, using a
+performance counter that the landing pad perturbs even on the wrong path:
+``ARITH.DIVIDER_ACTIVE`` (a divide at the pad keeps the divider busy;
+Bölük's technique).
+
+Protocol, mirroring Figure 6:
+
+1. register a ``victim_target`` landing pad containing a divide, and a
+   ``nop_target`` pad containing nothing interesting;
+2. **train**: in the attacker's mode, repeatedly execute the indirect
+   branch at a fixed PC with ``victim_target`` as its real target;
+3. optionally perform an intervening ``syscall``/``sysret`` (the paper's
+   two column groups);
+4. **probe**: in the victim's mode, fill the branch history, flush the
+   target variable, read the divider counter, execute the same branch
+   with ``nop_target`` as the real target, and re-read the counter.
+   A counter delta means the poisoned prediction was consumed and the
+   divide at ``victim_target`` executed transiently.
+
+Tables 9 and 10 are this probe swept over five (attacker, victim,
+intervening-syscall) scenarios with IBRS off and on respectively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cpu import counters as ctr
+from ..cpu import isa
+from ..cpu.machine import Machine
+from ..cpu.model import CPUModel
+from ..cpu.modes import Mode
+from ..errors import UnsupportedFeatureError
+
+#: Probe code layout: the shared branch site and the two landing pads.
+BRANCH_PC = 0x60_0000
+VICTIM_TARGET = 0x61_0000
+NOP_TARGET = 0x62_0000
+
+#: Training repetitions (the paper uses 1024; the model BTB trains in one,
+#: but we keep several to exercise re-installation).
+TRAIN_ROUNDS = 8
+
+#: Independent probe trials; any success counts (the eIBRS periodic scrub
+#: can eat individual trials on the syscall paths, cf. section 6.2.2).
+DEFAULT_TRIALS = 6
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One Table 9/10 column: train mode -> victim mode, syscall or not."""
+
+    train_mode: Mode
+    victim_mode: Mode
+    intervening_syscall: bool
+
+    @property
+    def label(self) -> str:
+        arrow = f"{self.train_mode.value}->{self.victim_mode.value}"
+        suffix = "syscall" if self.intervening_syscall else "direct"
+        return f"{arrow} ({suffix})"
+
+
+#: The five scenarios of Tables 9 and 10, in column order.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario(Mode.USER, Mode.KERNEL, True),
+    Scenario(Mode.USER, Mode.USER, True),
+    Scenario(Mode.KERNEL, Mode.KERNEL, True),
+    Scenario(Mode.USER, Mode.USER, False),
+    Scenario(Mode.KERNEL, Mode.KERNEL, False),
+)
+
+#: The extra scenario the paper mentions in prose (kernel->user behaves
+#: like user->kernel on vulnerable parts).
+KERNEL_TO_USER = Scenario(Mode.KERNEL, Mode.USER, True)
+
+
+class SpeculationProbe:
+    """Drives the Figure 6 protocol on one machine."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        machine.register_code(VICTIM_TARGET, [isa.div()])
+        machine.register_code(NOP_TARGET, [isa.nop()])
+
+    # -- protocol steps ---------------------------------------------------- #
+
+    def train(self, mode: Mode, rounds: int = TRAIN_ROUNDS) -> None:
+        machine = self.machine
+        machine.mode = mode
+        for _ in range(rounds):
+            machine.execute(isa.branch_indirect(VICTIM_TARGET, pc=BRANCH_PC))
+
+    def _intervening_transition(self, scenario: Scenario) -> None:
+        """Cross modes with real syscall/sysret instructions."""
+        machine = self.machine
+        if scenario.train_mode is Mode.USER:
+            machine.execute(isa.syscall_instr())      # user -> kernel
+            if scenario.victim_mode is Mode.USER:
+                machine.execute(isa.sysret_instr())   # back to user
+        else:
+            machine.execute(isa.sysret_instr())       # kernel -> user
+            if scenario.victim_mode is Mode.KERNEL:
+                machine.execute(isa.syscall_instr())  # back to kernel
+
+    def probe_once(self, scenario: Scenario) -> bool:
+        """One full train->probe round; True if the pad ran transiently."""
+        machine = self.machine
+        self.train(scenario.train_mode)
+        if scenario.intervening_syscall:
+            self._intervening_transition(scenario)
+        machine.mode = scenario.victim_mode
+
+        # divide_happened() from Figure 6: fill branch history, flush the
+        # target from cache, bracket the branch with counter reads.
+        for i in range(16):
+            machine.execute(isa.branch_cond(pc=0x7000 + 4 * i))
+        machine.execute(isa.clflush(NOP_TARGET))
+        before = machine.counters.read(ctr.DIVIDER_ACTIVE)
+        machine.execute(isa.rdpmc())
+        machine.execute(isa.branch_indirect(NOP_TARGET, pc=BRANCH_PC))
+        machine.execute(isa.rdpmc())
+        return machine.counters.read(ctr.DIVIDER_ACTIVE) > before
+
+    def probe(self, scenario: Scenario, trials: int = DEFAULT_TRIALS) -> bool:
+        """True if any trial steers transient execution to the pad."""
+        return any(self.probe_once(scenario) for _ in range(trials))
+
+    def probe_both_counters(self, scenario: Scenario) -> Tuple[bool, bool]:
+        """One round, reading *both* counters the paper discusses.
+
+        Returns ``(mispredicted, divider_active)``.  The two can disagree:
+        "we sometimes observed mispredicted indirect branches without any
+        divide instructions being performed, which we interpret as the
+        processor speculatively executing instructions at a different
+        location" (section 6.1) — e.g. after an IBPB, when entries point
+        at the harmless gadget.  This disagreement is exactly why the
+        paper (and this probe) trusts the divider counter.
+        """
+        machine = self.machine
+        self.train(scenario.train_mode)
+        if scenario.intervening_syscall:
+            self._intervening_transition(scenario)
+        machine.mode = scenario.victim_mode
+        for i in range(16):
+            machine.execute(isa.branch_cond(pc=0x7000 + 4 * i))
+        machine.execute(isa.clflush(NOP_TARGET))
+        div_before = machine.counters.read(ctr.DIVIDER_ACTIVE)
+        misp_before = machine.counters.read(ctr.MISPREDICTED_INDIRECT)
+        machine.execute(isa.branch_indirect(NOP_TARGET, pc=BRANCH_PC))
+        mispredicted = machine.counters.read(
+            ctr.MISPREDICTED_INDIRECT) > misp_before
+        divider = machine.counters.read(ctr.DIVIDER_ACTIVE) > div_before
+        return mispredicted, divider
+
+
+def speculation_row(
+    cpu: CPUModel,
+    ibrs: bool,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+) -> Optional[Dict[Scenario, bool]]:
+    """One CPU's Table 9 (``ibrs=False``) or Table 10 (``ibrs=True``) row.
+
+    Returns None when the configuration is impossible — Zen has no IBRS
+    support, which the paper's Table 10 marks N/A.
+    """
+    if ibrs and not (cpu.predictor.supports_ibrs or cpu.predictor.supports_eibrs):
+        return None
+    row: Dict[Scenario, bool] = {}
+    for scenario in SCENARIOS:
+        machine = Machine(cpu, seed=seed)
+        machine.msr.set_ibrs(ibrs)
+        probe = SpeculationProbe(machine)
+        row[scenario] = probe.probe(scenario, trials)
+    return row
+
+
+def speculation_matrix(
+    cpus: Tuple[CPUModel, ...],
+    ibrs: bool,
+    trials: int = DEFAULT_TRIALS,
+) -> Dict[str, Optional[Dict[Scenario, bool]]]:
+    """The full Table 9/10 matrix over ``cpus``."""
+    return {cpu.key: speculation_row(cpu, ibrs, trials) for cpu in cpus}

@@ -1,0 +1,89 @@
+"""Regression tracking: diff two exported result sets.
+
+Teams recalibrating the models (new microcode, corrected table values,
+retuned workloads) need to know what moved.  This module loads the JSON
+emitted by :mod:`~repro.core.export` and reports per-(cpu, workload,
+knob) changes beyond a tolerance, in a stable, review-friendly order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Change:
+    """One regression-relevant difference between two runs."""
+
+    key: Tuple[str, ...]     # e.g. ("broadwell", "lebench", "pti")
+    before: float
+    after: float
+
+    @property
+    def delta(self) -> float:
+        return self.after - self.before
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{'/'.join(self.key)}: {self.before:.2f} -> "
+                f"{self.after:.2f} ({self.delta:+.2f})")
+
+
+def _attribution_values(payload: Sequence[dict]) -> Dict[Tuple[str, ...], float]:
+    values: Dict[Tuple[str, ...], float] = {}
+    for entry in payload:
+        base = (entry["cpu"], entry["workload"])
+        values[base + ("total",)] = float(entry["total_overhead_percent"])
+        values[base + ("other",)] = float(entry["other_percent"])
+        for contribution in entry["contributions"]:
+            values[base + (contribution["knob"],)] = \
+                float(contribution["percent"])
+    return values
+
+
+def _paired_values(payload: Sequence[dict]) -> Dict[Tuple[str, ...], float]:
+    return {
+        (entry["cpu"], entry["workload"]): float(entry["overhead_percent"])
+        for entry in payload
+    }
+
+
+def _values_of(text: str) -> Dict[Tuple[str, ...], float]:
+    payload = json.loads(text)
+    if not isinstance(payload, list):
+        raise ValueError("expected a JSON array of results")
+    if not payload:
+        return {}
+    if "contributions" in payload[0]:
+        return _attribution_values(payload)
+    if "overhead_percent" in payload[0]:
+        return _paired_values(payload)
+    raise ValueError("unrecognized result schema")
+
+
+def diff_results(old_json: str, new_json: str,
+                 tolerance: float = 0.5) -> List[Change]:
+    """Changes between two exported runs exceeding ``tolerance`` points.
+
+    Keys present in only one run are reported with the missing side as
+    0.0 (a knob appearing or disappearing is regression-relevant too).
+    """
+    old = _values_of(old_json)
+    new = _values_of(new_json)
+    changes: List[Change] = []
+    for key in sorted(set(old) | set(new)):
+        before = old.get(key, 0.0)
+        after = new.get(key, 0.0)
+        if abs(after - before) > tolerance:
+            changes.append(Change(key=key, before=before, after=after))
+    return changes
+
+
+def render_diff(changes: Sequence[Change]) -> str:
+    """Human-readable change report (empty-diff message included)."""
+    if not changes:
+        return "no changes beyond tolerance\n"
+    lines = [f"{len(changes)} change(s):"]
+    lines.extend(f"  {change}" for change in changes)
+    return "\n".join(lines) + "\n"

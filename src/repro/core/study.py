@@ -1,0 +1,268 @@
+"""End-to-end experiment drivers: one function per paper figure/finding.
+
+Each driver sweeps CPUs and configurations, delegates measurement to the
+attribution harness (Figures 2 and 3) or direct paired measurement
+(Figure 5, section 4.4/4.5 findings), and returns structured results the
+reporting layer renders and the benchmark suite regenerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cpu.machine import Machine
+from ..cpu.model import CPUModel, all_cpus
+from ..jsengine import octane
+from ..mitigations.base import (
+    JS_KNOBS,
+    KERNEL_KNOBS,
+    Knob,
+    KNOBS_BY_NAME,
+    MitigationConfig,
+)
+from ..mitigations.policy import linux_default
+from ..workloads import lebench, lfs, parsec, vm_lebench
+from .attribution import CYCLES, SCORE, AttributionResult, attribute_overhead
+from .stats import (
+    DEFAULT_NOISE_SIGMA,
+    Measurement,
+    NoisySampler,
+    adaptive_measure,
+    geometric_mean,
+)
+
+#: Figure 2 stacks these kernel knobs (attribution order: most expensive
+#: mitigations first, mirroring the paper's legend).
+FIGURE2_KNOBS: Tuple[Knob, ...] = tuple(
+    KNOBS_BY_NAME[name] for name in
+    ("pti", "mds", "spectre_v2", "spectre_v1", "l1tf", "lazyfp", "ssbd")
+)
+
+#: Figure 3 stacks the JS knobs (blue) then the OS-side SSBD (green);
+#: everything else lands in the "other OS" residual.
+FIGURE3_KNOBS: Tuple[Knob, ...] = tuple(
+    KNOBS_BY_NAME[name] for name in
+    ("js_index_masking", "js_object_guards", "js_other", "ssbd")
+)
+
+
+@dataclass(frozen=True)
+class Settings:
+    """Measurement effort; ``fast()`` keeps tests snappy."""
+
+    iterations: int = 24
+    warmup: int = 6
+    sigma: float = DEFAULT_NOISE_SIGMA
+    rel_tol: float = 0.005
+    max_samples: int = 60
+    seed: int = 7
+
+    @classmethod
+    def fast(cls) -> "Settings":
+        """Fewer simulated iterations; the noise-averaging stays fairly
+        tight because it is cheap (one simulation per configuration)."""
+        return cls(iterations=10, warmup=3, max_samples=40, rel_tol=0.006)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 2: LEBench overhead, attributed per mitigation
+# --------------------------------------------------------------------------- #
+
+def lebench_geomean(cpu: CPUModel, config: MitigationConfig,
+                    settings: Settings) -> float:
+    """Suite-level metric: geometric mean of per-case cycles/op."""
+    results = lebench.run_suite(
+        Machine(cpu, seed=settings.seed), config,
+        iterations=settings.iterations, warmup=settings.warmup,
+    )
+    return geometric_mean(results.values())
+
+
+def figure2(
+    cpus: Optional[Sequence[CPUModel]] = None,
+    settings: Optional[Settings] = None,
+) -> List[AttributionResult]:
+    """The paper's Figure 2: per-CPU LEBench overhead attribution."""
+    settings = settings or Settings()
+    out: List[AttributionResult] = []
+    for cpu in cpus or all_cpus():
+        run_fn = lambda config, _cpu=cpu: lebench_geomean(_cpu, config, settings)
+        out.append(attribute_overhead(
+            run_fn, linux_default(cpu), FIGURE2_KNOBS,
+            cpu=cpu.key, workload="lebench", metric=CYCLES,
+            sigma=settings.sigma, rel_tol=settings.rel_tol,
+            max_samples=settings.max_samples, seed=settings.seed,
+        ))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3: Octane 2 slowdown, attributed per mitigation
+# --------------------------------------------------------------------------- #
+
+def octane_suite_score(cpu: CPUModel, config: MitigationConfig,
+                       settings: Settings) -> float:
+    scores = octane.run_suite(
+        Machine(cpu, seed=settings.seed), config,
+        iterations=settings.iterations, warmup=settings.warmup,
+    )
+    return octane.suite_score(scores)
+
+
+def figure3(
+    cpus: Optional[Sequence[CPUModel]] = None,
+    settings: Optional[Settings] = None,
+) -> List[AttributionResult]:
+    """The paper's Figure 3: Octane 2 slowdown attribution per CPU."""
+    settings = settings or Settings()
+    out: List[AttributionResult] = []
+    for cpu in cpus or all_cpus():
+        run_fn = lambda config, _cpu=cpu: octane_suite_score(_cpu, config, settings)
+        out.append(attribute_overhead(
+            run_fn, linux_default(cpu), FIGURE3_KNOBS,
+            cpu=cpu.key, workload="octane2", metric=SCORE,
+            sigma=settings.sigma, rel_tol=settings.rel_tol,
+            max_samples=settings.max_samples, seed=settings.seed,
+        ))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5 and section 4.5: PARSEC
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class PairedOverhead:
+    """A with-vs-without comparison on one (CPU, workload)."""
+
+    cpu: str
+    workload: str
+    baseline: Measurement
+    treated: Measurement
+    overhead_percent: float
+
+    @property
+    def significant(self) -> bool:
+        return not self.baseline.overlaps(self.treated)
+
+
+def _paired(cpu: CPUModel, workload: str, base_fn: Callable[[], float],
+            treat_fn: Callable[[], float], settings: Settings) -> PairedOverhead:
+    import zlib
+    # Decorrelated noise per (cpu, workload): see attribution module.
+    seed = (settings.seed
+            + zlib.crc32(f"{cpu.key}/{workload}".encode())) & 0x7FFF_FFFF
+    base_value = float(base_fn())
+    treat_value = float(treat_fn())
+    base = adaptive_measure(
+        NoisySampler(lambda: base_value, settings.sigma, seed),
+        rel_tol=settings.rel_tol, max_samples=settings.max_samples)
+    treat = adaptive_measure(
+        NoisySampler(lambda: treat_value, settings.sigma, seed + 1),
+        rel_tol=settings.rel_tol, max_samples=settings.max_samples)
+    pct = 100.0 * (treat.mean / base.mean - 1.0)
+    return PairedOverhead(cpu=cpu.key, workload=workload, baseline=base,
+                          treated=treat, overhead_percent=pct)
+
+
+def figure5(
+    cpus: Optional[Sequence[CPUModel]] = None,
+    workloads: Optional[Sequence[parsec.PARSECWorkload]] = None,
+    settings: Optional[Settings] = None,
+) -> List[PairedOverhead]:
+    """The paper's Figure 5: SSBD slowdown on the PARSEC trio."""
+    settings = settings or Settings()
+    out: List[PairedOverhead] = []
+    for cpu in cpus or all_cpus():
+        config = linux_default(cpu)
+        for workload in workloads or parsec.SUITE:
+            out.append(_paired(
+                cpu, workload.name,
+                lambda _c=cpu, _w=workload: parsec.run_workload(
+                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                    force_ssbd=False, iterations=settings.iterations,
+                    warmup=settings.warmup),
+                lambda _c=cpu, _w=workload: parsec.run_workload(
+                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                    force_ssbd=True, iterations=settings.iterations,
+                    warmup=settings.warmup),
+                settings,
+            ))
+    return out
+
+
+def parsec_default_overheads(
+    cpus: Optional[Sequence[CPUModel]] = None,
+    workloads: Optional[Sequence[parsec.PARSECWorkload]] = None,
+    settings: Optional[Settings] = None,
+) -> List[PairedOverhead]:
+    """Section 4.5: default mitigations on compute workloads (~0%)."""
+    settings = settings or Settings()
+    out: List[PairedOverhead] = []
+    for cpu in cpus or all_cpus():
+        for workload in workloads or parsec.SUITE:
+            out.append(_paired(
+                cpu, workload.name,
+                lambda _c=cpu, _w=workload: parsec.run_workload(
+                    Machine(_c, seed=settings.seed), MitigationConfig.all_off(),
+                    _w, iterations=settings.iterations, warmup=settings.warmup),
+                lambda _c=cpu, _w=workload: parsec.run_workload(
+                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                    iterations=settings.iterations, warmup=settings.warmup),
+                settings,
+            ))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Section 4.4: virtual machine workloads
+# --------------------------------------------------------------------------- #
+
+def vm_lebench_overheads(
+    cpus: Optional[Sequence[CPUModel]] = None,
+    settings: Optional[Settings] = None,
+) -> List[PairedOverhead]:
+    """LEBench in a guest: host mitigations on vs off (±3% band)."""
+    settings = settings or Settings()
+
+    def run(cpu: CPUModel, host_config: MitigationConfig) -> float:
+        results = vm_lebench.run_suite(
+            Machine(cpu, seed=settings.seed), host_config,
+            iterations=settings.iterations, warmup=settings.warmup)
+        return geometric_mean(results.values())
+
+    out: List[PairedOverhead] = []
+    for cpu in cpus or all_cpus():
+        out.append(_paired(
+            cpu, "vm_lebench",
+            lambda _c=cpu: run(_c, MitigationConfig.all_off()),
+            lambda _c=cpu: run(_c, linux_default(_c)),
+            settings,
+        ))
+    return out
+
+
+def lfs_overheads(
+    cpus: Optional[Sequence[CPUModel]] = None,
+    workloads: Optional[Sequence[lfs.LFSWorkload]] = None,
+    settings: Optional[Settings] = None,
+) -> List[PairedOverhead]:
+    """LFS smallfile/largefile: host mitigations on vs off (<2% median)."""
+    settings = settings or Settings()
+    iters = max(4, settings.iterations // 3)
+    warm = max(1, settings.warmup // 3)
+    out: List[PairedOverhead] = []
+    for cpu in cpus or all_cpus():
+        for workload in workloads or lfs.SUITE:
+            out.append(_paired(
+                cpu, workload.name,
+                lambda _c=cpu, _w=workload: lfs.run_workload(
+                    Machine(_c, seed=settings.seed), MitigationConfig.all_off(),
+                    _w, iterations=iters, warmup=warm),
+                lambda _c=cpu, _w=workload: lfs.run_workload(
+                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                    iterations=iters, warmup=warm),
+                settings,
+            ))
+    return out

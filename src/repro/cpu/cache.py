@@ -1,0 +1,127 @@
+"""Set-associative cache model.
+
+A deliberately small but mechanistic cache: enough to make cache-timing
+side channels (the *transmit* half of every Spectre gadget), the L1TF
+flush-on-VM-entry cost, and warm/cold timing differences real, without
+simulating full coherence.
+
+Latency accounting is done by the machine: a load that hits L1 costs the
+CPU's ``load_l1`` cycles, an L1 miss that hits L2 costs ``load_l2``, and a
+full miss costs ``load_mem``.  The cache itself only answers "hit or miss"
+and tracks line residency with LRU replacement.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Optional
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    ways:
+        Associativity.
+    line_bytes:
+        Cache line size (64 on every CPU we model).
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64) -> None:
+        if size_bytes % (ways * line_bytes):
+            raise ValueError("cache size must be a multiple of ways * line size")
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (ways * line_bytes)
+        # Each set is an OrderedDict mapping line tag -> True, in LRU order
+        # (oldest first).  OrderedDict.move_to_end gives O(1) LRU updates.
+        self._sets: List["OrderedDict[int, bool]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+
+    # -- address helpers ----------------------------------------------------
+
+    def _line(self, address: int) -> int:
+        return address // self.line_bytes
+
+    def _set_index(self, line: int) -> int:
+        return line % self.num_sets
+
+    # -- cache operations ---------------------------------------------------
+
+    def access(self, address: int) -> bool:
+        """Access one address; return True on hit.  Misses fill the line."""
+        line = self._line(address)
+        current = self._sets[self._set_index(line)]
+        if line in current:
+            current.move_to_end(line)
+            return True
+        current[line] = True
+        if len(current) > self.ways:
+            current.popitem(last=False)
+        return False
+
+    def probe(self, address: int) -> bool:
+        """Check residency without disturbing LRU state or filling.
+
+        This is what a flush+reload attacker's timing measurement observes.
+        """
+        line = self._line(address)
+        return line in self._sets[self._set_index(line)]
+
+    def flush_line(self, address: int) -> None:
+        """``clflush`` one line."""
+        line = self._line(address)
+        self._sets[self._set_index(line)].pop(line, None)
+
+    def flush_all(self) -> int:
+        """Flush the whole cache; returns the number of lines evicted.
+
+        Used by the L1TF mitigation (``IA32_FLUSH_CMD``) before VM entry.
+        The eviction count lets the machine charge a realistic refill cost.
+        """
+        count = sum(len(s) for s in self._sets)
+        for s in self._sets:
+            s.clear()
+        return count
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(s) for s in self._sets)
+
+    def __contains__(self, address: int) -> bool:
+        return self.probe(address)
+
+
+class CacheHierarchy:
+    """A two-level private cache hierarchy (L1D + L2).
+
+    ``access`` returns the level that satisfied the access: ``1``, ``2`` or
+    ``0`` for memory.  Lines are filled inclusively into both levels, which
+    is close enough to the Intel/AMD designs for timing purposes.
+    """
+
+    def __init__(self, l1: Cache, l2: Cache) -> None:
+        self.l1 = l1
+        self.l2 = l2
+
+    def access(self, address: int) -> int:
+        if self.l1.access(address):
+            return 1
+        if self.l2.access(address):
+            return 2
+        return 0
+
+    def probe_l1(self, address: int) -> bool:
+        return self.l1.probe(address)
+
+    def flush_line(self, address: int) -> None:
+        self.l1.flush_line(address)
+        self.l2.flush_line(address)
+
+    def flush_l1(self) -> int:
+        return self.l1.flush_all()

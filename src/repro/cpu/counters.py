@@ -1,0 +1,86 @@
+"""Performance counters and the timestamp counter.
+
+The paper's speculation probe (Figure 6) detects transient execution by
+watching the ``ARITH.DIVIDER_ACTIVE`` performance counter: a divide placed
+at a landing pad increments the counter even when the divide is executed
+only transiently and later squashed.  We model exactly that property: the
+:class:`~repro.cpu.machine.Machine` charges divider-active cycles for both
+committed and transient ``DIV`` instructions, while most other counters only
+advance on commit.
+
+The simulated timestamp counter advances with every cycle the machine
+accounts, so ``rdtsc``-bracketed timing loops behave like the paper's
+microbenchmarks (section 5: "we rely on the timestamp counter ... and
+average over one million runs").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+#: Counter names.  Kept as strings for ergonomic use in tests and benches.
+DIVIDER_ACTIVE = "arith.divider_active"
+MISPREDICTED_INDIRECT = "br_misp_retired.indirect"
+INSTRUCTIONS_RETIRED = "inst_retired.any"
+TRANSIENT_INSTRUCTIONS = "transient.executed"  # model-only visibility aid
+BTB_HITS = "btb.hits"
+BTB_MISSES = "btb.misses"
+L1_MISSES = "l1d.misses"
+TLB_MISSES = "dtlb.misses"
+STLF_HITS = "stlf.forwarded"
+STLF_BLOCKED = "stlf.blocked"
+VERW_CLEARS = "verw.clears"
+IBPB_COUNT = "ibpb.count"
+L1D_FLUSHES = "l1d.flushes"
+KERNEL_ENTRIES = "kernel.entries"
+BTB_FLUSH_ON_ENTRY = "btb.flush_on_entry"
+VM_EXITS = "vm.exits"
+CONTEXT_SWITCHES = "sched.context_switches"
+
+
+@dataclass
+class PerfCounters:
+    """A bag of monotonically increasing event counters plus the TSC.
+
+    ``tsc`` counts simulated cycles.  Event counters are stored sparsely in
+    a dict; reading an untouched counter returns zero, like a freshly
+    programmed PMC.
+    """
+
+    tsc: int = 0
+    events: Dict[str, int] = field(default_factory=dict)
+
+    def add_cycles(self, cycles: int) -> None:
+        """Advance the timestamp counter."""
+        self.tsc += cycles
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment an event counter."""
+        self.events[name] = self.events.get(name, 0) + amount
+
+    def read(self, name: str) -> int:
+        """Read an event counter (``rdpmc`` analogue)."""
+        return self.events.get(name, 0)
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of all event counters, for before/after comparisons."""
+        return dict(self.events)
+
+    def delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Difference between the current counters and ``before``.
+
+        Only counters that changed appear in the result, which keeps probe
+        output readable.
+        """
+        out: Dict[str, int] = {}
+        for name, value in self.events.items():
+            diff = value - before.get(name, 0)
+            if diff:
+                out[name] = diff
+        return out
+
+    def reset(self) -> None:
+        """Zero every event counter (but not the TSC, which is free running)."""
+        self.events.clear()

@@ -1,0 +1,309 @@
+"""Abstract instruction set for the timing simulator.
+
+The simulator does not interpret real x86 machine code.  Instead, workloads
+and the model OS kernel are expressed as streams of :class:`Instruction`
+objects drawn from a small abstract ISA that captures everything the paper's
+measurements depend on:
+
+* ordinary compute (``ALU``, ``MUL``, ``DIV``, ``CMOV``) — ``DIV`` matters
+  because the speculation probe of the paper's Figure 6 detects transient
+  execution through the ``ARITH.DIVIDER_ACTIVE`` performance counter;
+* memory operations (``LOAD``, ``STORE``, ``CLFLUSH``) that interact with
+  the cache, TLB, store buffer and the MDS-leakable fill buffers;
+* control flow (``BRANCH_COND``, ``BRANCH_INDIRECT``, ``CALL``,
+  ``CALL_INDIRECT``, ``RET``) that interacts with the BTB and RSB and can
+  trigger transient execution windows;
+* privileged/system instructions (``SYSCALL``, ``SYSRET``, ``SWAPGS``,
+  ``MOV_CR3``, ``WRMSR``, ``RDMSR``, ``VERW``, ``LFENCE``, ``XSAVE``,
+  ``XRSTOR``, ``VMENTER``, ``VMEXIT``, ``L1D_FLUSH``) whose per-CPU costs
+  are the calibration inputs taken from the paper's Tables 3-8;
+* measurement instructions (``RDTSC``, ``RDPMC``) used by the
+  microbenchmark harness exactly the way the paper uses them.
+
+Instructions are plain slotted objects: cheap to construct, hashable by
+identity, and safe to reuse across iterations of a timed loop (executing an
+instruction never mutates it).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+
+class Op(enum.Enum):
+    """Operation kinds understood by :class:`repro.cpu.machine.Machine`."""
+
+    # Compute
+    NOP = "nop"
+    ALU = "alu"
+    # Trace compression: a block of straight-line work with a known cycle
+    # cost (value = cycles).  Keeps cycle accounting honest for bulk
+    # compute without executing thousands of Python-level ALU ops.
+    WORK = "work"
+    MUL = "mul"
+    DIV = "div"
+    CMOV = "cmov"
+    PAUSE = "pause"
+
+    # Memory
+    LOAD = "load"
+    STORE = "store"
+    CLFLUSH = "clflush"
+
+    # Control flow
+    BRANCH_COND = "branch_cond"
+    BRANCH_INDIRECT = "branch_indirect"
+    CALL = "call"
+    CALL_INDIRECT = "call_indirect"
+    RET = "ret"
+
+    # Serialization / mitigation primitives
+    LFENCE = "lfence"
+    VERW = "verw"
+    RSB_FILL = "rsb_fill"
+
+    # Privileged / system
+    SYSCALL = "syscall"
+    SYSRET = "sysret"
+    SWAPGS = "swapgs"
+    MOV_CR3 = "mov_cr3"
+    WRMSR = "wrmsr"
+    RDMSR = "rdmsr"
+    XSAVE = "xsave"
+    XRSTOR = "xrstor"
+    L1D_FLUSH = "l1d_flush"
+    VMENTER = "vmenter"
+    VMEXIT = "vmexit"
+
+    # Measurement
+    RDTSC = "rdtsc"
+    RDPMC = "rdpmc"
+
+
+#: Ops that read memory (interact with cache/TLB/store buffer).
+MEMORY_READ_OPS = frozenset({Op.LOAD})
+
+#: Ops that write memory.
+MEMORY_WRITE_OPS = frozenset({Op.STORE})
+
+#: Ops that can redirect control flow through a predictor.
+PREDICTED_BRANCH_OPS = frozenset({Op.BRANCH_INDIRECT, Op.CALL_INDIRECT, Op.RET})
+
+#: Ops that serialize the pipeline (no transient window may cross them).
+SERIALIZING_OPS = frozenset({Op.LFENCE, Op.WRMSR, Op.MOV_CR3, Op.VERW})
+
+
+class Instruction:
+    """One abstract instruction.
+
+    Parameters
+    ----------
+    op:
+        The operation kind.
+    address:
+        For memory ops, the virtual byte address accessed.
+    size:
+        For memory ops, the access size in bytes (informational).
+    target:
+        For direct control flow, the destination code address.  For
+        indirect branches this is the *architectural* (true) target; the
+        predictor may transiently send execution elsewhere.
+    pc:
+        The address of the instruction itself.  Branch predictor state is
+        indexed by ``pc``, so two indirect branches at different addresses
+        train different BTB entries.  Defaults to 0, which is fine for
+        straight-line cost accounting where prediction is irrelevant.
+    retpoline:
+        For indirect branches only: this branch site was compiled as a
+        retpoline (generic or AMD per the active mitigation config), so it
+        never consults the BTB and can never be poisoned.
+    msr:
+        For ``WRMSR``/``RDMSR``, the MSR index being accessed.
+    value:
+        For ``WRMSR``, the value written.
+    kernel_address:
+        For memory ops, marks the target as kernel memory (used by the
+        Meltdown model: user-mode architectural access faults).
+    """
+
+    __slots__ = (
+        "op",
+        "address",
+        "size",
+        "target",
+        "pc",
+        "retpoline",
+        "msr",
+        "value",
+        "kernel_address",
+    )
+
+    def __init__(
+        self,
+        op: Op,
+        address: int = 0,
+        size: int = 8,
+        target: int = 0,
+        pc: int = 0,
+        retpoline: bool = False,
+        msr: int = 0,
+        value: int = 0,
+        kernel_address: bool = False,
+    ) -> None:
+        self.op = op
+        self.address = address
+        self.size = size
+        self.target = target
+        self.pc = pc
+        self.retpoline = retpoline
+        self.msr = msr
+        self.value = value
+        self.kernel_address = kernel_address
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.value]
+        if self.op in MEMORY_READ_OPS or self.op in MEMORY_WRITE_OPS:
+            parts.append(f"addr={self.address:#x}")
+        if self.op in PREDICTED_BRANCH_OPS or self.op in (Op.CALL, Op.BRANCH_COND):
+            parts.append(f"target={self.target:#x} pc={self.pc:#x}")
+        if self.retpoline:
+            parts.append("retpoline")
+        return f"<Instruction {' '.join(parts)}>"
+
+
+# ---------------------------------------------------------------------------
+# Convenience constructors.  Workload generators use these heavily; they
+# read better than repeating Instruction(Op.X, ...) everywhere.
+# ---------------------------------------------------------------------------
+
+def nop() -> Instruction:
+    return Instruction(Op.NOP)
+
+
+def work(cycles: int) -> Instruction:
+    """A compressed block of straight-line work costing ``cycles``."""
+    return Instruction(Op.WORK, value=cycles)
+
+
+def alu(n: int = 1) -> Tuple[Instruction, ...]:
+    """Return ``n`` single-cycle ALU instructions."""
+    return tuple(Instruction(Op.ALU) for _ in range(n))
+
+
+def mul() -> Instruction:
+    return Instruction(Op.MUL)
+
+
+def div() -> Instruction:
+    """A divide; occupies the divider unit, visible to the probe counter."""
+    return Instruction(Op.DIV)
+
+
+def cmov() -> Instruction:
+    return Instruction(Op.CMOV)
+
+
+def load(address: int, size: int = 8, kernel: bool = False) -> Instruction:
+    return Instruction(Op.LOAD, address=address, size=size, kernel_address=kernel)
+
+
+def store(address: int, size: int = 8, kernel: bool = False,
+          value: int = 0) -> Instruction:
+    return Instruction(Op.STORE, address=address, size=size,
+                       kernel_address=kernel, value=value)
+
+
+def clflush(address: int) -> Instruction:
+    return Instruction(Op.CLFLUSH, address=address)
+
+
+def branch_cond(target: int = 0, pc: int = 0, taken: bool = False) -> Instruction:
+    """A conditional branch: ``taken`` is the architectural outcome and
+    ``target`` the taken-path code address (used for wrong-path windows)."""
+    return Instruction(Op.BRANCH_COND, target=target, pc=pc,
+                       value=1 if taken else 0)
+
+
+def branch_indirect(target: int, pc: int = 0, retpoline: bool = False) -> Instruction:
+    return Instruction(Op.BRANCH_INDIRECT, target=target, pc=pc, retpoline=retpoline)
+
+
+def call(target: int = 0, pc: int = 0) -> Instruction:
+    return Instruction(Op.CALL, target=target, pc=pc)
+
+
+def call_indirect(target: int, pc: int = 0, retpoline: bool = False) -> Instruction:
+    return Instruction(Op.CALL_INDIRECT, target=target, pc=pc, retpoline=retpoline)
+
+
+def ret(pc: int = 0, target: int = 0) -> Instruction:
+    """A return; ``target`` is the architectural return address (compared
+    against the RSB prediction)."""
+    return Instruction(Op.RET, pc=pc, target=target)
+
+
+def lfence() -> Instruction:
+    return Instruction(Op.LFENCE)
+
+
+def verw() -> Instruction:
+    return Instruction(Op.VERW)
+
+
+def rsb_fill() -> Instruction:
+    """The 32-entry RSB stuffing sequence, modelled as one macro-op."""
+    return Instruction(Op.RSB_FILL)
+
+
+def syscall_instr() -> Instruction:
+    return Instruction(Op.SYSCALL)
+
+
+def sysret_instr() -> Instruction:
+    return Instruction(Op.SYSRET)
+
+
+def swapgs() -> Instruction:
+    return Instruction(Op.SWAPGS)
+
+
+def mov_cr3(pcid: int = 0) -> Instruction:
+    """Write the page table root; ``pcid`` tags the target context."""
+    return Instruction(Op.MOV_CR3, value=pcid)
+
+
+def wrmsr(msr: int, value: int) -> Instruction:
+    return Instruction(Op.WRMSR, msr=msr, value=value)
+
+
+def rdmsr(msr: int) -> Instruction:
+    return Instruction(Op.RDMSR, msr=msr)
+
+
+def xsave() -> Instruction:
+    return Instruction(Op.XSAVE)
+
+
+def xrstor() -> Instruction:
+    return Instruction(Op.XRSTOR)
+
+
+def l1d_flush() -> Instruction:
+    return Instruction(Op.L1D_FLUSH)
+
+
+def vmenter() -> Instruction:
+    return Instruction(Op.VMENTER)
+
+
+def vmexit() -> Instruction:
+    return Instruction(Op.VMEXIT)
+
+
+def rdtsc() -> Instruction:
+    return Instruction(Op.RDTSC)
+
+
+def rdpmc() -> Instruction:
+    return Instruction(Op.RDPMC)

@@ -1,0 +1,562 @@
+"""The cycle-accounting machine: executes abstract instruction streams.
+
+:class:`Machine` binds one :class:`~repro.cpu.model.CPUModel` to live
+microarchitectural state — caches, TLB, BTB/BHB, RSB, store buffer, the
+MDS-leakable buffers, MSRs and performance counters — and executes
+:class:`~repro.cpu.isa.Instruction` streams, returning cycle costs.
+
+Two execution paths exist:
+
+* the **committed** path (:meth:`execute` / :meth:`run`) advances the TSC
+  and architectural state;
+* the **transient** path (:meth:`_transient_window`) models wrong-path
+  execution after a branch misprediction: it costs no committed cycles but
+  leaves microarchitectural footprints — cache fills, divider activity,
+  MDS buffer residue — which is precisely what every attack in the paper
+  observes and every mitigation tries to erase.
+
+The machine is deterministic: all randomness (only the eIBRS periodic-scrub
+interval uses any) flows from the seed passed at construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SegmentationFault, UnsupportedFeatureError
+from . import counters as ctr
+from . import msr as msrdef
+from .btb import BranchHistoryBuffer, BranchTargetBuffer
+from .buffers import MicroarchBuffers
+from .condbp import ConditionalPredictor
+from .cache import Cache, CacheHierarchy
+from .counters import PerfCounters
+from .isa import Instruction, Op, SERIALIZING_OPS
+from .model import CPUModel
+from .modes import Mode
+from .msr import MSRFile
+from .rsb import BENIGN_ENTRY, ReturnStackBuffer
+from .storebuffer import StoreBuffer
+from .tlb import TLB
+
+#: Retpoline flavors (paper Figure 4).
+GENERIC_RETPOLINE = "generic"
+AMD_RETPOLINE = "amd"
+
+
+class Machine:
+    """One logical CPU executing abstract instructions with cycle accounting."""
+
+    def __init__(self, cpu: CPUModel, seed: int = 0, microcode_patched: bool = True) -> None:
+        self.cpu = cpu
+        self.costs = cpu.costs
+        self.mode = Mode.USER
+        self.microcode_patched = microcode_patched
+
+        self.counters = PerfCounters()
+        self.msr = MSRFile(
+            supports_ibrs=cpu.predictor.supports_ibrs,
+            supports_eibrs=cpu.predictor.supports_eibrs,
+            supports_ssbd=True,
+            arch_capabilities=cpu.arch_capabilities,
+        )
+        self.btb = BranchTargetBuffer(
+            entries=cpu.btb_entries,
+            mode_tagged=cpu.predictor.btb_mode_tagged,
+            opaque_index=cpu.predictor.btb_opaque_index,
+        )
+        self.bhb = BranchHistoryBuffer()
+        self.cond_predictor = ConditionalPredictor()
+        self.rsb = ReturnStackBuffer(
+            depth=cpu.rsb_depth,
+            underflow_falls_back_to_btb=cpu.predictor.rsb_underflow_uses_btb,
+        )
+        self.caches = CacheHierarchy(
+            l1=Cache(cpu.l1d_kb * 1024, cpu.l1_ways),
+            l2=Cache(cpu.l2_kb * 1024, cpu.l2_ways),
+        )
+        self.tlb = TLB(entries=cpu.tlb_entries, supports_pcid=cpu.supports_pcid)
+        self.store_buffer = StoreBuffer(depth=cpu.store_buffer_depth)
+        self.mds_buffers = MicroarchBuffers(vulnerable=cpu.vulns.mds)
+
+        # Program memory: code address -> instruction block.  Transient
+        # windows launched at an address execute the registered block.
+        self.program: Dict[int, List[Instruction]] = {}
+
+        # KPTI state, owned by the kernel model: when True, kernel pages
+        # are reachable from user-mode page tables, so a Meltdown-vulnerable
+        # part can transiently read them from user mode.
+        self.kernel_mapped_in_user = True
+
+        # Retpoline flavor used when an instruction is marked retpoline.
+        self.retpoline_variant = GENERIC_RETPOLINE
+
+        # SMT sibling identity: 0 on a standalone machine.  SMTCore sets
+        # 1 on the second hyperthread and shares predictor/cache state.
+        self.thread_id = 0
+
+        # Optional instrumentation: called as tracer(instr, cycles,
+        # transient) after every executed instruction.  See
+        # repro.cpu.trace.ExecutionTrace.
+        self.tracer = None
+
+        # eIBRS periodic BTB scrub state (paper section 6.2.2).
+        self._rng = np.random.default_rng(seed)
+        self._scrub_countdown = self._next_scrub_interval()
+
+        # Wire MSR side effects.
+        self.msr.on_ibpb(self._do_ibpb)
+        self.msr.on_l1d_flush(self._do_l1d_flush)
+
+        # Last committed load value seen per address is not tracked; the
+        # attack demos track data flow themselves.  The machine tracks the
+        # last transient load addresses so demos can check the side channel.
+        self.transient_loads: List[int] = []
+
+    # ------------------------------------------------------------------ #
+    # MSR side effects
+    # ------------------------------------------------------------------ #
+
+    def _do_ibpb(self) -> None:
+        self.btb.barrier()
+        self.counters.bump(ctr.IBPB_COUNT)
+
+    def _do_l1d_flush(self) -> None:
+        self.caches.flush_l1()
+        self.counters.bump(ctr.L1D_FLUSHES)
+
+    def _next_scrub_interval(self) -> int:
+        low, high = self.cpu.predictor.eibrs_scrub_period
+        return int(self._rng.integers(low, high + 1))
+
+    # ------------------------------------------------------------------ #
+    # Code registration (for transient windows and the probe)
+    # ------------------------------------------------------------------ #
+
+    def register_code(self, address: int, block: Sequence[Instruction]) -> None:
+        """Place an instruction block at a code address.
+
+        Transient execution steered to ``address`` (by a poisoned BTB entry
+        or an RSB underflow fallback) will execute this block wrong-path.
+        """
+        if address == 0:
+            raise ValueError("address 0 is reserved as the harmless target")
+        self.program[address] = list(block)
+
+    # ------------------------------------------------------------------ #
+    # Committed execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, instructions: Iterable[Instruction]) -> int:
+        """Execute a stream on the committed path; returns total cycles."""
+        total = 0
+        for instr in instructions:
+            total += self.execute(instr)
+        return total
+
+    def execute(self, instr: Instruction) -> int:
+        """Execute one instruction on the committed path; returns cycles."""
+        op = instr.op
+        costs = self.costs
+        cycles: int
+
+        if op is Op.ALU:
+            cycles = costs.alu
+        elif op is Op.WORK:
+            cycles = instr.value
+        elif op is Op.NOP:
+            cycles = costs.nop
+        elif op is Op.MUL:
+            cycles = costs.mul
+        elif op is Op.DIV:
+            cycles = costs.div
+            self.counters.bump(ctr.DIVIDER_ACTIVE, costs.div)
+        elif op is Op.CMOV:
+            cycles = costs.cmov
+        elif op is Op.PAUSE:
+            cycles = costs.pause
+        elif op is Op.LOAD:
+            cycles = self._execute_load(instr)
+        elif op is Op.STORE:
+            cycles = self._execute_store(instr)
+        elif op is Op.CLFLUSH:
+            self.caches.flush_line(instr.address)
+            cycles = costs.clflush
+        elif op is Op.BRANCH_COND:
+            cycles = self._execute_cond_branch(instr)
+        elif op in (Op.BRANCH_INDIRECT, Op.CALL_INDIRECT):
+            cycles = self._execute_indirect(instr)
+            if op is Op.CALL_INDIRECT:
+                self.rsb.push(instr.pc)
+        elif op is Op.CALL:
+            self.rsb.push(instr.pc)
+            self.bhb.push(instr.pc)
+            cycles = costs.call
+        elif op is Op.RET:
+            cycles = self._execute_ret(instr)
+        elif op is Op.LFENCE:
+            cycles = costs.lfence
+        elif op is Op.VERW:
+            cycles = self._execute_verw()
+        elif op is Op.RSB_FILL:
+            self.rsb.stuff()
+            cycles = costs.rsb_fill
+        elif op is Op.SYSCALL:
+            cycles = self._execute_syscall_entry()
+        elif op is Op.SYSRET:
+            self.mode = Mode.GUEST_USER if self.mode.is_guest else Mode.USER
+            cycles = costs.sysret
+        elif op is Op.SWAPGS:
+            cycles = costs.swapgs
+        elif op is Op.MOV_CR3:
+            invalidated = self.tlb.switch_context(pcid=instr.value)
+            cycles = costs.swap_cr3 + invalidated // 8  # shootdown refill drag
+        elif op is Op.WRMSR:
+            cycles = self._execute_wrmsr(instr)
+        elif op is Op.RDMSR:
+            cycles = costs.rdmsr
+        elif op is Op.XSAVE:
+            cycles = costs.xsave
+        elif op is Op.XRSTOR:
+            cycles = costs.xrstor
+        elif op is Op.L1D_FLUSH:
+            self.msr.write(msrdef.IA32_FLUSH_CMD, msrdef.L1D_FLUSH_BIT)
+            cycles = costs.l1d_flush
+        elif op is Op.VMENTER:
+            self.mode = Mode.GUEST_KERNEL
+            cycles = costs.vmenter
+        elif op is Op.VMEXIT:
+            self.mode = Mode.KERNEL
+            self.counters.bump(ctr.VM_EXITS)
+            cycles = costs.vmexit
+        elif op is Op.RDTSC:
+            cycles = costs.rdtsc
+        elif op is Op.RDPMC:
+            cycles = costs.rdpmc
+        else:  # pragma: no cover - exhaustive over Op
+            raise UnsupportedFeatureError(f"unhandled op {op}")
+
+        self.counters.add_cycles(cycles)
+        self.counters.bump(ctr.INSTRUCTIONS_RETIRED)
+        if self.tracer is not None:
+            self.tracer(instr, cycles, False)
+        return cycles
+
+    # -- op helpers ----------------------------------------------------- #
+
+    def _execute_load(self, instr: Instruction) -> int:
+        if instr.kernel_address and not self.mode.is_kernel:
+            # Architectural access to kernel memory from user mode faults.
+            # (Transient accesses go through _transient_load instead.)
+            raise SegmentationFault(instr.address, str(self.mode))
+        costs = self.costs
+        cycles = 0
+        if not self.tlb.access(instr.address):
+            self.counters.bump(ctr.TLB_MISSES)
+            cycles += costs.tlb_miss
+        if self.store_buffer.match(instr.address):
+            if self.msr.ssbd_enabled:
+                # SSBD: the load must wait for older store addresses.
+                self.counters.bump(ctr.STLF_BLOCKED)
+                level = self.caches.access(instr.address)
+                cycles += self._load_latency(level) + self.cpu.ssbd_load_penalty
+            else:
+                self.counters.bump(ctr.STLF_HITS)
+                self.caches.access(instr.address)  # line still warms
+                cycles += costs.store_forward
+        else:
+            level = self.caches.access(instr.address)
+            cycles += self._load_latency(level)
+        self.mds_buffers.deposit_load(instr.value or instr.address, self.mode)
+        return cycles
+
+    def _load_latency(self, level: int) -> int:
+        costs = self.costs
+        if level == 1:
+            return costs.load_l1
+        if level == 2:
+            self.counters.bump(ctr.L1_MISSES)
+            return costs.load_l2
+        self.counters.bump(ctr.L1_MISSES)
+        return costs.load_mem
+
+    def _execute_store(self, instr: Instruction) -> int:
+        cycles = self.costs.store
+        if not self.tlb.access(instr.address):
+            self.counters.bump(ctr.TLB_MISSES)
+            cycles += self.costs.tlb_miss
+        self.caches.access(instr.address)  # write-allocate
+        self.store_buffer.push(instr.address, instr.value)
+        self.mds_buffers.deposit_store(instr.value or instr.address, self.mode)
+        return cycles
+
+    def _execute_cond_branch(self, instr: Instruction) -> int:
+        """A conditional branch through the 2-bit predictor.
+
+        ``instr.value`` is the architectural outcome (1 = taken); a
+        mispredicted not-taken branch whose *taken* path has registered
+        code runs that path transiently — the Spectre V1 front door.
+        """
+        self.bhb.push(instr.pc)
+        taken = bool(instr.value)
+        predicted = self.cond_predictor.predict(instr.pc)
+        self.cond_predictor.update(instr.pc, taken)
+        cycles = self.costs.cond_branch
+        if predicted != taken:
+            cycles += self.costs.mispredict_penalty
+            if predicted and instr.target:
+                # Wrongly predicted taken: the taken-path body runs
+                # transiently (the mistrained bounds check).
+                self._transient_window(instr.target)
+        return cycles
+
+    def _indirect_prediction_allowed(self) -> bool:
+        """Does this CPU consult the BTB for indirect branches right now?
+
+        Encodes the section-6 policy matrix: plain parts always predict;
+        IBRS on pre-eIBRS parts (and Zen 2/3) blocks all prediction; Ice
+        Lake Client with IBRS set stops predicting in kernel mode.
+        """
+        behavior = self.cpu.predictor
+        if not self.msr.ibrs_enabled:
+            return True
+        if behavior.ibrs_blocks_all_prediction and not behavior.supports_eibrs:
+            return False
+        if behavior.supports_eibrs:
+            if behavior.eibrs_blocks_kernel_prediction and self.mode.is_kernel:
+                return False
+            return True
+        return True
+
+    def _execute_indirect(self, instr: Instruction) -> int:
+        costs = self.costs
+        self.bhb.push(instr.pc)
+
+        if instr.retpoline:
+            # Retpolines never consult or train the BTB; they simply cost
+            # more (Table 5) and are unpoisonable by construction.
+            extra = self._retpoline_extra()
+            return costs.indirect_base + extra
+
+        if not self._indirect_prediction_allowed():
+            # IBRS is suppressing prediction: pay the Table 5 IBRS delta.
+            extra = costs.ibrs_extra if costs.ibrs_extra is not None else 0
+            self.btb.train(instr.pc, instr.target, self.mode,
+                           thread=self.thread_id)
+            return costs.indirect_base + extra
+
+        predicted = self.btb.lookup(instr.pc, self.mode,
+                                    thread=self.thread_id,
+                                    stibp=self.msr.stibp_enabled)
+        cycles = costs.indirect_base
+        if self.msr.eibrs_active and costs.ibrs_extra:
+            cycles += costs.ibrs_extra
+        if predicted is None:
+            self.counters.bump(ctr.BTB_MISSES)
+            cycles += costs.mispredict_penalty
+        elif predicted == instr.target:
+            self.counters.bump(ctr.BTB_HITS)
+        else:
+            # Mispredict: transient execution runs at the *redirect* target
+            # (None on Zen 3, where the probe could never land).
+            self.counters.bump(ctr.MISPREDICTED_INDIRECT)
+            cycles += costs.mispredict_penalty
+            redirect = self.btb.redirect_target(
+                instr.pc, self.mode, thread=self.thread_id,
+                stibp=self.msr.stibp_enabled)
+            if redirect is not None:
+                self._transient_window(redirect)
+        self.btb.train(instr.pc, instr.target, self.mode,
+                       thread=self.thread_id)
+        return cycles
+
+    def _retpoline_extra(self) -> int:
+        costs = self.costs
+        if self.retpoline_variant == AMD_RETPOLINE:
+            if costs.amd_retpoline_extra is None:
+                raise UnsupportedFeatureError(
+                    f"AMD retpolines are not modelled for {self.cpu.key} "
+                    "(the paper only measures them on AMD parts)"
+                )
+            return costs.amd_retpoline_extra
+        return costs.generic_retpoline_extra
+
+    def _execute_ret(self, instr: Instruction) -> int:
+        costs = self.costs
+        self.bhb.push(instr.pc)
+        predicted = self.rsb.pop()
+        if predicted is None:
+            # Underflow: Skylake+ Intel falls back to the BTB (the
+            # SpectreRSB surface); others stall.
+            if self.rsb.underflow_falls_back_to_btb and self._indirect_prediction_allowed():
+                redirect = self.btb.redirect_target(
+                    instr.pc, self.mode, thread=self.thread_id,
+                    stibp=self.msr.stibp_enabled)
+                if redirect is not None and redirect != instr.target:
+                    self.counters.bump(ctr.MISPREDICTED_INDIRECT)
+                    self._transient_window(redirect)
+            return costs.ret_ + costs.mispredict_penalty
+        if predicted == instr.target:
+            return costs.ret_
+        # Stale or benign entry: mispredicted return.
+        self.counters.bump(ctr.MISPREDICTED_INDIRECT)
+        if predicted != BENIGN_ENTRY:
+            self._transient_window(predicted)
+        return costs.ret_ + costs.mispredict_penalty
+
+    def _execute_wrmsr(self, instr: Instruction) -> int:
+        """MSR writes: cost depends on which MSR (IBPB and L1D flush are
+        command MSRs with their own, much larger, calibrated costs)."""
+        self.msr.write(instr.msr, instr.value)
+        if instr.msr == msrdef.IA32_PRED_CMD and instr.value & msrdef.PRED_CMD_IBPB:
+            return self.costs.ibpb
+        if instr.msr == msrdef.IA32_FLUSH_CMD and instr.value & msrdef.L1D_FLUSH_BIT:
+            return self.costs.l1d_flush
+        return self.costs.wrmsr
+
+    def _execute_verw(self) -> int:
+        clearing = (
+            self.cpu.vulns.mds
+            and self.microcode_patched
+            and self.costs.verw_clear is not None
+        )
+        if clearing:
+            self.mds_buffers.clear()
+            self.counters.bump(ctr.VERW_CLEARS)
+            return self.costs.verw_clear  # type: ignore[return-value]
+        return self.costs.verw_legacy
+
+    def _execute_syscall_entry(self) -> int:
+        self.mode = Mode.GUEST_KERNEL if self.mode.is_guest else Mode.KERNEL
+        self.counters.bump(ctr.KERNEL_ENTRIES)
+        cycles = self.costs.syscall
+        behavior = self.cpu.predictor
+        if behavior.eibrs_periodic_scrub and self.msr.eibrs_active:
+            self._scrub_countdown -= 1
+            if self._scrub_countdown <= 0:
+                self._scrub_countdown = self._next_scrub_interval()
+                self.btb.flush()
+                self.counters.bump(ctr.BTB_FLUSH_ON_ENTRY)
+                cycles += behavior.eibrs_scrub_extra_cycles
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # Transient (wrong-path) execution
+    # ------------------------------------------------------------------ #
+
+    def speculate(self, block: Sequence[Instruction]) -> int:
+        """Execute ``block`` transiently, as if down a mispredicted path.
+
+        Public entry point used by the attack demonstrations and the JS
+        sandbox model: it is the machine-level analogue of "the processor
+        speculatively executed the body of the if statement".  Returns the
+        number of instructions that executed before the window closed
+        (serializing instruction, blocked access, or window exhaustion).
+        No committed cycles are charged.
+        """
+        budget = self.cpu.spec_window
+        executed = 0
+        for instr in block:
+            if budget <= 0:
+                break
+            if instr.op in SERIALIZING_OPS:
+                break
+            if instr.op is Op.LOAD and instr.kernel_address and not self.mode.is_kernel:
+                # A blocked privileged access also ends the window unless
+                # the Meltdown predicate lets it through transiently.
+                if not (self.cpu.vulns.meltdown and self.kernel_mapped_in_user):
+                    break
+            budget -= 1
+            executed += 1
+            self._execute_transient(instr)
+        return executed
+
+    def _transient_window(self, target: int) -> None:
+        """Run wrong-path execution starting at ``target``.
+
+        Costs no committed cycles (the mispredict penalty already accounts
+        for the wasted time) but leaves microarchitectural side effects.
+        """
+        block = self.program.get(target)
+        if not block:
+            return
+        budget = self.cpu.spec_window
+        for instr in block:
+            if budget <= 0:
+                break
+            if instr.op in SERIALIZING_OPS:
+                break  # serializing instructions end the window
+            budget -= 1
+            self._execute_transient(instr)
+
+    def _execute_transient(self, instr: Instruction) -> None:
+        op = instr.op
+        self.counters.bump(ctr.TRANSIENT_INSTRUCTIONS)
+        if self.tracer is not None:
+            self.tracer(instr, 0, True)
+        if op is Op.DIV:
+            # The probe signal: the divider is busy even on the wrong path.
+            self.counters.bump(ctr.DIVIDER_ACTIVE, self.costs.div)
+        elif op is Op.LOAD:
+            self._transient_load(instr)
+        elif op is Op.STORE:
+            # Transient stores never reach memory but do leave store-buffer
+            # residue visible to MDS sampling.
+            self.mds_buffers.deposit_store(instr.value or instr.address, self.mode)
+        elif op is Op.CMOV and instr.value:
+            # A masking cmov with a poisoned (zeroed) index: downstream
+            # transient loads are redirected to a safe address.  Modelled by
+            # the JIT layer, which simply omits the dangerous load.
+            pass
+        # Other ops have no modelled transient side effects.
+
+    def _transient_load(self, instr: Instruction) -> None:
+        if instr.kernel_address and not self.mode.is_kernel:
+            # Meltdown predicate: the transient read succeeds only on a
+            # vulnerable part with the kernel mapped into the user page
+            # tables (i.e. KPTI off).
+            if not (self.cpu.vulns.meltdown and self.kernel_mapped_in_user):
+                return
+        self.caches.access(instr.address)  # the cache side channel
+        self.transient_loads.append(instr.address)
+        self.mds_buffers.deposit_load(instr.value or instr.address, self.mode)
+
+    # ------------------------------------------------------------------ #
+    # Measurement harness (the paper's rdtsc timed-loop methodology)
+    # ------------------------------------------------------------------ #
+
+    def measure(
+        self,
+        body: Sequence[Instruction],
+        iterations: int = 1000,
+        warmup: int = 32,
+    ) -> float:
+        """Average per-iteration cycle cost of ``body``, rdtsc-style.
+
+        Mirrors the paper's section 5 methodology: run the sequence in a
+        loop bracketed by timestamp counter reads, subtract the measured
+        empty-loop overhead, and average over many iterations.  ``body``
+        instructions are re-executed each iteration, so steady-state cache
+        and predictor behaviour emerges naturally after ``warmup``.
+        """
+        loop_overhead = self.costs.cond_branch + self.costs.alu
+
+        for _ in range(warmup):
+            self.run(body)
+
+        start = self.counters.tsc
+        self.counters.add_cycles(self.costs.rdtsc)
+        for _ in range(iterations):
+            self.run(body)
+            self.counters.add_cycles(loop_overhead)
+        self.counters.add_cycles(self.costs.rdtsc)
+        elapsed = self.counters.tsc - start
+
+        overhead = 2 * self.costs.rdtsc + iterations * loop_overhead
+        return (elapsed - overhead) / iterations
+
+    def read_tsc(self) -> int:
+        """Current value of the simulated timestamp counter."""
+        return self.counters.tsc

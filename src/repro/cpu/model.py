@@ -1,0 +1,452 @@
+"""CPU models: the eight microarchitectures evaluated by the paper.
+
+Each :class:`CPUModel` bundles three things:
+
+1. **Identity** — vendor/model/microarchitecture/power/clock/cores, straight
+   from Table 2 of the paper.
+2. **Calibration** — a :class:`CostTable` of per-instruction cycle costs.
+   The mitigation-primitive entries are calibrated to the paper's own
+   microbenchmarks: ``syscall``/``sysret``/``swap_cr3`` from Table 3,
+   ``verw`` from Table 4, indirect-branch/IBRS/retpoline costs from
+   Table 5, IBPB from Table 6, RSB stuffing from Table 7 and ``lfence``
+   from Table 8.  End-to-end results (the paper's Figures 2/3/5) are then
+   *emergent* from composing these primitives through the workload models.
+3. **Behaviour** — :class:`VulnerabilityFlags` (which attacks apply, per
+   public errata) and :class:`PredictorBehavior` (how the BTB/IBRS interact,
+   per the paper's section 6 findings), plus SSBD's per-CPU load penalty.
+
+Values marked "N/A" in the paper (e.g. ``swap cr3`` on Meltdown-immune
+parts) still get a nominal hardware cost here — the instruction exists and
+can be executed — but the reporting layer prints N/A whenever the paper
+does, keyed off the vulnerability flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from . import msr as msrdef
+from ..errors import UnknownCPUError
+
+
+@dataclass(frozen=True)
+class CostTable:
+    """Per-instruction cycle costs for one microarchitecture.
+
+    Ordinary-instruction costs are rounded single-issue approximations;
+    the mitigation primitives are the paper-calibrated values documented
+    in the module docstring.
+    """
+
+    # ordinary compute
+    alu: int = 1
+    mul: int = 3
+    div: int = 18          # cycles the divider stays active (probe signal)
+    cmov: int = 2
+    nop: int = 0
+    pause: int = 8
+
+    # memory (latency by the level that satisfies the access)
+    load_l1: int = 4
+    load_l2: int = 14
+    load_mem: int = 200
+    store: int = 1
+    store_forward: int = 5
+    clflush: int = 40
+    tlb_miss: int = 25
+
+    # control flow
+    cond_branch: int = 1
+    call: int = 2
+    ret_: int = 2
+    mispredict_penalty: int = 16
+    indirect_base: int = 10          # Table 5 "Baseline"
+    ibrs_extra: Optional[int] = None  # Table 5 "IBRS" (None = unsupported)
+    generic_retpoline_extra: int = 20  # Table 5 "Generic"
+    amd_retpoline_extra: Optional[int] = None  # Table 5 "AMD"
+
+    # system / mitigation primitives
+    syscall: int = 50                # Table 3
+    sysret: int = 45                 # Table 3
+    swap_cr3: int = 190              # Table 3 (nominal on immune parts)
+    verw_clear: Optional[int] = None  # Table 4 (None = not MDS-vulnerable)
+    verw_legacy: int = 25
+    lfence: int = 20                 # Table 8
+    ibpb: int = 2000                 # Table 6
+    rsb_fill: int = 100              # Table 7
+    swapgs: int = 10
+    wrmsr: int = 300
+    rdmsr: int = 100
+    xsave: int = 70
+    xrstor: int = 80
+    fpu_trap: int = 350              # lazy-FPU #NM trap round trip
+    l1d_flush: int = 1600            # the flush op itself (refills billed per miss)
+    vmexit: int = 1800
+    vmenter: int = 900
+    rdtsc: int = 25
+    rdpmc: int = 30
+
+    def effective_verw(self, mds_vulnerable: bool, microcode_patched: bool = True) -> int:
+        """Cycles a ``verw`` takes: buffer-clearing on patched vulnerable
+        parts, legacy segmentation behaviour otherwise (paper 5.2)."""
+        if mds_vulnerable and microcode_patched and self.verw_clear is not None:
+            return self.verw_clear
+        return self.verw_legacy
+
+
+@dataclass(frozen=True)
+class VulnerabilityFlags:
+    """Which transient execution attacks affect this part (public errata)."""
+
+    meltdown: bool
+    l1tf: bool
+    mds: bool
+    ssb: bool = True      # no shipping CPU sets SSB_NO (paper section 4.3)
+    lazyfp: bool = True
+    spectre_v1: bool = True
+    spectre_v2: bool = True
+    swapgs_v1: bool = True
+
+
+@dataclass(frozen=True)
+class PredictorBehavior:
+    """How the branch predictor interacts with modes and mitigations.
+
+    These flags encode the section-6 findings; see ``repro.cpu.btb`` for the
+    mechanism each one drives.
+    """
+
+    supports_ibrs: bool = True
+    supports_eibrs: bool = False
+    ibrs_blocks_all_prediction: bool = False
+    eibrs_blocks_kernel_prediction: bool = False
+    btb_mode_tagged: bool = False
+    btb_opaque_index: bool = False
+    rsb_underflow_uses_btb: bool = False
+    # eIBRS parts occasionally scrub the BTB on kernel entry, producing the
+    # bimodal entry latency of paper section 6.2.2 (~70 cycles usually, an
+    # extra ~210 every 8-20 entries).
+    eibrs_periodic_scrub: bool = False
+    eibrs_scrub_extra_cycles: int = 210
+    eibrs_scrub_period: Tuple[int, int] = (8, 20)
+
+
+@dataclass(frozen=True)
+class CPUModel:
+    """Everything the simulator needs to know about one microarchitecture."""
+
+    key: str
+    vendor: str
+    model: str
+    microarchitecture: str
+    year: int
+    power_watts: int
+    clock_ghz: float
+    cores: int
+    smt: bool
+    costs: CostTable
+    vulns: VulnerabilityFlags
+    predictor: PredictorBehavior
+    # Structure sizes
+    l1d_kb: int = 32
+    l1_ways: int = 8
+    l2_kb: int = 512
+    l2_ways: int = 8
+    rsb_depth: int = 32
+    btb_entries: int = 4096
+    tlb_entries: int = 1536
+    store_buffer_depth: int = 56
+    supports_pcid: bool = True
+    # Transient execution window: max instructions executed down a wrong path.
+    spec_window: int = 32
+    # Extra cycles a load pays under SSBD when it would have been satisfied
+    # by (or reordered around) a pending store.  Grows on newer parts —
+    # the paper's Figure 5 "trending worse over time" observation.
+    ssbd_load_penalty: int = 16
+    # Per-core throughput multiplier when the sibling hyperthread is active.
+    smt_yield: float = 1.25
+
+    @property
+    def threads(self) -> int:
+        return self.cores * (2 if self.smt else 1)
+
+    @property
+    def arch_capabilities(self) -> int:
+        """The IA32_ARCH_CAPABILITIES value this part would report."""
+        caps = 0
+        if not self.vulns.meltdown:
+            caps |= msrdef.ARCH_CAP_RDCL_NO
+        if self.predictor.supports_eibrs:
+            caps |= msrdef.ARCH_CAP_IBRS_ALL
+        if not self.vulns.l1tf:
+            caps |= msrdef.ARCH_CAP_SKIP_L1DFL
+        if not self.vulns.mds:
+            caps |= msrdef.ARCH_CAP_MDS_NO
+        # Deliberately never SSB_NO: the paper notes no CPU of either
+        # vendor sets it, "not even models that came out years after the
+        # attack was discovered".
+        return caps
+
+
+def _intel(key: str, **kwargs) -> CPUModel:
+    return CPUModel(key=key, vendor="Intel", **kwargs)
+
+
+def _amd(key: str, **kwargs) -> CPUModel:
+    return CPUModel(key=key, vendor="AMD", **kwargs)
+
+
+#: The eight CPUs of the paper's Table 2, keyed by short name.
+CATALOG: Dict[str, CPUModel] = {}
+
+
+def _register(model: CPUModel) -> CPUModel:
+    CATALOG[model.key] = model
+    return model
+
+
+BROADWELL = _register(_intel(
+    "broadwell",
+    model="E5-2640v4",
+    microarchitecture="Broadwell",
+    year=2014,
+    power_watts=90,
+    clock_ghz=2.4,
+    cores=10,
+    smt=True,
+    costs=CostTable(
+        syscall=49, sysret=40, swap_cr3=206,
+        verw_clear=610, verw_legacy=30,
+        indirect_base=16, ibrs_extra=32, generic_retpoline_extra=28,
+        amd_retpoline_extra=None,
+        ibpb=5600, rsb_fill=130, lfence=28,
+        load_mem=230, mispredict_penalty=16, vmexit=2300, vmenter=1100,
+    ),
+    vulns=VulnerabilityFlags(meltdown=True, l1tf=True, mds=True),
+    predictor=PredictorBehavior(
+        supports_ibrs=True,
+        ibrs_blocks_all_prediction=True,
+        rsb_underflow_uses_btb=False,
+    ),
+    spec_window=28,
+    ssbd_load_penalty=12,
+))
+
+SKYLAKE_CLIENT = _register(_intel(
+    "skylake_client",
+    model="i7-6600U",
+    microarchitecture="Skylake Client",
+    year=2015,
+    power_watts=15,
+    clock_ghz=2.6,
+    cores=2,
+    smt=True,
+    costs=CostTable(
+        syscall=42, sysret=42, swap_cr3=191,
+        verw_clear=518, verw_legacy=28,
+        indirect_base=11, ibrs_extra=15, generic_retpoline_extra=19,
+        amd_retpoline_extra=None,
+        ibpb=4500, rsb_fill=130, lfence=20,
+        load_mem=210, mispredict_penalty=17, vmexit=2100, vmenter=1000,
+    ),
+    vulns=VulnerabilityFlags(meltdown=True, l1tf=True, mds=True),
+    predictor=PredictorBehavior(
+        supports_ibrs=True,
+        ibrs_blocks_all_prediction=True,
+        rsb_underflow_uses_btb=True,
+    ),
+    spec_window=32,
+    ssbd_load_penalty=14,
+))
+
+CASCADE_LAKE = _register(_intel(
+    "cascade_lake",
+    model="Xeon Silver 4210R",
+    microarchitecture="Cascade Lake",
+    year=2019,
+    power_watts=100,
+    clock_ghz=2.4,
+    cores=10,
+    smt=True,
+    costs=CostTable(
+        syscall=70, sysret=43, swap_cr3=185,
+        verw_clear=458, verw_legacy=26,
+        indirect_base=3, ibrs_extra=0, generic_retpoline_extra=49,
+        amd_retpoline_extra=None,
+        ibpb=340, rsb_fill=120, lfence=15,
+        load_mem=205, mispredict_penalty=17, vmexit=1900, vmenter=950,
+    ),
+    vulns=VulnerabilityFlags(meltdown=False, l1tf=False, mds=True),
+    predictor=PredictorBehavior(
+        supports_ibrs=True,
+        supports_eibrs=True,
+        btb_mode_tagged=True,
+        rsb_underflow_uses_btb=True,
+        eibrs_periodic_scrub=True,
+    ),
+    spec_window=32,
+    ssbd_load_penalty=18,
+))
+
+ICE_LAKE_CLIENT = _register(_intel(
+    "ice_lake_client",
+    model="i5-10351G1",
+    microarchitecture="Ice Lake Client",
+    year=2019,
+    power_watts=15,
+    clock_ghz=1.0,
+    cores=4,
+    smt=True,
+    costs=CostTable(
+        syscall=21, sysret=29, swap_cr3=160,
+        verw_clear=None, verw_legacy=14,
+        indirect_base=5, ibrs_extra=0, generic_retpoline_extra=21,
+        amd_retpoline_extra=None,
+        ibpb=2500, rsb_fill=40, lfence=8,
+        load_mem=190, mispredict_penalty=15, vmexit=1500, vmenter=800,
+    ),
+    vulns=VulnerabilityFlags(meltdown=False, l1tf=False, mds=False),
+    predictor=PredictorBehavior(
+        supports_ibrs=True,
+        supports_eibrs=True,
+        btb_mode_tagged=True,
+        eibrs_blocks_kernel_prediction=True,
+        rsb_underflow_uses_btb=True,
+        eibrs_periodic_scrub=True,
+    ),
+    spec_window=40,
+    ssbd_load_penalty=22,
+))
+
+ICE_LAKE_SERVER = _register(_intel(
+    "ice_lake_server",
+    model="Xeon Gold 6354",
+    microarchitecture="Ice Lake Server",
+    year=2021,
+    power_watts=205,
+    clock_ghz=3.0,
+    cores=18,
+    smt=True,
+    costs=CostTable(
+        syscall=45, sysret=32, swap_cr3=170,
+        verw_clear=None, verw_legacy=20,
+        indirect_base=1, ibrs_extra=1, generic_retpoline_extra=50,
+        amd_retpoline_extra=None,
+        ibpb=840, rsb_fill=69, lfence=13,
+        load_mem=195, mispredict_penalty=16, vmexit=1600, vmenter=820,
+    ),
+    vulns=VulnerabilityFlags(meltdown=False, l1tf=False, mds=False),
+    predictor=PredictorBehavior(
+        supports_ibrs=True,
+        supports_eibrs=True,
+        btb_mode_tagged=True,
+        rsb_underflow_uses_btb=True,
+        eibrs_periodic_scrub=True,
+    ),
+    spec_window=44,
+    ssbd_load_penalty=24,
+))
+
+ZEN = _register(_amd(
+    "zen",
+    model="Ryzen 3 1200",
+    microarchitecture="Zen",
+    year=2017,
+    power_watts=65,
+    clock_ghz=3.1,
+    cores=4,
+    smt=False,
+    costs=CostTable(
+        syscall=63, sysret=53, swap_cr3=180,
+        verw_clear=None, verw_legacy=30,
+        indirect_base=30, ibrs_extra=None, generic_retpoline_extra=25,
+        amd_retpoline_extra=28,
+        ibpb=7400, rsb_fill=114, lfence=48,
+        load_mem=220, mispredict_penalty=18, vmexit=2200, vmenter=1050,
+    ),
+    vulns=VulnerabilityFlags(meltdown=False, l1tf=False, mds=False, lazyfp=False),
+    predictor=PredictorBehavior(supports_ibrs=False),
+    spec_window=28,
+    ssbd_load_penalty=10,
+))
+
+ZEN2 = _register(_amd(
+    "zen2",
+    model="EPYC 7452",
+    microarchitecture="Zen 2",
+    year=2019,
+    power_watts=155,
+    clock_ghz=2.35,
+    cores=32,
+    smt=True,
+    costs=CostTable(
+        syscall=53, sysret=46, swap_cr3=175,
+        verw_clear=None, verw_legacy=20,
+        indirect_base=3, ibrs_extra=13, generic_retpoline_extra=14,
+        amd_retpoline_extra=0,
+        ibpb=1100, rsb_fill=68, lfence=4,
+        load_mem=200, mispredict_penalty=17, vmexit=1700, vmenter=880,
+    ),
+    vulns=VulnerabilityFlags(meltdown=False, l1tf=False, mds=False, lazyfp=False),
+    predictor=PredictorBehavior(
+        supports_ibrs=True,
+        ibrs_blocks_all_prediction=True,
+    ),
+    spec_window=36,
+    ssbd_load_penalty=18,
+))
+
+ZEN3 = _register(_amd(
+    "zen3",
+    model="Ryzen 5 5600X",
+    microarchitecture="Zen 3",
+    year=2020,
+    power_watts=65,
+    clock_ghz=3.7,
+    cores=6,
+    smt=True,
+    costs=CostTable(
+        syscall=83, sysret=55, swap_cr3=178,
+        verw_clear=None, verw_legacy=25,
+        indirect_base=23, ibrs_extra=19, generic_retpoline_extra=13,
+        amd_retpoline_extra=18,
+        ibpb=800, rsb_fill=94, lfence=30,
+        load_mem=185, mispredict_penalty=16, vmexit=1550, vmenter=810,
+    ),
+    vulns=VulnerabilityFlags(meltdown=False, l1tf=False, mds=False, lazyfp=False),
+    predictor=PredictorBehavior(
+        supports_ibrs=True,
+        ibrs_blocks_all_prediction=True,
+        btb_opaque_index=True,
+    ),
+    spec_window=40,
+    ssbd_load_penalty=36,
+))
+
+
+#: Catalog iteration order matches the paper's tables: Intel oldest->newest,
+#: then AMD oldest->newest.
+CPU_ORDER = (
+    "broadwell",
+    "skylake_client",
+    "cascade_lake",
+    "ice_lake_client",
+    "ice_lake_server",
+    "zen",
+    "zen2",
+    "zen3",
+)
+
+
+def get_cpu(key: str) -> CPUModel:
+    """Look up a CPU model by key, raising :class:`UnknownCPUError` if absent."""
+    try:
+        return CATALOG[key]
+    except KeyError:
+        raise UnknownCPUError(key, CPU_ORDER) from None
+
+
+def all_cpus() -> Tuple[CPUModel, ...]:
+    """All catalog CPUs in the paper's presentation order."""
+    return tuple(CATALOG[key] for key in CPU_ORDER)

@@ -1,0 +1,31 @@
+"""Privilege modes of the simulated machine.
+
+The paper's experiments cross three security boundaries: user/kernel,
+JavaScript sandbox (which lives inside user mode), and guest/hypervisor.
+The hardware predictor models care about the four hardware modes below;
+the JS sandbox boundary is enforced in software by the model JIT.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Mode(enum.Enum):
+    """Hardware privilege mode."""
+
+    USER = "user"
+    KERNEL = "kernel"
+    GUEST_USER = "guest_user"
+    GUEST_KERNEL = "guest_kernel"
+
+    @property
+    def is_kernel(self) -> bool:
+        return self in (Mode.KERNEL, Mode.GUEST_KERNEL)
+
+    @property
+    def is_guest(self) -> bool:
+        return self in (Mode.GUEST_USER, Mode.GUEST_KERNEL)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

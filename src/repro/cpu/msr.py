@@ -1,0 +1,150 @@
+"""Model-specific registers relevant to transient execution mitigations.
+
+The paper's mitigations are controlled through a handful of architectural
+MSRs; we model exactly those:
+
+* ``IA32_SPEC_CTRL`` (0x48) — bit 0 is IBRS, bit 1 is STIBP, bit 2 is SSBD.
+  Writing IBRS on every kernel entry is the "original IBRS" mitigation; on
+  eIBRS parts the bit is set once at boot (paper section 5.3 / 6.2).
+* ``IA32_PRED_CMD`` (0x49) — writing bit 0 triggers an Indirect Branch
+  Prediction Barrier (IBPB), used on context switches (Table 6).
+* ``IA32_ARCH_CAPABILITIES`` (0x10A) — read-only enumeration of hardware
+  immunity (RDCL_NO for Meltdown, MDS_NO, SSB_NO, ...).  The paper notes
+  (section 4.3) that no shipping CPU sets SSB_NO.
+* ``IA32_FLUSH_CMD`` (0x10B) — writing bit 0 flushes the L1D cache, the
+  L1TF hypervisor mitigation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..errors import UnsupportedFeatureError
+
+# MSR indices (architectural values, for fidelity)
+IA32_SPEC_CTRL = 0x48
+IA32_PRED_CMD = 0x49
+IA32_ARCH_CAPABILITIES = 0x10A
+IA32_FLUSH_CMD = 0x10B
+
+# IA32_SPEC_CTRL bits
+SPEC_CTRL_IBRS = 1 << 0
+SPEC_CTRL_STIBP = 1 << 1
+SPEC_CTRL_SSBD = 1 << 2
+
+# IA32_PRED_CMD bits
+PRED_CMD_IBPB = 1 << 0
+
+# IA32_FLUSH_CMD bits
+L1D_FLUSH_BIT = 1 << 0
+
+# IA32_ARCH_CAPABILITIES bits (subset)
+ARCH_CAP_RDCL_NO = 1 << 0       # not vulnerable to Meltdown
+ARCH_CAP_IBRS_ALL = 1 << 1      # enhanced IBRS
+ARCH_CAP_SKIP_L1DFL = 1 << 3    # L1D flush not needed on VM entry
+ARCH_CAP_SSB_NO = 1 << 4        # not vulnerable to Speculative Store Bypass
+ARCH_CAP_MDS_NO = 1 << 5        # not vulnerable to MDS
+
+
+class MSRFile:
+    """The per-logical-CPU MSR state.
+
+    Side-effectful writes (IBPB, L1D flush) are delivered through callbacks
+    registered by the :class:`~repro.cpu.machine.Machine`, keeping this
+    module free of circular imports.
+    """
+
+    def __init__(
+        self,
+        supports_ibrs: bool,
+        supports_eibrs: bool,
+        supports_ssbd: bool,
+        arch_capabilities: int,
+    ) -> None:
+        self.supports_ibrs = supports_ibrs
+        self.supports_eibrs = supports_eibrs
+        self.supports_ssbd = supports_ssbd
+        self._values: Dict[int, int] = {
+            IA32_SPEC_CTRL: 0,
+            IA32_ARCH_CAPABILITIES: arch_capabilities,
+        }
+        self._on_ibpb: Optional[Callable[[], None]] = None
+        self._on_l1d_flush: Optional[Callable[[], None]] = None
+
+    # -- callback wiring ---------------------------------------------------
+
+    def on_ibpb(self, callback: Callable[[], None]) -> None:
+        """Register the action taken when software triggers an IBPB."""
+        self._on_ibpb = callback
+
+    def on_l1d_flush(self, callback: Callable[[], None]) -> None:
+        """Register the action taken when software flushes the L1D."""
+        self._on_l1d_flush = callback
+
+    # -- architectural interface -------------------------------------------
+
+    def read(self, index: int) -> int:
+        """Read an MSR; unknown MSRs read as zero (we model a subset)."""
+        return self._values.get(index, 0)
+
+    def write(self, index: int, value: int) -> None:
+        """Write an MSR, enforcing feature support and firing side effects."""
+        if index == IA32_SPEC_CTRL:
+            if value & SPEC_CTRL_IBRS and not (self.supports_ibrs or self.supports_eibrs):
+                raise UnsupportedFeatureError(
+                    "IBRS write on a CPU without IBRS support (paper Table 10 "
+                    "marks this N/A for Zen)"
+                )
+            if value & SPEC_CTRL_SSBD and not self.supports_ssbd:
+                raise UnsupportedFeatureError("SSBD not supported on this CPU")
+            self._values[index] = value
+            return
+        if index == IA32_PRED_CMD:
+            # Write-only command MSR: reads as zero, writing bit 0 fires IBPB.
+            if value & PRED_CMD_IBPB and self._on_ibpb is not None:
+                self._on_ibpb()
+            return
+        if index == IA32_FLUSH_CMD:
+            if value & L1D_FLUSH_BIT and self._on_l1d_flush is not None:
+                self._on_l1d_flush()
+            return
+        if index == IA32_ARCH_CAPABILITIES:
+            raise UnsupportedFeatureError("IA32_ARCH_CAPABILITIES is read-only")
+        self._values[index] = value
+
+    # -- convenience views used by the predictor and store buffer ----------
+
+    @property
+    def ibrs_enabled(self) -> bool:
+        return bool(self._values[IA32_SPEC_CTRL] & SPEC_CTRL_IBRS)
+
+    @property
+    def stibp_enabled(self) -> bool:
+        return bool(self._values[IA32_SPEC_CTRL] & SPEC_CTRL_STIBP)
+
+    @property
+    def ssbd_enabled(self) -> bool:
+        return bool(self._values[IA32_SPEC_CTRL] & SPEC_CTRL_SSBD)
+
+    @property
+    def eibrs_active(self) -> bool:
+        """True when the CPU has enhanced IBRS and software enabled it."""
+        return self.supports_eibrs and self.ibrs_enabled
+
+    def set_ibrs(self, enabled: bool) -> None:
+        """Helper used by kernel entry/exit paths to toggle the IBRS bit."""
+        value = self._values[IA32_SPEC_CTRL]
+        if enabled:
+            value |= SPEC_CTRL_IBRS
+        else:
+            value &= ~SPEC_CTRL_IBRS
+        self.write(IA32_SPEC_CTRL, value)
+
+    def set_ssbd(self, enabled: bool) -> None:
+        """Helper used by the scheduler when switching SSBD-opted processes."""
+        value = self._values[IA32_SPEC_CTRL]
+        if enabled:
+            value |= SPEC_CTRL_SSBD
+        else:
+            value &= ~SPEC_CTRL_SSBD
+        self.write(IA32_SPEC_CTRL, value)

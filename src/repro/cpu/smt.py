@@ -1,0 +1,58 @@
+"""SMT: two hyperthreads sharing one physical core's leaky structures.
+
+Simultaneous multithreading is the reason two of the paper's mitigations
+exist at all:
+
+* **STIBP** (Single Thread Indirect Branch Predictors) — hyperthreads
+  share the BTB, so one sibling can steer the other's indirect branches;
+  STIBP makes cross-sibling entries invisible;
+* **disabling SMT for MDS** (paper 3.3, Table 1's ``!`` row) — the
+  fill/store/load-port buffers are shared *live*, so a sibling can sample
+  a victim's data concurrently; no amount of boundary-crossing ``verw``
+  helps while both threads run, which is why the only complete fix is to
+  turn the sibling off.
+
+:class:`SMTCore` builds two :class:`~repro.cpu.machine.Machine` instances
+and aliases the physically shared structures (BTB, BHB is per-thread on
+real parts so it stays private, caches, MDS buffers).  The store buffer
+and RSB are statically partitioned per thread on the parts we model, so
+each sibling keeps its own.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import ConfigurationError
+from .machine import Machine
+from .model import CPUModel
+
+
+class SMTCore:
+    """One physical core running two hyperthreads."""
+
+    def __init__(self, cpu: CPUModel, seed: int = 0) -> None:
+        if not cpu.smt:
+            raise ConfigurationError(
+                f"{cpu.key} has no SMT (Table 2: the Ryzen 3 1200 is the "
+                "only part without hyperthreads)")
+        self.cpu = cpu
+        self.thread0 = Machine(cpu, seed=seed)
+        self.thread1 = Machine(cpu, seed=seed + 1)
+        self.thread1.thread_id = 1
+        # Physically shared structures: alias thread1's onto thread0's.
+        self.thread1.btb = self.thread0.btb
+        self.thread1.caches = self.thread0.caches
+        self.thread1.mds_buffers = self.thread0.mds_buffers
+        # (RSB and store buffer are statically partitioned: kept private.)
+
+    @property
+    def threads(self) -> Tuple[Machine, Machine]:
+        return (self.thread0, self.thread1)
+
+    def sibling_of(self, machine: Machine) -> Machine:
+        if machine is self.thread0:
+            return self.thread1
+        if machine is self.thread1:
+            return self.thread0
+        raise ValueError("machine does not belong to this core")

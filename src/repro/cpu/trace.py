@@ -1,0 +1,101 @@
+"""Execution tracing: see where a workload's cycles actually go.
+
+Attach an :class:`ExecutionTrace` to a machine and every executed
+instruction — committed and transient — is tallied.  Useful for
+debugging workload models ("why is this op so expensive?"), for
+verifying mitigation placement ("how many verw per op?"), and in tests
+that assert *what executed*, not just what it cost.
+
+Usage::
+
+    trace = ExecutionTrace()
+    with trace.attach(machine):
+        kernel.syscall(GETPID)
+    print(trace.report())
+    assert trace.count(Op.VERW) == 1
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .isa import Instruction, Op
+from .machine import Machine
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-op instruction and cycle tallies for one attachment window."""
+
+    committed_counts: Dict[Op, int] = field(default_factory=dict)
+    committed_cycles: Dict[Op, int] = field(default_factory=dict)
+    transient_counts: Dict[Op, int] = field(default_factory=dict)
+
+    # -- collection --------------------------------------------------------- #
+
+    def __call__(self, instr: Instruction, cycles: int,
+                 transient: bool) -> None:
+        op = instr.op
+        if transient:
+            self.transient_counts[op] = self.transient_counts.get(op, 0) + 1
+        else:
+            self.committed_counts[op] = self.committed_counts.get(op, 0) + 1
+            self.committed_cycles[op] = \
+                self.committed_cycles.get(op, 0) + cycles
+
+    @contextmanager
+    def attach(self, machine: Machine) -> Iterator["ExecutionTrace"]:
+        """Install this trace on ``machine`` for the ``with`` body."""
+        previous = machine.tracer
+        machine.tracer = self
+        try:
+            yield self
+        finally:
+            machine.tracer = previous
+
+    # -- queries ----------------------------------------------------------------- #
+
+    def count(self, op: Op, transient: bool = False) -> int:
+        source = self.transient_counts if transient else self.committed_counts
+        return source.get(op, 0)
+
+    def cycles(self, op: Op) -> int:
+        return self.committed_cycles.get(op, 0)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.committed_counts.values())
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.committed_cycles.values())
+
+    def top_costs(self, n: int = 5) -> List[Tuple[Op, int]]:
+        """The ops where the cycles went, most expensive first."""
+        ranked = sorted(self.committed_cycles.items(),
+                        key=lambda pair: pair[1], reverse=True)
+        return ranked[:n]
+
+    def reset(self) -> None:
+        self.committed_counts.clear()
+        self.committed_cycles.clear()
+        self.transient_counts.clear()
+
+    def report(self) -> str:
+        """Aligned text breakdown (committed ops by cycle share)."""
+        lines = [f"{self.total_instructions} instructions, "
+                 f"{self.total_cycles} cycles"]
+        for op, cycles in self.top_costs(n=len(self.committed_cycles)):
+            share = 100.0 * cycles / self.total_cycles if self.total_cycles \
+                else 0.0
+            lines.append(f"  {op.value:16s} x{self.committed_counts[op]:<6d} "
+                         f"{cycles:>9d} cycles ({share:4.1f}%)")
+        if self.transient_counts:
+            transient = ", ".join(
+                f"{op.value} x{count}"
+                for op, count in sorted(self.transient_counts.items(),
+                                        key=lambda p: p[0].value))
+            lines.append(f"  transient: {transient}")
+        return "\n".join(lines) + "\n"

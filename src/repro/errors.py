@@ -1,0 +1,57 @@
+"""Exception hierarchy for the spectresim reproduction library.
+
+All library-raised exceptions derive from :class:`SpectreSimError` so callers
+can catch everything from this package with a single except clause.
+"""
+
+from __future__ import annotations
+
+
+class SpectreSimError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UnknownCPUError(SpectreSimError, KeyError):
+    """Raised when a CPU key is not present in the catalog."""
+
+    def __init__(self, key: str, known: tuple) -> None:
+        super().__init__(f"unknown CPU {key!r}; known CPUs: {', '.join(known)}")
+        self.key = key
+        self.known = known
+
+
+class UnsupportedFeatureError(SpectreSimError):
+    """Raised when a CPU is asked to use a feature it does not implement.
+
+    For example enabling IBRS on the original Zen, which has no IBRS
+    support (Table 10 in the paper marks it N/A).
+    """
+
+
+class ConfigurationError(SpectreSimError):
+    """Raised for invalid or inconsistent mitigation configurations."""
+
+
+class SegmentationFault(SpectreSimError):
+    """Raised when simulated code architecturally accesses memory it must not.
+
+    Transient (speculative) accesses never raise; they are squashed.  Only
+    committed accesses to unmapped or privileged memory raise this error,
+    mirroring a hardware fault delivered to the OS.
+    """
+
+    def __init__(self, address: int, mode: str) -> None:
+        super().__init__(f"fault at address {address:#x} in mode {mode}")
+        self.address = address
+        self.mode = mode
+
+
+class WorkloadError(SpectreSimError):
+    """Raised when a workload definition is malformed or cannot run."""
+
+
+class StatisticsError(SpectreSimError):
+    """Raised when a measurement cannot produce a valid statistic.
+
+    For example requesting a confidence interval from zero samples.
+    """

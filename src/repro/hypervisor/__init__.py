@@ -1,0 +1,32 @@
+"""Hypervisor substrate: VM exits, the L1TF flush, and an emulated disk.
+
+Supports the paper's two section-4.4 experiments: LEBench inside a VM
+(host mitigations nearly invisible) and LFS against an emulated disk
+(tens-of-kHz exit rates keep per-exit mitigation work under 2% end to
+end).
+"""
+
+from .disk import (
+    BLOCK_SIZE,
+    DiskStats,
+    EmulatedDisk,
+    FLUSH_HANDLER_CYCLES,
+    KICK_HANDLER_CYCLES,
+    PER_REQUEST_CYCLES,
+    READ_HANDLER_CYCLES,
+)
+from .vm import EXIT_DISPATCH_CYCLES, ExitStats, GuestContext, Hypervisor
+
+__all__ = [
+    "BLOCK_SIZE",
+    "DiskStats",
+    "EXIT_DISPATCH_CYCLES",
+    "EmulatedDisk",
+    "ExitStats",
+    "FLUSH_HANDLER_CYCLES",
+    "GuestContext",
+    "Hypervisor",
+    "KICK_HANDLER_CYCLES",
+    "PER_REQUEST_CYCLES",
+    "READ_HANDLER_CYCLES",
+]

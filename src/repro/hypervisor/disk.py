@@ -1,0 +1,96 @@
+"""Emulated virtio-style disk behind the hypervisor boundary.
+
+Guest I/O reaches the host device model through queue kicks — this is the
+"every access to the emulated disk requires running code within the
+hypervisor" workload of paper section 4.4, driven by the LFS benchmarks.
+
+Like real virtio, submissions are *batched*: writes queue in the guest's
+ring and a single kick (one VM exit) submits everything pending.  Flushes
+(fsync) force a kick and are the heavyweight handler that taints the host
+L1 (so the conditional L1TF flush fires there, not on the fast path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .vm import GuestContext
+
+#: Host device-model work (cycles): ring processing, request validation,
+#: backing-store copy.  Per-kick base plus per-request increment.
+KICK_HANDLER_CYCLES = 6000
+PER_REQUEST_CYCLES = 3000
+FLUSH_HANDLER_CYCLES = 14000
+READ_HANDLER_CYCLES = 9000
+
+BLOCK_SIZE = 4096
+
+
+@dataclass
+class DiskStats:
+    reads: int = 0
+    writes: int = 0
+    flushes: int = 0
+    kicks: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes + self.flushes
+
+
+class EmulatedDisk:
+    """A block device with a batched submission ring."""
+
+    def __init__(self, guest: GuestContext, capacity_blocks: int = 1 << 20) -> None:
+        self.guest = guest
+        self.capacity_blocks = capacity_blocks
+        self.stats = DiskStats()
+        self._blocks: Dict[int, int] = {}  # block -> write generation
+        self._ring: List[int] = []
+
+    def _check(self, block: int) -> None:
+        if not 0 <= block < self.capacity_blocks:
+            raise ValueError(f"block {block} out of range")
+
+    # -- submission path --------------------------------------------------- #
+
+    def queue_write(self, block: int) -> None:
+        """Queue one block write in the ring (no exit yet)."""
+        self._check(block)
+        self._ring.append(block)
+
+    def kick(self) -> int:
+        """Submit everything queued: one VM exit; returns cycles."""
+        if not self._ring:
+            return 0
+        handler = KICK_HANDLER_CYCLES + PER_REQUEST_CYCLES * len(self._ring)
+        for block in self._ring:
+            self._blocks[block] = self._blocks.get(block, 0) + 1
+            self.stats.writes += 1
+        self._ring.clear()
+        self.stats.kicks += 1
+        return self.guest.hypercall(handler)
+
+    def write_block(self, block: int) -> int:
+        """Unbatched write: queue + immediate kick (one exit)."""
+        self.queue_write(block)
+        return self.kick()
+
+    def read_block(self, block: int) -> int:
+        """Synchronous read (one exit); returns cycles."""
+        self._check(block)
+        self.stats.reads += 1
+        return self.guest.hypercall(READ_HANDLER_CYCLES)
+
+    def flush(self) -> int:
+        """Barrier/fsync: submit pending writes and drain to stable
+        storage.  The heavyweight path that taints the host L1."""
+        cycles = self.kick()
+        self.stats.flushes += 1
+        cycles += self.guest.hypercall(FLUSH_HANDLER_CYCLES, taints_l1=True)
+        return cycles
+
+    @property
+    def pending(self) -> int:
+        return len(self._ring)

@@ -1,0 +1,116 @@
+"""Hypervisor and guest VM model (paper section 4.4).
+
+The guest/hypervisor boundary differs from the syscall boundary in *rate*,
+not kind: a VM exit costs far more than a syscall, but the paper's VM
+workloads only reach tens of thousands of exits per second (vs millions of
+syscalls), so host-side mitigation work per exit — the L1TF flush before
+re-entry, conditional IBPB — stays invisible end to end.  That rate
+argument is what this model reproduces.
+
+The guest runs its own :class:`~repro.kernel.kernel.Kernel` (with its own
+mitigation config) in the guest privilege modes; the host applies its
+mitigation work around each exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cpu import isa
+from ..cpu.machine import Machine
+from ..cpu.modes import Mode
+from ..kernel import HandlerProfile, Kernel
+from ..mitigations.base import MitigationConfig
+from ..mitigations.l1tf import l1d_flush_sequence
+from ..mitigations.spectre_v2 import ibpb_sequence
+
+#: Host-side work to decode and dispatch one exit (VMCS read, reason
+#: decode, KVM handler dispatch) — before any emulation work.
+EXIT_DISPATCH_CYCLES = 1200
+
+
+@dataclass
+class ExitStats:
+    """Bookkeeping for exit-rate reporting (the crux of section 4.4)."""
+
+    exits: int = 0
+    guest_cycles: int = 0
+    host_cycles: int = 0
+
+
+class Hypervisor:
+    """A host kernel running one guest."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        host_config: MitigationConfig,
+        guest_config: Optional[MitigationConfig] = None,
+    ) -> None:
+        self.machine = machine
+        self.host_config = host_config
+        # The host kernel exists for completeness (host syscalls, context
+        # switches for the VMM thread); exits use the sequences below.
+        self.host_kernel = Kernel(machine, host_config)
+        self.stats = ExitStats()
+        self._guest_config = guest_config or MitigationConfig.all_off()
+
+    def create_guest(self) -> "GuestContext":
+        return GuestContext(self, self._guest_config)
+
+    # -- the exit/entry mitigation paths --------------------------------- #
+
+    def vm_exit(self, handler_cycles: int, taints_l1: bool = False) -> int:
+        """One guest->host->guest round trip; returns host-side cycles.
+
+        ``handler_cycles`` is the emulation work (device model, etc.).
+        ``taints_l1`` marks handlers that pull sensitive host data into the
+        L1: KVM's default L1TF policy is the *conditional* flush
+        (``l1tf=flush,cond``), which only flushes before re-entry after
+        such handlers — fast-path exits (IRQ injection, ring kicks) skip
+        it.  This conditionality is why the paper's VM workloads show no
+        measurable L1TF cost (section 5.6).
+        """
+        machine = self.machine
+        cycles = machine.execute(isa.vmexit())
+        cycles += machine.execute(isa.work(EXIT_DISPATCH_CYCLES))
+        if handler_cycles:
+            cycles += machine.execute(isa.work(handler_cycles))
+        if self.host_config.mds_verw:
+            # MDS: clear buffers before handing the core back to the guest.
+            cycles += machine.run([isa.verw()])
+        if self.host_config.l1d_flush_on_vmentry and taints_l1:
+            cycles += machine.run(l1d_flush_sequence())
+        cycles += machine.execute(isa.vmenter())
+        self.stats.exits += 1
+        self.stats.host_cycles += cycles
+        return cycles
+
+
+class GuestContext:
+    """A guest OS instance: its own kernel, running in guest modes."""
+
+    def __init__(self, hypervisor: Hypervisor, guest_config: MitigationConfig) -> None:
+        self.hypervisor = hypervisor
+        self.machine = hypervisor.machine
+        # Build the guest kernel while the machine is in guest-user mode so
+        # the guest's syscalls transition within guest modes.
+        self._saved_mode = self.machine.mode
+        self.machine.mode = Mode.GUEST_USER
+        self.kernel = Kernel(self.machine, guest_config)
+        self.machine.mode = self._saved_mode
+
+    def syscall(self, profile: HandlerProfile) -> int:
+        """A guest-internal syscall: no VM exit involved."""
+        machine = self.machine
+        saved = machine.mode
+        machine.mode = Mode.GUEST_USER
+        cycles = self.kernel.syscall(profile)
+        self.hypervisor.stats.guest_cycles += cycles
+        machine.mode = saved
+        return cycles
+
+    def hypercall(self, handler_cycles: int, taints_l1: bool = False) -> int:
+        """Guest action requiring host service (I/O, MSR, ...)."""
+        return self.hypervisor.vm_exit(handler_cycles, taints_l1=taints_l1)

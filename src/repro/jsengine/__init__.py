@@ -1,0 +1,63 @@
+"""Model JavaScript engine: JIT hardening, sandbox boundary, Octane suite.
+
+The browser-boundary substrate for the paper's Figure 3 experiment and the
+sandbox-escape demonstrations.
+"""
+
+from .jit import JITCompiler, OpMix
+from .octane import (
+    OctaneRunner,
+    OctaneWorkload,
+    SUITE,
+    WORKLOAD_NAMES,
+    get_workload,
+    run_suite,
+    suite_score,
+)
+from .runtime import JSArray, JSObject, Realm, Shape
+from .sandbox import (
+    ClampedClock,
+    attempt_sandbox_oob_read,
+    attempt_type_confusion,
+    can_distinguish_cache_hit,
+    new_realm,
+)
+from .site_isolation import Browser, PROCESS_PER_SITE, SHARED_RENDERER
+from .slh import SLHCompiler
+from .wasm import (
+    WasmCompiler,
+    WasmModule,
+    attempt_wasm_indirect_escape,
+    attempt_wasm_sandbox_escape,
+    instantiate,
+)
+
+__all__ = [
+    "Browser",
+    "ClampedClock",
+    "JITCompiler",
+    "JSArray",
+    "JSObject",
+    "OctaneRunner",
+    "OctaneWorkload",
+    "OpMix",
+    "PROCESS_PER_SITE",
+    "Realm",
+    "SHARED_RENDERER",
+    "SLHCompiler",
+    "SUITE",
+    "Shape",
+    "WORKLOAD_NAMES",
+    "WasmCompiler",
+    "WasmModule",
+    "attempt_sandbox_oob_read",
+    "attempt_type_confusion",
+    "attempt_wasm_indirect_escape",
+    "attempt_wasm_sandbox_escape",
+    "can_distinguish_cache_hit",
+    "get_workload",
+    "instantiate",
+    "new_realm",
+    "run_suite",
+    "suite_score",
+]

@@ -1,0 +1,96 @@
+"""Minimal JavaScript runtime object model.
+
+Just enough of a JS engine's data model to make the Spectre surfaces the
+paper discusses (section 5.4) mechanically real:
+
+* :class:`JSArray` — length-checked element access; *speculative* access
+  can run with an out-of-bounds index unless index masking clamps it;
+* :class:`JSObject` — shape-guarded field access; *speculative* access can
+  run type-confused (reading a field of the wrong shape) unless the
+  object guard zeroes the object pointer;
+* the heap layout places every sandbox's objects in a disjoint region, so
+  an out-of-bounds read reaching another region is an observable sandbox
+  escape in the demos.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Each sandbox realm gets a 256 MiB heap slice.
+REALM_HEAP_BYTES = 256 << 20
+HEAP_BASE = 0x3000_0000_0000
+
+_shape_counter = itertools.count(1)
+
+
+@dataclass
+class Shape:
+    """A hidden class: field name -> slot offset (bytes)."""
+
+    fields: Dict[str, int]
+    shape_id: int = field(default_factory=lambda: next(_shape_counter))
+
+    @classmethod
+    def of(cls, *names: str) -> "Shape":
+        return cls({name: 8 * i for i, name in enumerate(names)})
+
+
+@dataclass
+class JSObject:
+    """A shaped object at a heap address."""
+
+    shape: Shape
+    address: int
+    values: Dict[str, int] = field(default_factory=dict)
+
+    def slot_address(self, name: str) -> int:
+        return self.address + self.shape.fields[name]
+
+
+@dataclass
+class JSArray:
+    """A dense array with an inline length."""
+
+    address: int
+    length: int
+
+    def element_address(self, index: int) -> int:
+        """Address of ``elements[index]`` — no bounds check (caller's job,
+        exactly like JIT-generated code before hardening)."""
+        return self.address + 8 * index
+
+    def in_bounds(self, index: int) -> bool:
+        return 0 <= index < self.length
+
+    def masked_index(self, index: int) -> int:
+        """SpiderMonkey's index masking: out-of-range indices become 0."""
+        return index if self.in_bounds(index) else 0
+
+
+class Realm:
+    """One sandbox execution context with a private heap slice."""
+
+    def __init__(self, realm_id: int, name: str = "") -> None:
+        self.realm_id = realm_id
+        self.name = name or f"realm-{realm_id}"
+        self.heap_base = HEAP_BASE + realm_id * REALM_HEAP_BYTES
+        self._bump = 0x1000
+
+    def _allocate(self, size: int) -> int:
+        address = self.heap_base + self._bump
+        self._bump += (size + 63) & ~63  # line-align allocations
+        return address
+
+    def new_array(self, length: int) -> JSArray:
+        return JSArray(address=self._allocate(8 * length + 16), length=length)
+
+    def new_object(self, shape: Shape, **values: int) -> JSObject:
+        obj = JSObject(shape=shape, address=self._allocate(8 * len(shape.fields)))
+        obj.values.update(values)
+        return obj
+
+    def owns(self, address: int) -> bool:
+        return self.heap_base <= address < self.heap_base + REALM_HEAP_BYTES

@@ -1,0 +1,136 @@
+"""The JS sandbox boundary: realms, timer clamping, and escape demos.
+
+The browser boundary the paper measures is the isolation between
+JavaScript execution contexts.  This module makes the boundary and the
+attacks against it mechanical:
+
+* :func:`attempt_sandbox_oob_read` — Spectre V1 across realms: a
+  speculative out-of-bounds array read reaching another realm's heap,
+  defeated by index masking;
+* :func:`attempt_type_confusion` — speculative shape confusion turning a
+  float field into a pointer read, defeated by object guards;
+* :class:`ClampedClock` — the reduced-precision timer (Firefox clamps
+  ``performance.now``); :func:`can_distinguish_cache_hit` shows the cache
+  covert channel dropping below the clamped resolution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..cpu import isa
+from ..cpu.machine import Machine
+from .runtime import JSArray, JSObject, Realm, Shape
+
+_realm_counter = itertools.count(1)
+
+
+def new_realm(name: str = "") -> Realm:
+    return Realm(next(_realm_counter), name)
+
+
+# --------------------------------------------------------------------------- #
+# Spectre V1 across the sandbox boundary
+# --------------------------------------------------------------------------- #
+
+def attempt_sandbox_oob_read(
+    machine: Machine,
+    attacker: Realm,
+    victim: Realm,
+    index_masking: bool,
+) -> bool:
+    """Speculative OOB array read from ``attacker`` into ``victim``'s heap.
+
+    Returns True when the attacker's probe observed a cache line inside
+    the victim realm (i.e. the sandbox leaked).  Index masking clamps the
+    speculative index to 0, keeping the access inside the attacker realm.
+    """
+    array = attacker.new_array(length=16)
+    # Choose an OOB index that lands inside the victim realm's heap.
+    target = victim.heap_base + 0x2000
+    oob_index = (target - array.address) // 8
+
+    effective = array.masked_index(oob_index) if index_masking else oob_index
+    address = array.element_address(effective)
+    if index_masking:
+        # The JIT emitted the cmov; the dependent load uses the clamped
+        # index even speculatively (that is the point of using a data
+        # dependency instead of a branch).
+        machine.speculate([isa.cmov(), isa.load(address)])
+    else:
+        machine.speculate([isa.load(address)])
+    return victim.owns(address) and machine.caches.probe_l1(address)
+
+
+# --------------------------------------------------------------------------- #
+# Speculative type confusion
+# --------------------------------------------------------------------------- #
+
+def attempt_type_confusion(
+    machine: Machine,
+    realm: Realm,
+    object_guards: bool,
+) -> bool:
+    """Speculatively read a field through the *wrong* shape.
+
+    Models the Kirzner & Morrison attack pattern the paper cites: a type
+    check mispredicts and a float-typed slot is dereferenced as a pointer.
+    The object guard's cmov nulls the object pointer on the speculative
+    path, so the dereference never issues.  Returns True on leak.
+    """
+    secret_pointer = realm.heap_base + 0x4_0000
+    confused = realm.new_object(Shape.of("f64_payload"), f64_payload=secret_pointer)
+
+    machine.caches.flush_line(secret_pointer)
+    if object_guards:
+        # Guard fails -> object pointer zeroed -> no dependent dereference.
+        machine.speculate([isa.cmov()])
+    else:
+        machine.speculate([
+            isa.load(confused.slot_address("f64_payload")),
+            isa.load(secret_pointer),  # dereference of the confused value
+        ])
+    return machine.caches.probe_l1(secret_pointer)
+
+
+# --------------------------------------------------------------------------- #
+# Timer precision clamping
+# --------------------------------------------------------------------------- #
+
+class ClampedClock:
+    """``performance.now`` with mitigated resolution.
+
+    Firefox reduced timer precision as part of its Spectre response
+    (paper section 2).  ``resolution_cycles`` is the quantum; reads round
+    down to it.
+    """
+
+    def __init__(self, machine: Machine, resolution_cycles: int) -> None:
+        if resolution_cycles < 1:
+            raise ValueError("resolution must be >= 1 cycle")
+        self.machine = machine
+        self.resolution_cycles = resolution_cycles
+
+    def now(self) -> int:
+        tsc = self.machine.read_tsc()
+        return tsc - (tsc % self.resolution_cycles)
+
+
+def can_distinguish_cache_hit(machine: Machine, clock: ClampedClock,
+                              address: int = 0x6000_0000) -> bool:
+    """Can this clock tell a cache hit from a miss at ``address``?
+
+    The attacker's measurement: time a miss, then time a hit, compare.
+    With a clamped clock both measurements round to the same quantum and
+    the covert channel's receive side goes blind.
+    """
+    machine.caches.flush_line(address)
+    start = clock.now()
+    machine.execute(isa.load(address))  # miss
+    miss_time = clock.now() - start
+
+    start = clock.now()
+    machine.execute(isa.load(address))  # hit
+    hit_time = clock.now() - start
+    return miss_time > hit_time

@@ -1,0 +1,113 @@
+"""Site Isolation: process-per-site as a Spectre defence (paper section 2).
+
+Chrome's (and, for WASM, Firefox's) answer to in-process Spectre: if each
+site lives in its own OS process, a renderer compromise-by-speculation
+can only read data that was *already* that site's.  The defence is
+structural — no speculative read can reach another address space — but it
+is not free: more processes mean more context switches, and under the
+conditional IBPB/SSBD policies the sandboxed renderer processes are
+exactly the ones that opted in.
+
+:class:`Browser` allocates renderer processes per site under either
+policy and exposes the two quantities of interest: whether a
+cross-site speculative read is possible at all, and what the process
+model costs on a tab-switching workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..cpu import isa
+from ..cpu.machine import Machine
+from ..kernel import Kernel, Process
+from ..mitigations.base import MitigationConfig
+from .runtime import Realm
+from .sandbox import attempt_sandbox_oob_read
+
+PROCESS_PER_SITE = "process_per_site"
+SHARED_RENDERER = "shared_renderer"
+
+
+@dataclass
+class Site:
+    """One origin: its realm, and the renderer process hosting it."""
+
+    origin: str
+    realm: Realm
+    process: Process
+
+
+class Browser:
+    """A browser's renderer-process allocation under one isolation policy."""
+
+    def __init__(self, kernel: Kernel, policy: str = PROCESS_PER_SITE) -> None:
+        if policy not in (PROCESS_PER_SITE, SHARED_RENDERER):
+            raise ValueError(f"unknown isolation policy {policy!r}")
+        self.kernel = kernel
+        self.policy = policy
+        self.sites: Dict[str, Site] = {}
+        self._realm_counter = 0
+        self._shared_process: Optional[Process] = None
+
+    def _new_realm(self) -> Realm:
+        self._realm_counter += 1
+        return Realm(self._realm_counter)
+
+    def open_site(self, origin: str) -> Site:
+        """Navigate to a site, allocating per the isolation policy."""
+        if origin in self.sites:
+            return self.sites[origin]
+        if self.policy == PROCESS_PER_SITE:
+            process = Process(f"renderer-{origin}", uses_fpu=True,
+                              uses_seccomp=True)
+        else:
+            if self._shared_process is None:
+                self._shared_process = Process("renderer-shared",
+                                               uses_fpu=True,
+                                               uses_seccomp=True)
+            process = self._shared_process
+        site = Site(origin=origin, realm=self._new_realm(), process=process)
+        self.sites[origin] = site
+        return site
+
+    # -- the security property ------------------------------------------- #
+
+    def cross_site_speculative_read_possible(
+        self, attacker_origin: str, victim_origin: str,
+        index_masking: bool = False,
+    ) -> bool:
+        """Can the attacker site speculatively read the victim site's data?
+
+        With a shared renderer both realms share an address space: the V1
+        OOB read works unless the JIT's index masking stops it.  With
+        process-per-site the victim's heap simply isn't mapped — the read
+        cannot reach it no matter what the predictor does.
+        """
+        attacker = self.sites[attacker_origin]
+        victim = self.sites[victim_origin]
+        if attacker.process is not victim.process:
+            return False  # different address spaces: structurally immune
+        return attempt_sandbox_oob_read(
+            self.kernel.machine, attacker.realm, victim.realm,
+            index_masking=index_masking)
+
+    # -- the cost ----------------------------------------------------------- #
+
+    def tab_switch_cost(self, origin_sequence: List[str],
+                        render_cycles: int = 15_000) -> int:
+        """Cycles to render the given sequence of tab activations.
+
+        Process-per-site pays a context switch (with its IBPB — renderers
+        use seccomp, so the conditional policy fires) on every cross-site
+        activation; the shared renderer never switches.
+        """
+        machine = self.kernel.machine
+        total = 0
+        for origin in origin_sequence:
+            site = self.open_site(origin)
+            if self.kernel.current_process is not site.process:
+                total += self.kernel.context_switch(site.process)
+            total += machine.execute(isa.work(render_cycles))
+        return total

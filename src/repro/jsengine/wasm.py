@@ -1,0 +1,149 @@
+"""WebAssembly sandboxing and Swivel-style hardening (paper section 2).
+
+The paper's related work situates two WASM defence strategies:
+
+* "Swivel is a compiler framework which hardens WASM bytecode against
+  attack" — deterministic sandboxing: every linear-memory access is
+  masked into the sandbox region with a data dependency (so even
+  speculative accesses stay inside), and indirect calls are pinned to
+  known-safe targets so a poisoned BTB cannot steer execution out of the
+  module;
+* "Firefox's and Chrome's WASM engines rely on Site Isolation" — modelled
+  in :mod:`repro.jsengine.site_isolation`.
+
+This module builds the minimal mechanistic version: a :class:`WasmModule`
+with a contiguous linear memory, a compiler that emits either *raw*
+(bounds checked architecturally but speculatively escapable) or
+*hardened* (Swivel-style masked) access code, and the sandbox-escape
+demonstrations each strategy does or doesn't stop.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import Machine
+
+#: Linear memories are placed 8 GiB apart; a sandbox is at most 4 GiB,
+#: so a masked access can never reach a neighbour.
+WASM_REGION_BASE = 0x6000_0000_0000
+WASM_REGION_STRIDE = 8 << 30
+
+_module_counter = itertools.count(0)
+
+
+@dataclass
+class WasmModule:
+    """One instantiated module: linear memory plus an indirect-call table."""
+
+    memory_bytes: int
+    module_id: int
+
+    @property
+    def memory_base(self) -> int:
+        return WASM_REGION_BASE + self.module_id * WASM_REGION_STRIDE
+
+    def address_of(self, offset: int) -> int:
+        """Unchecked effective address (what raw JIT output computes)."""
+        return self.memory_base + offset
+
+    def masked_offset(self, offset: int) -> int:
+        """Swivel-style masking: offsets are wrapped into the memory with
+        a data dependency, so the property holds even speculatively."""
+        return offset % self.memory_bytes
+
+    def contains(self, address: int) -> bool:
+        return self.memory_base <= address < self.memory_base + self.memory_bytes
+
+
+def instantiate(memory_bytes: int = 1 << 20) -> WasmModule:
+    return WasmModule(memory_bytes=memory_bytes,
+                      module_id=next(_module_counter))
+
+
+class WasmCompiler:
+    """Lowers linear-memory accesses with or without Swivel hardening."""
+
+    #: Extra cycles per hardened access: the mask's dependent ALU op.
+    MASK_COST = 1
+
+    def __init__(self, machine: Machine, hardened: bool) -> None:
+        self.machine = machine
+        self.hardened = hardened
+
+    def load(self, module: WasmModule, offset: int) -> List[Instruction]:
+        """Code for ``memory[offset]``.
+
+        Raw mode emits the bounds *check* (a conditional branch — exactly
+        the Spectre V1 shape) followed by the unclamped access; hardened
+        mode emits the mask, whose result is in bounds by construction.
+        """
+        if self.hardened:
+            effective = module.masked_offset(offset)
+            return [
+                isa.Instruction(isa.Op.ALU),      # the mask op
+                isa.load(module.address_of(effective)),
+            ]
+        return [
+            isa.branch_cond(pc=0x49_0000),        # the bypassable check
+            isa.load(module.address_of(offset)),
+        ]
+
+    def access_cost(self, module: WasmModule, offset: int) -> int:
+        """Committed cycles for one in-bounds access under this mode."""
+        return self.machine.run(self.load(module, offset % module.memory_bytes))
+
+
+def attempt_wasm_sandbox_escape(
+    machine: Machine,
+    attacker: WasmModule,
+    victim: WasmModule,
+    hardened: bool,
+) -> bool:
+    """Spectre V1 out of a WASM sandbox.
+
+    The attacker module speculatively reads past its linear memory into
+    the *victim* module's region (the bounds check mispredicts).  Swivel's
+    masking keeps even the speculative access inside the attacker's own
+    memory.  Returns True when a victim-region line was touched.
+    """
+    secret_offset = 0x4000
+    target = victim.memory_base + secret_offset
+    oob_offset = target - attacker.memory_base
+
+    compiler = WasmCompiler(machine, hardened=hardened)
+    machine.caches.flush_line(target)
+    # The mispredicted-bounds-check path runs the access transiently.
+    machine.speculate(compiler.load(attacker, oob_offset))
+    return victim.contains(target) and machine.caches.probe_l1(target)
+
+
+def attempt_wasm_indirect_escape(
+    machine: Machine,
+    module: WasmModule,
+    hardened: bool,
+) -> bool:
+    """Spectre V2 out of a WASM sandbox: poison the BTB so the module's
+    ``call_indirect`` transiently jumps to host code outside the table.
+    Swivel pins indirect calls (modelled as retpoline-equivalent: no BTB
+    consumption), so the poisoned entry is never used.  Returns True when
+    host-gadget execution was observed."""
+    host_gadget = 0x4A_2000
+    leak_line = 0x7700_0000_0000
+    table_entry = 0x4A_3000
+    call_site = 0x4A_1000
+
+    machine.register_code(host_gadget, [isa.load(leak_line)])
+    machine.register_code(table_entry, [isa.nop()])
+    machine.caches.flush_line(leak_line)
+
+    # Attacker phase: train the call site toward the host gadget.
+    machine.execute(isa.call_indirect(host_gadget, pc=call_site))
+    # Victim phase: the module's legitimate table call from the same site.
+    machine.execute(isa.call_indirect(table_entry, pc=call_site,
+                                      retpoline=hardened))
+    return machine.caches.probe_l1(leak_line)

@@ -1,0 +1,53 @@
+"""Model OS kernel: processes, scheduler, entry/exit paths, syscalls.
+
+The kernel is the substrate for every OS-boundary experiment in the paper
+(LEBench, the VM workloads' host side, and the always-on mitigations the
+PARSEC experiment isolates).
+"""
+
+from .ebpf import (
+    BPFJit,
+    BPFMap,
+    BPFProgram,
+    Verifier,
+    VerifierPolicy,
+)
+from .entry import build_entry_sequence, build_exit_sequence
+from .interrupts import (
+    DEVICE_VECTOR,
+    InterruptController,
+    TIMER_VECTOR,
+    TaskState,
+    TimesliceScheduler,
+)
+from .kernel import EXCEPTION_EXTRA_CYCLES, Kernel
+from .memory import MemoryManager, PageTableView, VMA
+from .process import AddressSpace, Process
+from .scheduler import SCHEDULER_WORK_CYCLES, Scheduler
+from .syscalls import GETPID, HandlerProfile
+
+__all__ = [
+    "AddressSpace",
+    "BPFJit",
+    "BPFMap",
+    "BPFProgram",
+    "DEVICE_VECTOR",
+    "EXCEPTION_EXTRA_CYCLES",
+    "GETPID",
+    "HandlerProfile",
+    "InterruptController",
+    "Kernel",
+    "MemoryManager",
+    "PageTableView",
+    "Process",
+    "SCHEDULER_WORK_CYCLES",
+    "Scheduler",
+    "TIMER_VECTOR",
+    "TaskState",
+    "TimesliceScheduler",
+    "VMA",
+    "Verifier",
+    "VerifierPolicy",
+    "build_entry_sequence",
+    "build_exit_sequence",
+]

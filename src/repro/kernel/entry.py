@@ -1,0 +1,60 @@
+"""Kernel entry and exit paths: where boundary-crossing mitigations live.
+
+Almost every mitigation the paper prices executes on these two paths
+(section 4: "mitigations ... usually involve doing extra work for each
+boundary crossing").  The sequences below splice the configured work into
+the architectural entry/exit skeleton:
+
+entry:  ``syscall`` -> ``swapgs`` -> [lfence, V1] -> [cr3 swap, PTI]
+        -> [SPEC_CTRL write, legacy IBRS]
+exit:   [verw, MDS] -> [SPEC_CTRL write, legacy IBRS] -> [cr3 swap, PTI]
+        -> ``swapgs`` -> ``sysret``
+
+The eIBRS bimodal entry cost (section 6.2.2) is charged by the machine
+itself inside the ``syscall`` instruction, because it is hardware
+behaviour, not kernel code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..mitigations.base import MitigationConfig
+from ..mitigations.meltdown import kpti_entry_sequence, kpti_exit_sequence
+from ..mitigations.spectre_v1 import lfence_after_swapgs_sequence
+from ..mitigations.spectre_v2 import ibrs_entry_sequence, ibrs_exit_sequence
+from ..mitigations.mds import verw_sequence
+
+
+def build_entry_sequence(config: MitigationConfig,
+                         interrupt: bool = False) -> List[Instruction]:
+    """The user->kernel crossing under ``config``.
+
+    ``interrupt`` marks exception/interrupt entries (page faults, timer):
+    same mitigation work, but the hardware event costs more than
+    ``syscall`` — the extra is charged by the caller.
+    """
+    seq: List[Instruction] = [isa.syscall_instr(), isa.swapgs()]
+    if config.v1_lfence_swapgs:
+        seq.extend(lfence_after_swapgs_sequence())
+    if config.pti:
+        seq.extend(kpti_entry_sequence())
+    if config.uses_ibrs_entry_write:
+        seq.extend(ibrs_entry_sequence())
+    return seq
+
+
+def build_exit_sequence(config: MitigationConfig) -> List[Instruction]:
+    """The kernel->user crossing under ``config``."""
+    seq: List[Instruction] = []
+    if config.mds_verw:
+        seq.extend(verw_sequence())
+    if config.uses_ibrs_entry_write:
+        seq.extend(ibrs_exit_sequence())
+    if config.pti:
+        seq.extend(kpti_exit_sequence())
+    seq.append(isa.swapgs())
+    seq.append(isa.sysret_instr())
+    return seq

@@ -1,0 +1,145 @@
+"""Interrupts and preemptive scheduling.
+
+Two paper-relevant facts live on the interrupt path:
+
+* interrupts are boundary crossings too — the same mitigation work as a
+  syscall (lfence, cr3 swap, verw) rides on every tick, which is how
+  "always on" mitigations reach even the PARSEC-style workloads of
+  section 4.5 (at a rate too low to matter, which the model reproduces);
+* an interrupt can land *in the middle of a user retpoline sequence*,
+  which is exactly why Linux refills the RSB on context switches
+  (section 5.3: "if the operating system triggers a context switch at an
+  inopportune time then this condition might be violated").  The
+  :func:`interrupted_retpoline_is_safe` demo makes that scenario
+  concrete.
+
+:class:`InterruptController` dispatches vectors through the kernel's
+exception path; :class:`TimesliceScheduler` runs a task set round-robin
+with a periodic tick, producing the preemption pattern the LEBench
+context-switch cases approximate from above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..cpu import isa
+from ..cpu.machine import Machine
+from ..errors import ConfigurationError
+from .kernel import Kernel
+from .process import Process
+from .syscalls import HandlerProfile
+
+#: Architectural vector numbers we model.
+TIMER_VECTOR = 0x20
+DEVICE_VECTOR = 0x21
+
+#: Default handler work per vector.
+TIMER_HANDLER = HandlerProfile("irq_timer", work_cycles=700, loads=8,
+                               stores=4, indirect_branches=3)
+DEVICE_HANDLER = HandlerProfile("irq_device", work_cycles=1500, loads=16,
+                                stores=8, indirect_branches=5)
+
+
+class InterruptController:
+    """Dispatches interrupt vectors through the kernel's exception path."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self._handlers: Dict[int, HandlerProfile] = {
+            TIMER_VECTOR: TIMER_HANDLER,
+            DEVICE_VECTOR: DEVICE_HANDLER,
+        }
+        self.delivered: Dict[int, int] = {}
+
+    def register(self, vector: int, handler: HandlerProfile) -> None:
+        if not 0x20 <= vector <= 0xFF:
+            raise ConfigurationError(f"vector {vector:#x} out of range")
+        self._handlers[vector] = handler
+
+    def deliver(self, vector: int) -> int:
+        """Deliver one interrupt; returns cycles (entry + handler + exit)."""
+        handler = self._handlers.get(vector)
+        if handler is None:
+            raise ConfigurationError(f"no handler for vector {vector:#x}")
+        self.delivered[vector] = self.delivered.get(vector, 0) + 1
+        return self.kernel.page_fault(handler)  # the exception-path crossing
+
+
+@dataclass
+class TaskState:
+    """Bookkeeping for one task under the timeslice scheduler."""
+
+    process: Process
+    work_remaining: int  # user cycles still to run
+    work_done: int = 0
+
+
+class TimesliceScheduler:
+    """Round-robin preemptive scheduling with a periodic timer tick."""
+
+    def __init__(self, kernel: Kernel, timeslice_cycles: int = 20_000) -> None:
+        if timeslice_cycles <= 0:
+            raise ConfigurationError("timeslice must be positive")
+        self.kernel = kernel
+        self.controller = InterruptController(kernel)
+        self.timeslice_cycles = timeslice_cycles
+        self.total_cycles = 0
+        self.ticks = 0
+
+    def run(self, tasks: Sequence[TaskState]) -> int:
+        """Run all tasks to completion; returns total cycles.
+
+        Each slice: switch to the task, run up to a timeslice of its user
+        work, take the timer interrupt, move on.  All mitigation work
+        (switch-path IBPB/RSB/FPU, interrupt-path entry/exit) accrues
+        naturally through the kernel.
+        """
+        machine = self.kernel.machine
+        pending = [t for t in tasks if t.work_remaining > 0]
+        total = 0
+        while pending:
+            for task in list(pending):
+                total += self.kernel.context_switch(task.process)
+                slice_work = min(self.timeslice_cycles, task.work_remaining)
+                total += machine.execute(isa.work(slice_work))
+                task.work_remaining -= slice_work
+                task.work_done += slice_work
+                if task.work_remaining <= 0:
+                    pending.remove(task)
+                if pending:  # no tick needed after the last task retires
+                    total += self.controller.deliver(TIMER_VECTOR)
+                    self.ticks += 1
+        self.total_cycles += total
+        return total
+
+
+def interrupted_retpoline_is_safe(machine: Machine,
+                                  rsb_stuffing: bool) -> bool:
+    """The section 5.3 scenario: a user-space generic retpoline is
+    interrupted mid-sequence (its call already pushed, its ret not yet
+    executed); the kernel runs someone else, and eventually the original
+    thread's ``ret`` executes against whatever the RSB now holds.
+
+    With RSB stuffing on the switch path, the stale state was replaced by
+    benign entries — the ret mispredicts harmlessly.  Without it, an
+    attacker-influenced entry left by the intervening work can steer the
+    ret's transient execution.  Returns True when no gadget ran.
+    """
+    from repro.cpu import counters as ctr
+
+    gadget = 0x48_2000
+    machine.register_code(gadget, [isa.div()])
+
+    # The interrupted retpoline's call has pushed its return address...
+    machine.execute(isa.call(pc=0x48_1000))
+    # ...then the interrupt + other work pollutes the RSB.
+    machine.rsb.clear()
+    machine.rsb.push(gadget)  # attacker-influenced residue
+    if rsb_stuffing:
+        machine.execute(isa.rsb_fill())
+    # Back in the victim: the retpoline's ret finally executes.
+    before = machine.counters.read(ctr.TRANSIENT_INSTRUCTIONS)
+    machine.execute(isa.ret(pc=0x48_1008, target=0x48_1000))
+    return machine.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == before

@@ -1,0 +1,107 @@
+"""The model operating system kernel.
+
+:class:`Kernel` ties a :class:`~repro.cpu.machine.Machine` to a
+:class:`~repro.mitigations.base.MitigationConfig` and provides the three
+services every workload is built from:
+
+* :meth:`syscall` — a full user->kernel->user round trip running a
+  :class:`~repro.kernel.syscalls.HandlerProfile`;
+* :meth:`page_fault` — the same crossing via the exception path;
+* :meth:`context_switch` — delegate to the :class:`Scheduler`.
+
+"Booting" the kernel applies the one-time mitigation decisions: compiling
+indirect branches as retpolines, unmapping the kernel from user page
+tables (PTI), and setting eIBRS once (versus legacy IBRS's per-entry MSR
+writes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import AMD_RETPOLINE, GENERIC_RETPOLINE, Machine
+from ..cpu.modes import Mode
+from ..mitigations.base import MitigationConfig, V2Strategy
+from .entry import build_entry_sequence, build_exit_sequence
+from .process import Process
+from .scheduler import Scheduler
+from .syscalls import HandlerProfile
+
+#: Exception entries (page faults, interrupts) cost more than ``syscall``
+#: before any handler work: IDT vectoring, error code push, IRET return.
+EXCEPTION_EXTRA_CYCLES = 350
+
+
+class Kernel:
+    """One booted kernel instance on one machine."""
+
+    def __init__(self, machine: Machine, config: MitigationConfig) -> None:
+        config.validate_for(machine.cpu)
+        self.machine = machine
+        self.config = config
+        self.scheduler = Scheduler(machine, config)
+        self._entry = build_entry_sequence(config)
+        self._exit = build_exit_sequence(config)
+        self._handler_cache: Dict[str, List[Instruction]] = {}
+        self._region_counter = 0
+        self._boot()
+
+    def _boot(self) -> None:
+        machine = self.machine
+        # PTI decides whether user page tables can see the kernel at all —
+        # the predicate Meltdown needs (section 3.1).
+        machine.kernel_mapped_in_user = not self.config.pti
+        # Pick the retpoline flavor compiled into kernel text.
+        if self.config.v2_strategy is V2Strategy.RETPOLINE_AMD:
+            machine.retpoline_variant = AMD_RETPOLINE
+        else:
+            machine.retpoline_variant = GENERIC_RETPOLINE
+        # Enhanced IBRS: set SPEC_CTRL.IBRS once at boot and leave it
+        # (section 6.2.2); legacy IBRS instead writes it on every entry.
+        if self.config.v2_strategy is V2Strategy.EIBRS:
+            machine.msr.set_ibrs(True)
+        else:
+            machine.msr.set_ibrs(False)
+
+    # ------------------------------------------------------------------ #
+
+    def _compiled(self, profile: HandlerProfile) -> List[Instruction]:
+        block = self._handler_cache.get(profile.name)
+        if block is None:
+            block = profile.compile(self.config, self._region_counter)
+            self._region_counter += 1
+            self._handler_cache[profile.name] = block
+        return block
+
+    def syscall(self, profile: HandlerProfile,
+                process: Optional[Process] = None) -> int:
+        """One complete syscall round trip; returns cycles.
+
+        The machine must be in user mode (the normal state between calls);
+        it is returned to user mode by the exit path.
+        """
+        machine = self.machine
+        cycles = machine.run(self._entry)
+        cycles += machine.run(self._compiled(profile))
+        cycles += machine.run(self._exit)
+        return cycles
+
+    def page_fault(self, profile: HandlerProfile) -> int:
+        """A fault-driven crossing: same mitigation work, pricier entry."""
+        machine = self.machine
+        machine.counters.add_cycles(EXCEPTION_EXTRA_CYCLES)
+        cycles = EXCEPTION_EXTRA_CYCLES
+        cycles += machine.run(self._entry)
+        cycles += machine.run(self._compiled(profile))
+        cycles += machine.run(self._exit)
+        return cycles
+
+    def context_switch(self, new: Process) -> int:
+        """Switch the CPU to ``new``; returns cycles."""
+        return self.scheduler.switch_to(new)
+
+    @property
+    def current_process(self) -> Optional[Process]:
+        return self.scheduler.current

@@ -1,0 +1,211 @@
+"""Virtual memory: page tables, demand paging, and KPTI's dual views.
+
+This module upgrades KPTI from a boolean into mechanism:
+
+* each :class:`MemoryManager` owns per-process page tables built from
+  :class:`~repro.mitigations.l1tf.PageTableEntry` records, plus the
+  kernel's own mappings;
+* under KPTI every mm has **two views**: the kernel view (everything
+  mapped) and the user view, which carries only the entry trampoline —
+  the machine's ``kernel_mapped_in_user`` predicate (what Meltdown needs)
+  is *derived* from which view the user half actually contains;
+* ``mmap``/``munmap``/demand paging drive the page-fault path the
+  LEBench cases exercise, and ``munmap`` performs the TLB invalidation
+  that PCIDs make cheap (section 5.1);
+* not-present PTEs are created through the L1TF-aware helper, so the
+  PTE-inversion mitigation is applied (or not) exactly where Linux
+  applies it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cpu import isa
+from ..cpu.machine import Machine
+from ..errors import SegmentationFault, WorkloadError
+from ..mitigations.base import MitigationConfig
+from ..mitigations.l1tf import PageTableEntry, invert_pte
+from .process import Process
+from .syscalls import HandlerProfile
+
+PAGE = 4096
+
+#: User address space: mmap region grows up from here.
+MMAP_BASE = 0x7000_0000_0000
+
+#: Kernel direct map (what Meltdown reads when it's reachable).
+KERNEL_DIRECT_MAP = 0xFFFF_8880_0000_0000
+
+#: Handler profiles for the paging paths.
+MINOR_FAULT_PROFILE = HandlerProfile("minor_fault", work_cycles=1800,
+                                     loads=8, stores=6, indirect_branches=3)
+MMAP_PROFILE = HandlerProfile("mmap_setup", work_cycles=2600, loads=8,
+                              stores=12, indirect_branches=4)
+MUNMAP_PROFILE = HandlerProfile("munmap_teardown", work_cycles=2200,
+                                loads=8, stores=8, indirect_branches=4)
+
+
+@dataclass
+class VMA:
+    """One virtual memory area (an mmap'ed range)."""
+
+    start: int
+    pages: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.pages * PAGE
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+
+@dataclass
+class PageTableView:
+    """One root's worth of translations: page -> PTE."""
+
+    entries: Dict[int, PageTableEntry] = field(default_factory=dict)
+
+    def map_page(self, page: int, frame: int) -> None:
+        self.entries[page] = PageTableEntry(present=True, frame=frame)
+
+    def unmap_page(self, page: int, pte_inversion: bool) -> None:
+        """Linux never leaves a naked not-present PTE with a stale frame:
+        with the L1TF mitigation on, the frame is inverted out of reach."""
+        old = self.entries.get(page)
+        frame = old.frame if old else 0
+        pte = PageTableEntry(present=False, frame=frame)
+        self.entries[page] = invert_pte(pte) if pte_inversion else pte
+
+    def translation(self, address: int) -> Optional[PageTableEntry]:
+        return self.entries.get(address // PAGE)
+
+    def maps(self, address: int) -> bool:
+        pte = self.translation(address)
+        return pte is not None and pte.present
+
+
+class MemoryManager:
+    """Per-process address space management on one kernel's machine."""
+
+    def __init__(self, machine: Machine, config: MitigationConfig) -> None:
+        self.machine = machine
+        self.config = config
+        self._frames = 0x10_0000  # next free physical frame (bump)
+        # Per-mm state.
+        self._vmas: Dict[int, List[VMA]] = {}
+        self._user_views: Dict[int, PageTableView] = {}
+        self._kernel_view = PageTableView()
+        # The kernel's own mappings (direct map sample).
+        for i in range(16):
+            self._kernel_view.map_page(KERNEL_DIRECT_MAP // PAGE + i,
+                                       self._alloc_frame())
+        self._next_mmap: Dict[int, int] = {}
+        self.minor_faults = 0
+        self._sync_machine_predicate()
+
+    # -- helpers ---------------------------------------------------------- #
+
+    def _alloc_frame(self) -> int:
+        frame = self._frames
+        self._frames += 1
+        return frame
+
+    def _run_kernel(self, block) -> int:
+        """Execute a kernel handler block in kernel mode."""
+        from ..cpu.modes import Mode
+        saved = self.machine.mode
+        self.machine.mode = Mode.KERNEL
+        cycles = self.machine.run(block)
+        self.machine.mode = saved
+        return cycles
+
+    def _user_view(self, process: Process) -> PageTableView:
+        view = self._user_views.get(process.mm.mm_id)
+        if view is None:
+            view = PageTableView()
+            if not self.config.pti:
+                # Without KPTI the kernel rides along in every user view.
+                view.entries.update(self._kernel_view.entries)
+            self._user_views[process.mm.mm_id] = view
+        return view
+
+    def _sync_machine_predicate(self) -> None:
+        """Derive the machine's Meltdown predicate from the actual views:
+        the kernel is 'mapped in user' iff user views contain kernel
+        translations."""
+        self.machine.kernel_mapped_in_user = not self.config.pti
+
+    def kernel_reachable_from_user(self, process: Process) -> bool:
+        """Does this process's user view translate kernel addresses?"""
+        return self._user_view(process).maps(KERNEL_DIRECT_MAP)
+
+    # -- the syscall surface ------------------------------------------------ #
+
+    def mmap(self, process: Process, pages: int) -> Tuple[int, List]:
+        """Reserve a VMA (demand paged: no frames yet).
+
+        Returns (start address, setup instruction block) — the caller
+        (usually a syscall handler) executes the block.
+        """
+        if pages <= 0:
+            raise WorkloadError("mmap needs at least one page")
+        start = self._next_mmap.get(process.mm.mm_id, MMAP_BASE)
+        self._next_mmap[process.mm.mm_id] = start + pages * PAGE
+        self._vmas.setdefault(process.mm.mm_id, []).append(
+            VMA(start=start, pages=pages))
+        return start, MMAP_PROFILE.compile(self.config, region_index=90)
+
+    def touch(self, process: Process, address: int) -> int:
+        """Access one user address, demand-paging on first touch.
+
+        Returns cycles (the fault path on a minor fault, just the access
+        otherwise).  Raises :class:`SegmentationFault` outside any VMA.
+        """
+        vmas = self._vmas.get(process.mm.mm_id, [])
+        if not any(vma.contains(address) for vma in vmas):
+            raise SegmentationFault(address, "user")
+        view = self._user_view(process)
+        cycles = 0
+        if not view.maps(address):
+            # Minor fault: allocate a frame, map it, run the fault path.
+            view.map_page(address // PAGE, self._alloc_frame())
+            self._kernel_view.map_page(address // PAGE + (1 << 36),
+                                       self._alloc_frame())
+            self.minor_faults += 1
+            cycles += self._run_kernel(
+                MINOR_FAULT_PROFILE.compile(self.config, region_index=91))
+        cycles += self.machine.execute(isa.load(address))
+        return cycles
+
+    def munmap(self, process: Process, start: int) -> int:
+        """Tear down the VMA at ``start``: unmap PTEs (L1TF-safely) and
+        invalidate the TLB range.  Returns cycles."""
+        vmas = self._vmas.get(process.mm.mm_id, [])
+        match = next((vma for vma in vmas if vma.start == start), None)
+        if match is None:
+            raise WorkloadError(f"no VMA at {start:#x}")
+        vmas.remove(match)
+        view = self._user_view(process)
+        for i in range(match.pages):
+            page = (match.start // PAGE) + i
+            if page in view.entries:
+                view.unmap_page(page, pte_inversion=self.config.pte_inversion)
+        cycles = self._run_kernel(
+            MUNMAP_PROFILE.compile(self.config, region_index=92))
+        # Range invalidation: one shootdown regardless of PCIDs (this mm's
+        # translations must go everywhere).
+        invalidated = self.machine.tlb.flush_all()
+        self.machine.counters.add_cycles(invalidated // 4)
+        cycles += invalidated // 4
+        return cycles
+
+    # -- the L1TF linkage ------------------------------------------------------ #
+
+    def not_present_ptes(self, process: Process) -> List[PageTableEntry]:
+        """All not-present PTEs in the process's view — the ones an L1TF
+        attacker would aim through."""
+        return [pte for pte in self._user_view(process).entries.values()
+                if not pte.present]

@@ -1,0 +1,87 @@
+"""Processes and address spaces, as the scheduler and mitigations see them.
+
+Only the attributes that drive mitigation decisions are modelled: which
+``mm`` (address space) a task belongs to (IBPB fires when it changes),
+whether it uses the FPU (lazy-vs-eager switching), and its SSBD opt-in
+state (``prctl``/``seccomp``, paper sections 3.2 and 4.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_pid_counter = itertools.count(1)
+_mm_counter = itertools.count(1)
+
+
+@dataclass
+class AddressSpace:
+    """One ``mm``: a set of page tables identified by a PCID pair.
+
+    Under KPTI each mm has two roots (kernel view and stripped user view);
+    the PCID values distinguish them in the TLB.
+    """
+
+    mm_id: int = field(default_factory=lambda: next(_mm_counter))
+
+    @property
+    def kernel_pcid(self) -> int:
+        return self.mm_id & 0x7FF
+
+    @property
+    def user_pcid(self) -> int:
+        # Linux sets the high PCID bit for the user half of a KPTI pair.
+        return (self.mm_id & 0x7FF) | 0x800
+
+
+@dataclass
+class Process:
+    """One schedulable task."""
+
+    name: str = "task"
+    pid: int = field(default_factory=lambda: next(_pid_counter))
+    mm: AddressSpace = field(default_factory=AddressSpace)
+    uses_fpu: bool = False
+    uses_seccomp: bool = False
+    ssbd_prctl: bool = False  # explicitly requested SSBD via prctl
+    #: Requested IBPB protection (prctl/seccomp).  Linux's default
+    #: ``spectre_v2_user=prctl,seccomp`` policy only issues the barrier for
+    #: tasks that asked — which is why LEBench's plain processes don't pay
+    #: the Table 6 cost on every switch.
+    ibpb_protect: bool = False
+    #: Model payload: a value "in" this process's FPU registers, used by
+    #: the LazyFP demonstration.
+    fpu_secret: int = 0
+
+    # -- the Linux opt-in interfaces (paper 3.2: prctl / seccomp) -------- #
+
+    def prctl_set_ssbd(self) -> None:
+        """``prctl(PR_SET_SPECULATION_CTRL, PR_SPEC_STORE_BYPASS, ...)``:
+        explicitly request SSBD for this task."""
+        self.ssbd_prctl = True
+
+    def prctl_set_ibpb(self) -> None:
+        """``prctl(..., PR_SPEC_INDIRECT_BRANCH, ...)``: request the
+        IBPB/STIBP protections on switches involving this task."""
+        self.ibpb_protect = True
+
+    def enable_seccomp(self) -> None:
+        """Install a seccomp filter.  Under pre-5.16 policy this implies
+        SSBD and IBPB protection — the Firefox situation in the paper."""
+        self.uses_seccomp = True
+
+    def thread(self, name: Optional[str] = None) -> "Process":
+        """Create a thread: a new task sharing this process's mm.
+
+        Context switches between threads of one mm skip the IBPB (Linux
+        only issues the barrier when switching between different mms).
+        """
+        return Process(
+            name=name or f"{self.name}-thread",
+            mm=self.mm,
+            uses_fpu=self.uses_fpu,
+            uses_seccomp=self.uses_seccomp,
+            ssbd_prctl=self.ssbd_prctl,
+        )

@@ -1,0 +1,114 @@
+"""Context switching and the mitigations that ride on it.
+
+Switching between tasks is where the per-*process* (rather than
+per-boundary-crossing) mitigations land:
+
+* **IBPB** when the new task belongs to a different mm — protects user
+  processes from each other's BTB poisoning (paper 5.3, Table 6);
+* **RSB stuffing** so an interrupted user retpoline can't consume a stale
+  return prediction, which also blocks SpectreRSB (paper 5.3, Table 7);
+* **FPU save/restore**, eager (the LazyFP mitigation) or lazy (trap on
+  first use — usually slower, paper 3.1);
+* **SSBD MSR toggling** when the outgoing and incoming tasks differ in
+  SSBD policy (prctl/seccomp opt-in, paper 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..cpu import isa
+from ..cpu.machine import Machine
+from ..cpu.modes import Mode
+from ..cpu import counters as ctr
+from ..mitigations import lazyfp
+from ..mitigations.base import MitigationConfig
+from ..mitigations.spectre_v2 import ibpb_sequence, rsb_stuffing_sequence
+from ..mitigations.ssb import process_wants_ssbd
+from .process import Process
+
+#: Baseline scheduler work per switch: runqueue manipulation, task state,
+#: stack switch.  The paper notes a process switch "takes at least several
+#: thousand cycles" before any mitigation work (section 5.3).
+SCHEDULER_WORK_CYCLES = 1400
+
+
+class Scheduler:
+    """Applies the context switch sequence on a machine."""
+
+    def __init__(self, machine: Machine, config: MitigationConfig) -> None:
+        self.machine = machine
+        self.config = config
+        self.current: Optional[Process] = None
+        self.fpu = lazyfp.FPUState()
+        self._ssbd_active = False
+
+    def switch_to(self, new: Process) -> int:
+        """Switch from the current task to ``new``; returns cycles."""
+        machine = self.machine
+        old = self.current
+        saved_mode = machine.mode
+        machine.mode = Mode.KERNEL
+        cycles = machine.execute(isa.work(SCHEDULER_WORK_CYCLES))
+        machine.counters.bump(ctr.CONTEXT_SWITCHES)
+
+        same_mm = old is not None and old.mm is new.mm
+        if not same_mm:
+            # Address space switch: one cr3 write regardless of mitigations.
+            cycles += machine.execute(isa.mov_cr3(pcid=new.mm.kernel_pcid))
+            if self._ibpb_needed(old, new):
+                cycles += machine.run(ibpb_sequence())
+        if self.config.v2_rsb_stuffing:
+            cycles += machine.run(rsb_stuffing_sequence())
+
+        cycles += self._switch_fpu(old, new)
+        cycles += self._switch_ssbd(new)
+
+        self.current = new
+        machine.mode = saved_mode
+        return cycles
+
+    # ------------------------------------------------------------------ #
+
+    def _ibpb_needed(self, old: Optional[Process], new: Process) -> bool:
+        """Linux's conditional-IBPB policy (``spectre_v2_user=prctl,seccomp``).
+
+        The barrier protects processes from each other's BTB poisoning but
+        costs thousands of cycles (Table 6), so by default it is issued
+        only when one of the tasks requested protection; ``v2_ibpb_always``
+        models the ``spectre_v2_user=on`` boot option.
+        """
+        if not self.config.v2_ibpb or old is None:
+            return False
+        if self.config.v2_ibpb_always:
+            return True
+        return old.ibpb_protect or new.ibpb_protect or new.uses_seccomp
+
+    def _switch_fpu(self, old: Optional[Process], new: Process) -> int:
+        machine = self.machine
+        if self.config.eager_fpu:
+            lazyfp.eager_switch(self.fpu, new.pid, new.fpu_secret)
+            return machine.run(lazyfp.eager_switch_sequence())
+        # Lazy strategy: free now; the incoming task pays a #NM trap plus
+        # the deferred save/restore the first time it touches the FPU.
+        lazyfp.lazy_switch(self.fpu, new.pid)
+        if new.uses_fpu:
+            cost = lazyfp.lazy_switch_cost(machine, True)
+            machine.counters.add_cycles(cost)
+            lazyfp.eager_switch(self.fpu, new.pid, new.fpu_secret)
+            return cost
+        return 0
+
+    def _switch_ssbd(self, new: Process) -> int:
+        want = process_wants_ssbd(
+            self.config.ssbd_mode,
+            opted_in_prctl=new.ssbd_prctl,
+            uses_seccomp=new.uses_seccomp,
+        )
+        if want == self._ssbd_active:
+            return 0
+        self.machine.msr.set_ssbd(want)
+        self._ssbd_active = want
+        cost = self.machine.costs.wrmsr
+        self.machine.counters.add_cycles(cost)
+        return cost

@@ -1,0 +1,67 @@
+"""Transient execution attack mitigations, modelled after Linux + Firefox.
+
+* :mod:`~repro.mitigations.base` — :class:`MitigationConfig` (the boot-flag
+  analogue) and the attribution :class:`Knob` registry.
+* :mod:`~repro.mitigations.policy` — Linux's per-CPU defaults (Table 1).
+* One module per attack family with the mitigation instruction sequences
+  and an attack demonstration: :mod:`meltdown <repro.mitigations.meltdown>`,
+  :mod:`l1tf <repro.mitigations.l1tf>`, :mod:`lazyfp
+  <repro.mitigations.lazyfp>`, :mod:`spectre_v1
+  <repro.mitigations.spectre_v1>`, :mod:`spectre_v2
+  <repro.mitigations.spectre_v2>`, :mod:`ssb <repro.mitigations.ssb>`,
+  :mod:`mds <repro.mitigations.mds>`, plus the extension families:
+  :mod:`spectre_rsb <repro.mitigations.spectre_rsb>`, :mod:`stibp
+  <repro.mitigations.stibp>`, :mod:`bhi <repro.mitigations.bhi>`, and the
+  mechanistic Figure 4 in :mod:`retpoline_asm
+  <repro.mitigations.retpoline_asm>`.
+"""
+
+from . import (  # noqa: F401  (re-exported for discoverability)
+    bhi,
+    l1tf,
+    lazyfp,
+    mds,
+    meltdown,
+    retpoline_asm,
+    spectre_rsb,
+    spectre_v1,
+    spectre_v2,
+    ssb,
+    stibp,
+)
+
+from .base import (
+    ALL_KNOBS,
+    JS_KNOBS,
+    KERNEL_KNOBS,
+    KNOBS_BY_NAME,
+    Knob,
+    MitigationConfig,
+    SSBDMode,
+    V2Strategy,
+)
+from .policy import (
+    DEFAULT_KERNEL,
+    TABLE1_ROWS,
+    default_v2_strategy,
+    linux_default,
+    table1_cell,
+    table1_matrix,
+)
+
+__all__ = [
+    "ALL_KNOBS",
+    "DEFAULT_KERNEL",
+    "JS_KNOBS",
+    "KERNEL_KNOBS",
+    "KNOBS_BY_NAME",
+    "Knob",
+    "MitigationConfig",
+    "SSBDMode",
+    "TABLE1_ROWS",
+    "V2Strategy",
+    "default_v2_strategy",
+    "linux_default",
+    "table1_cell",
+    "table1_matrix",
+]

@@ -1,0 +1,81 @@
+"""L1 Terminal Fault (Foreshadow) and its two mitigations.
+
+On vulnerable parts the present bit of a page table entry is ignored
+during speculative address translation: a load through a not-present PTE
+forwards whatever the L1 cache holds for the *physical* address named by
+the PTE's frame number (paper section 3.1).
+
+Two mitigations, both modelled:
+
+* **PTE inversion** (bare-metal, ~zero cost): when the OS marks a PTE not
+  present it also rewrites the frame number to point at an unmapped
+  high physical address, so the speculative load can never hit valid data.
+* **L1D flush on VM entry** (hypervisor): an untrusted guest can craft its
+  own not-present PTEs, so the host flushes the L1 before entering the
+  guest — the flush itself plus the refill misses are the cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import Machine
+
+#: Physical frame beyond the end of simulated RAM; nothing cacheable there.
+UNCACHEABLE_FRAME = 1 << 46
+
+PAGE = 4096
+
+
+@dataclass
+class PageTableEntry:
+    """A minimal x86-style PTE: present bit plus physical frame number."""
+
+    present: bool
+    frame: int  # physical page frame number
+
+    @property
+    def physical_address(self) -> int:
+        return self.frame * PAGE
+
+
+def invert_pte(pte: PageTableEntry) -> PageTableEntry:
+    """The PTE-inversion mitigation: retarget a not-present PTE at an
+    uncacheable frame.  Present PTEs are returned unchanged."""
+    if pte.present:
+        return pte
+    return PageTableEntry(present=False, frame=UNCACHEABLE_FRAME // PAGE + pte.frame)
+
+
+def l1d_flush_sequence() -> List[Instruction]:
+    """Hypervisor mitigation: flush L1D immediately before VM entry."""
+    return [isa.l1d_flush()]
+
+
+def attempt_l1tf(
+    machine: Machine,
+    pte: PageTableEntry,
+) -> bool:
+    """Attempt an L1TF read through a (possibly inverted) not-present PTE.
+
+    Models the attacker issuing a load whose translation terminally faults.
+    The leak succeeds iff the part is vulnerable, the PTE is not present
+    (that's the "terminal fault"), and the physical line named by the PTE
+    is currently resident in L1 — which is what the flush-on-VM-entry
+    mitigation guarantees never holds for host data.
+
+    Returns True when secret data was exposed to the attacker.
+    """
+    if not machine.cpu.vulns.l1tf:
+        return False
+    if pte.present:
+        return False  # an ordinary, permission-checked translation
+    physical = pte.physical_address
+    if physical >= UNCACHEABLE_FRAME:
+        return False  # PTE inversion pointed it into nowhere
+    # The speculative load forwards from L1 if (and only if) the line is
+    # resident; a terminal fault never fills the cache itself.
+    return machine.caches.probe_l1(physical)

@@ -1,0 +1,85 @@
+"""LazyFP: leaking FPU registers via lazy context switching.
+
+With lazy FPU switching the OS leaves the previous process's floating
+point registers in place on a context switch and merely disables the FPU;
+the first FP instruction traps (#NM) and only then are registers swapped.
+On vulnerable parts, transient execution ignores the disable bit, exposing
+the stale registers (paper section 3.1).
+
+Linux's mitigation — eager save/restore with ``xsave``/``xrstor`` on every
+switch — is *also a speedup* on modern hardware, because the #NM trap
+round-trip costs more than ``xsaveopt``.  The cost model here reproduces
+that inversion, and :func:`lazy_switch_cost`/:func:`eager_switch_cost`
+expose both paths for the ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import Machine
+
+
+@dataclass
+class FPUState:
+    """The floating point register file of one core, as the OS sees it."""
+
+    owner_pid: Optional[int] = None   # whose values are physically loaded
+    enabled: bool = True              # CR0.TS clear?
+    secret: int = 0                   # model payload: the register contents
+
+
+def eager_switch_sequence() -> List[Instruction]:
+    """Mitigated context switch: always xsave old + xrstor new."""
+    return [isa.xsave(), isa.xrstor()]
+
+
+def eager_switch_cost(machine: Machine) -> int:
+    """Cycles the eager save/restore pair costs on this part."""
+    return machine.costs.xsave + machine.costs.xrstor
+
+
+def lazy_switch_cost(machine: Machine, new_process_uses_fpu: bool) -> int:
+    """Cycles the lazy strategy costs for one switch.
+
+    Zero at switch time; if the incoming process touches the FPU it pays
+    the #NM trap plus the deferred save/restore.  For FPU-using workloads
+    this *exceeds* the eager cost — the paper's "amusingly, this mitigation
+    speeds up certain workloads" observation.
+    """
+    if not new_process_uses_fpu:
+        return 0
+    return machine.costs.fpu_trap + machine.costs.xsave + machine.costs.xrstor
+
+
+def lazy_switch(fpu: FPUState, new_pid: int) -> None:
+    """Perform a lazy switch: disable the FPU, keep the old registers."""
+    fpu.enabled = False  # owner and secret intentionally retained
+
+
+def eager_switch(fpu: FPUState, new_pid: int, new_secret: int = 0) -> None:
+    """Perform an eager switch: registers are replaced immediately."""
+    fpu.owner_pid = new_pid
+    fpu.secret = new_secret
+    fpu.enabled = True
+
+
+def attempt_lazyfp(machine: Machine, fpu: FPUState, attacker_pid: int) -> Optional[int]:
+    """Transiently read the FPU registers from the attacking process.
+
+    Succeeds (returns the stale secret) iff the part is vulnerable and a
+    lazy switch left another process's registers loaded behind a disabled
+    FPU.  Under eager switching the registers always belong to the current
+    process, so nothing foreign can leak.
+    """
+    if not machine.cpu.vulns.lazyfp:
+        return None
+    if fpu.owner_pid is None or fpu.owner_pid == attacker_pid:
+        return None  # registers are the attacker's own
+    if fpu.enabled:
+        return None  # enabled means they were eagerly switched: no residue
+    # Vulnerable part: the transient FP read ignores the disable bit.
+    return fpu.secret

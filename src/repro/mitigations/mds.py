@@ -1,0 +1,83 @@
+"""Microarchitectural Data Sampling and its two mitigations.
+
+MDS attacks (RIDL/ZombieLoad/Fallout, paper section 3.3) sample stale data
+from fill buffers, store buffers and load ports.  They cannot target an
+address — but they cross every privilege boundary, so the mitigation must
+run on every crossing:
+
+* **verw buffer clearing** — a microcode patch extends ``verw`` to
+  overwrite the leaky buffers; ~500 cycles on vulnerable parts (Table 4),
+  executed on every kernel-to-user transition;
+* **disabling SMT** — prevents a sibling hyperthread from sampling
+  concurrently; too expensive to be default (Table 1 marks it ``!``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import Machine
+from ..cpu.modes import Mode
+
+
+def verw_sequence() -> List[Instruction]:
+    """The kernel-exit buffer clear (a single extended ``verw``)."""
+    return [isa.verw()]
+
+
+def smt_effective_threads(cores: int, smt_enabled: bool, smt_yield: float = 1.25) -> float:
+    """Throughput capacity in core-equivalents.
+
+    With SMT on, each core yields ``smt_yield`` (two hyperthreads sharing
+    one core's resources); with SMT off exactly 1.0.  Used by the
+    disable-SMT ablation bench to price the mitigation the paper's
+    Table 1 marks as needed-but-not-default.
+    """
+    return cores * (smt_yield if smt_enabled else 1.0)
+
+
+def attempt_mds_sample(machine: Machine, attacker_mode: Mode = Mode.USER) -> Dict[str, int]:
+    """Sample the leaky buffers from ``attacker_mode``.
+
+    Returns a mapping of buffer name to leaked value — empty on immune
+    parts, after a clearing ``verw``, or when no foreign-domain data is
+    resident.  The victim activity must have happened beforehand (e.g. a
+    kernel syscall handler touching memory).
+    """
+    return machine.mds_buffers.sample(attacker_mode)
+
+
+def attempt_cross_thread_mds(core, secret: int = 0xD00D) -> Dict[str, int]:
+    """MDS across hyperthreads: the case only SMT-off fixes (paper 3.3).
+
+    The victim runs in kernel mode on thread 0, depositing into the
+    *shared* fill/store/load-port buffers; the attacker samples from user
+    mode on thread 1 **while the victim is still inside the kernel** — so
+    no exit-path ``verw`` has had a chance to run.  Returns the leak (or
+    nothing on immune parts).
+
+    ``core`` is a :class:`repro.cpu.smt.SMTCore`.
+    """
+    victim, attacker = core.thread0, core.thread1
+    saved = victim.mode
+    victim.mode = Mode.KERNEL
+    victim.mds_buffers.deposit_load(secret, Mode.KERNEL)
+    # Concurrent sampling from the sibling: the victim hasn't returned to
+    # user space, so the boundary-crossing verw never intervened.
+    attacker.mode = Mode.USER
+    leaked = attacker.mds_buffers.sample(Mode.USER)
+    victim.mode = saved
+    return leaked
+
+
+def kernel_touched_secret(machine: Machine, secret: int) -> None:
+    """Helper for demos/tests: simulate kernel code handling secret data,
+    leaving residue in the microarchitectural buffers."""
+    saved = machine.mode
+    machine.mode = Mode.KERNEL
+    machine.execute(isa.load(0xFFFF_8880_0000_2000, kernel=True))
+    machine.mds_buffers.deposit_load(secret, Mode.KERNEL)
+    machine.mds_buffers.deposit_store(secret, Mode.KERNEL)
+    machine.mode = saved

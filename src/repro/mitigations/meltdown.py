@@ -1,0 +1,82 @@
+"""Meltdown and its mitigation, kernel page table isolation (PTI/KAISER).
+
+Meltdown (paper section 3.1) lets a user process transiently read any
+kernel memory mapped into its address space: vulnerable parts translate
+and forward the data before the permission fault squashes the access, and
+a cache side channel exfiltrates it.
+
+PTI mitigates this by giving user mode a page table with (almost) no
+kernel mappings, at the cost of a ``mov %cr3`` on *every* user/kernel
+crossing — the dominant LEBench overhead on Broadwell/Skylake (Figure 2,
+Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import Machine
+
+#: Virtual address layout constants for the demonstration.
+KERNEL_SECRET_ADDRESS = 0xFFFF_8880_0000_1000
+PROBE_ARRAY_BASE = 0x7F00_0000_0000
+PROBE_STRIDE = 4096  # page stride, like published PoCs (defeats prefetch)
+
+#: PCID values Linux reserves for the two KPTI page table halves.
+KERNEL_PCID = 0
+USER_PCID = 0x80
+
+
+def kpti_entry_sequence() -> List[Instruction]:
+    """Instructions added to kernel entry when PTI is on: switch to the
+    kernel page table root."""
+    return [isa.mov_cr3(pcid=KERNEL_PCID)]
+
+
+def kpti_exit_sequence() -> List[Instruction]:
+    """Instructions added to kernel exit: switch back to the user table."""
+    return [isa.mov_cr3(pcid=USER_PCID)]
+
+
+def attempt_meltdown(machine: Machine, secret_byte: int) -> Optional[int]:
+    """Run the classic Meltdown sequence against ``machine``.
+
+    ``secret_byte`` stands in for the value at the kernel address; the
+    simulator does not move data through registers, so the demonstration
+    constructs the dependent probe access itself, gated on whether the
+    transient kernel read was architecturally possible — exactly the
+    predicate PTI changes.
+
+    Returns the recovered byte, or None when the attack fails (immune
+    part, or PTI unmapped the kernel from user page tables).
+    """
+    if not 0 <= secret_byte <= 0xFF:
+        raise ValueError("secret_byte must be one byte")
+
+    # 1. Flush the probe array (flush half of flush+reload).
+    for candidate in range(256):
+        machine.caches.flush_line(PROBE_ARRAY_BASE + candidate * PROBE_STRIDE)
+
+    # 2. Transiently read the kernel byte.  The machine only lets this
+    #    through when the part is Meltdown-vulnerable AND the kernel is
+    #    mapped in the user page table (KPTI off).
+    machine.transient_loads.clear()
+    machine.speculate([isa.load(KERNEL_SECRET_ADDRESS, kernel=True)])
+    leaked = KERNEL_SECRET_ADDRESS in machine.transient_loads
+    if leaked:
+        # 3. Dependent access: encode the secret in the cache.
+        machine.speculate(
+            [isa.load(PROBE_ARRAY_BASE + secret_byte * PROBE_STRIDE)]
+        )
+
+    # 4. Reload: time each probe line; the warm one names the secret.
+    recovered = [
+        candidate
+        for candidate in range(256)
+        if machine.caches.probe_l1(PROBE_ARRAY_BASE + candidate * PROBE_STRIDE)
+    ]
+    if len(recovered) == 1:
+        return recovered[0]
+    return None

@@ -1,0 +1,148 @@
+"""Linux's default mitigation selection, per CPU — the paper's Table 1.
+
+Given a :class:`~repro.cpu.model.CPUModel` and a kernel version, produce
+the :class:`~repro.mitigations.base.MitigationConfig` a stock kernel would
+choose, and render the Table 1 matrix (check mark = used by default, blank
+= not required, ``!`` = needed for full protection but not default).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cpu.model import CPUModel, all_cpus
+from .base import MitigationConfig, SSBDMode, V2Strategy
+
+#: Kernel versions the paper's machines ran (section 4.1).
+DEFAULT_KERNEL = (5, 14)
+
+#: Linux 5.15.28 switched AMD parts from lfence ("AMD") retpolines to
+#: generic retpolines after the Milburn et al. race-condition finding
+#: (paper section 5.3).
+AMD_RETPOLINE_DROPPED = (5, 15)
+
+#: Linux 5.16 stopped enabling SSBD implicitly for seccomp processes
+#: (paper sections 4.3 and 7).
+SSBD_SECCOMP_DROPPED = (5, 16)
+
+
+def default_v2_strategy(cpu: CPUModel, kernel: Tuple[int, int] = DEFAULT_KERNEL) -> V2Strategy:
+    """The Spectre V2 strategy a stock kernel picks for this part."""
+    if not cpu.vulns.spectre_v2:
+        return V2Strategy.NONE
+    if cpu.predictor.supports_eibrs:
+        # "When it is available, Linux by default uses eIBRS instead of
+        # retpolines" (section 6.2.2).
+        return V2Strategy.EIBRS
+    if cpu.vendor == "AMD" and kernel < AMD_RETPOLINE_DROPPED:
+        return V2Strategy.RETPOLINE_AMD
+    return V2Strategy.RETPOLINE_GENERIC
+
+
+def linux_default(
+    cpu: CPUModel,
+    kernel: Tuple[int, int] = DEFAULT_KERNEL,
+    firefox: bool = True,
+) -> MitigationConfig:
+    """The default-on mitigation set for ``cpu`` (Table 1's check marks).
+
+    ``firefox`` controls whether the JavaScript-engine switches are on;
+    they are Firefox defaults, not kernel policy.
+    """
+    ssbd = SSBDMode.SECCOMP if kernel < SSBD_SECCOMP_DROPPED else SSBDMode.PRCTL
+    config = MitigationConfig(
+        pti=cpu.vulns.meltdown,
+        pte_inversion=cpu.vulns.l1tf,
+        l1d_flush_on_vmentry=cpu.vulns.l1tf,
+        eager_fpu=True,  # always: faster than lazy on modern parts (3.1)
+        v1_lfence_swapgs=cpu.vulns.swapgs_v1,
+        v1_usercopy_masking=cpu.vulns.spectre_v1,
+        v2_strategy=default_v2_strategy(cpu, kernel),
+        v2_rsb_stuffing=cpu.vulns.spectre_v2,
+        v2_ibpb=cpu.vulns.spectre_v2,
+        ssbd_mode=ssbd,
+        mds_verw=cpu.vulns.mds,
+        mds_smt_off=False,  # risk judged acceptable by default (3.3)
+        js_index_masking=firefox,
+        js_object_guards=firefox,
+        js_other=firefox,
+    )
+    config.validate_for(cpu)
+    return config
+
+
+# --------------------------------------------------------------------------- #
+# Table 1 rendering
+# --------------------------------------------------------------------------- #
+
+#: (attack, mitigation) rows of Table 1, in the paper's order.
+TABLE1_ROWS: Tuple[Tuple[str, str], ...] = (
+    ("Meltdown", "Page Table Isolation"),
+    ("L1TF", "PTE Inversion"),
+    ("L1TF", "Flush L1 Cache"),
+    ("LazyFP", "Always save FPU"),
+    ("Spectre V1", "Index Masking"),
+    ("Spectre V1", "lfence after swapgs"),
+    ("Spectre V2", "Generic Retpoline"),
+    ("Spectre V2", "AMD Retpoline"),
+    ("Spectre V2", "IBRS"),
+    ("Spectre V2", "Enhanced IBRS"),
+    ("Spectre V2", "RSB Stuffing"),
+    ("Spectre V2", "IBPB"),
+    ("Spec. Store Bypass", "SSBD"),
+    ("MDS", "Flush CPU Buffers"),
+    ("MDS", "Disable SMT"),
+)
+
+USED = "yes"          # check mark in the paper
+NOT_REQUIRED = ""     # blank
+NOT_DEFAULT = "!"     # needed but not enabled by default
+
+
+def table1_cell(cpu: CPUModel, attack: str, mitigation: str,
+                kernel: Tuple[int, int] = DEFAULT_KERNEL) -> str:
+    """One cell of Table 1 for ``cpu``."""
+    config = linux_default(cpu, kernel)
+    if mitigation == "Page Table Isolation":
+        return USED if config.pti else NOT_REQUIRED
+    if mitigation == "PTE Inversion":
+        return USED if config.pte_inversion else NOT_REQUIRED
+    if mitigation == "Flush L1 Cache":
+        return USED if config.l1d_flush_on_vmentry else NOT_REQUIRED
+    if mitigation == "Always save FPU":
+        # Applied everywhere: cheap, and faster than trapping (3.1).
+        return USED
+    if mitigation == "Index Masking":
+        return USED if cpu.vulns.spectre_v1 else NOT_REQUIRED
+    if mitigation == "lfence after swapgs":
+        return USED if config.v1_lfence_swapgs else NOT_REQUIRED
+    if mitigation == "Generic Retpoline":
+        return USED if config.v2_strategy is V2Strategy.RETPOLINE_GENERIC else NOT_REQUIRED
+    if mitigation == "AMD Retpoline":
+        return USED if config.v2_strategy is V2Strategy.RETPOLINE_AMD else NOT_REQUIRED
+    if mitigation == "IBRS":
+        return USED if config.v2_strategy is V2Strategy.IBRS else NOT_REQUIRED
+    if mitigation == "Enhanced IBRS":
+        return USED if config.v2_strategy is V2Strategy.EIBRS else NOT_REQUIRED
+    if mitigation == "RSB Stuffing":
+        return USED if config.v2_rsb_stuffing else NOT_REQUIRED
+    if mitigation == "IBPB":
+        return USED if config.v2_ibpb else NOT_REQUIRED
+    if mitigation == "SSBD":
+        # Every part is vulnerable, none enables SSBD globally by default.
+        return NOT_DEFAULT if cpu.vulns.ssb else NOT_REQUIRED
+    if mitigation == "Flush CPU Buffers":
+        return USED if config.mds_verw else NOT_REQUIRED
+    if mitigation == "Disable SMT":
+        if not cpu.vulns.mds:
+            return NOT_REQUIRED
+        return NOT_DEFAULT  # vulnerable, but SMT stays on by default (3.3)
+    raise KeyError(f"unknown Table 1 row: {attack}/{mitigation}")
+
+
+def table1_matrix(kernel: Tuple[int, int] = DEFAULT_KERNEL) -> Dict[Tuple[str, str], List[str]]:
+    """The full Table 1: row -> one cell per CPU in catalog order."""
+    return {
+        row: [table1_cell(cpu, *row, kernel=kernel) for cpu in all_cpus()]
+        for row in TABLE1_ROWS
+    }

@@ -1,0 +1,87 @@
+"""The paper's Figure 4, executed mechanistically.
+
+Elsewhere in the model retpolines are priced through the calibrated
+Table 5 deltas (an instruction flag).  This module instead *runs* the
+generic retpoline's trick through the machine's actual RSB/BTB machinery,
+so the safety argument is demonstrated rather than asserted:
+
+.. code-block:: asm
+
+    generic_retpoline:
+        call 2f        ; push the capture point onto the RSB
+    1:  pause          ; [speculatively executed]
+        lfence         ; [speculatively executed: ends the window]
+        jmp 1b
+    2:  mov %r11, (%rsp)  ; overwrite the return address
+        ret            ; architecturally to %r11; *speculatively* to 1:
+
+The ``ret`` consumes the RSB entry pushed by the ``call`` — which points
+at the pause/lfence capture loop — so the only place speculation can go
+is a serializing dead end.  The BTB never participates, hence nothing to
+poison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..cpu import counters as ctr
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import Machine
+
+#: Code layout for one retpoline thunk.  The machine's RSB records the
+#: *call site* as the return prediction, and the capture loop is the
+#: call's fall-through — so the capture code is registered at the call
+#: site's address (one code block covering "just after the call").
+THUNK_CALL_PC = 0x4C_1000      # the 'call 2f'; label 1 falls through here
+CAPTURE_LOOP = THUNK_CALL_PC   # pause; lfence; jmp 1b
+THUNK_RET_PC = 0x4C_1010       # label 2: the ret
+
+
+def capture_loop_block() -> List[Instruction]:
+    """The speculation trap: pause then a serializing lfence."""
+    return [isa.Instruction(isa.Op.PAUSE), isa.lfence()]
+
+
+def execute_generic_retpoline(machine: Machine, target: int) -> int:
+    """Run the Figure 4 sequence against the live RSB; returns cycles.
+
+    Architecturally control ends up at ``target``; speculatively the
+    ``ret`` goes to the capture loop (the RSB entry the ``call`` pushed).
+    """
+    machine.register_code(CAPTURE_LOOP, capture_loop_block())
+    cycles = machine.execute(isa.call(target=THUNK_RET_PC, pc=THUNK_CALL_PC))
+    # 'mov %r11, (%rsp)': overwrite the *architectural* return address.
+    # The RSB still holds the capture point — that's the whole trick.
+    cycles += machine.execute(isa.Instruction(isa.Op.ALU))
+    # The ret: RSB predicts the call site (our model pushes the call pc,
+    # i.e. the capture loop's address region); the real target differs.
+    cycles += machine.execute(isa.ret(pc=THUNK_RET_PC, target=target))
+    return cycles
+
+
+def retpoline_speculation_is_captured(machine: Machine,
+                                      poisoned_gadget: int) -> Tuple[bool, bool]:
+    """Where does the retpoline's speculation actually go?
+
+    The attacker has a gadget registered at ``poisoned_gadget`` and has
+    poisoned the BTB entry for the thunk's ret.  Returns
+    ``(gadget_ran, capture_loop_entered)``: a correct retpoline yields
+    ``(False, True)`` — speculation went to the pause/lfence trap, never
+    to the gadget.
+    """
+    machine.register_code(poisoned_gadget, [isa.div()])
+    # Attacker poisons the BTB at the ret's PC (as if it were an indirect
+    # branch site).  A raw indirect branch would consume this.
+    machine.btb.train(THUNK_RET_PC, poisoned_gadget, machine.mode)
+
+    div_before = machine.counters.read(ctr.DIVIDER_ACTIVE)
+    transient_before = machine.counters.read(ctr.TRANSIENT_INSTRUCTIONS)
+    execute_generic_retpoline(machine, target=0x4C_9000)
+    gadget_ran = machine.counters.read(ctr.DIVIDER_ACTIVE) > div_before
+    # The capture loop's pause executes transiently when the ret consumes
+    # the RSB entry pointing at it.
+    captured = machine.counters.read(
+        ctr.TRANSIENT_INSTRUCTIONS) > transient_before
+    return gadget_ran, captured

@@ -1,0 +1,62 @@
+"""SpectreRSB: speculation attacks through the Return Stack Buffer.
+
+Koruyeh et al. (cited by the paper in 5.3) showed the RSB itself can be
+mistrained: an attacker either *plants* return addresses (by making calls
+whose returns the victim will consume after a context switch) or
+*underflows* the buffer so Skylake-class parts fall back to the
+(poisonable) BTB.  The paper notes that Linux's RSB stuffing — nominally
+a retpoline-support measure — "also provides protection against
+variations of SpectreRSB", and that some of the overhead billed to
+Spectre V2 really belongs here.
+
+Both flavors are demonstrated mechanically below, along with the
+stuffing defence.
+"""
+
+from __future__ import annotations
+
+from ..cpu import isa
+from ..cpu.machine import Machine
+from ..cpu.modes import Mode
+
+#: Demonstration layout.
+GADGET_ADDRESS = 0x46_2000
+RETURN_SITE_PC = 0x46_1000
+LEAK_LINE = 0x7900_0000_0000
+
+
+def _install_gadget(machine: Machine) -> None:
+    machine.register_code(GADGET_ADDRESS, [isa.load(LEAK_LINE)])
+    machine.caches.flush_line(LEAK_LINE)
+
+
+def attempt_planted_return(machine: Machine, stuffed: bool = False) -> bool:
+    """Flavor 1: the attacker leaves a poisoned return address in the RSB
+    (e.g. across a context switch); the victim's next ``ret`` consumes it
+    and transiently executes the gadget.  RSB stuffing on the switch path
+    overwrites the plant.  Returns True when the gadget ran."""
+    _install_gadget(machine)
+    machine.rsb.clear()
+    machine.rsb.push(GADGET_ADDRESS)  # the attacker's plant
+    if stuffed:
+        machine.execute(isa.rsb_fill())  # the context-switch mitigation
+    # Victim returns; its architectural return target is elsewhere.
+    machine.execute(isa.ret(pc=RETURN_SITE_PC, target=0x46_4000))
+    return machine.caches.probe_l1(LEAK_LINE)
+
+
+def attempt_underflow_fallback(machine: Machine, stuffed: bool = False) -> bool:
+    """Flavor 2 (Skylake-class only): drain the RSB so a ``ret`` falls
+    back to the BTB, which the attacker poisoned at the return site.
+    Parts that stall on underflow (Broadwell) are immune to this flavor;
+    stuffing prevents the underflow entirely.  Returns True on leak."""
+    _install_gadget(machine)
+    # Poison the BTB entry at the return site.
+    machine.mode = Mode.USER
+    machine.execute(isa.branch_indirect(GADGET_ADDRESS, pc=RETURN_SITE_PC))
+    machine.caches.flush_line(LEAK_LINE)
+    machine.rsb.clear()  # attacker drained the buffer with deep returns
+    if stuffed:
+        machine.execute(isa.rsb_fill())
+    machine.execute(isa.ret(pc=RETURN_SITE_PC, target=0x46_4000))
+    return machine.caches.probe_l1(LEAK_LINE)

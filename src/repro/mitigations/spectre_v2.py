@@ -1,0 +1,126 @@
+"""Spectre V2 (branch target injection) mitigation building blocks.
+
+The attack poisons the Branch Target Buffer so a victim's indirect branch
+transiently jumps to an attacker-chosen gadget.  There is no single
+mitigation (paper section 3.2); the deployed set is:
+
+* **retpolines** — replace every indirect branch with a sequence that
+  captures speculation in a safe loop.  Two flavors (paper Figure 4):
+  *generic* (call/overwrite/ret, works everywhere) and *AMD* (lfence+jmp,
+  cheaper on some AMD parts but later shown racy and abandoned);
+* **IBRS / enhanced IBRS** — MSR modes restricting cross-privilege
+  prediction (analyzed in depth in paper section 6);
+* **IBPB** — a prediction barrier on context switches between mutually
+  distrusting processes (Table 6);
+* **RSB stuffing** — refill the return stack buffer on context switch so
+  interrupted user retpolines stay safe, also blocking SpectreRSB (Table 7).
+
+The cycle costs of each primitive are calibrated per CPU in
+:mod:`repro.cpu.model`; this module provides the instruction sequences the
+kernel model splices in, plus a BTB-poisoning demonstration used by tests
+(the full measurement methodology lives in :mod:`repro.core.probe`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.machine import Machine
+from ..cpu.modes import Mode
+from ..cpu.msr import IA32_PRED_CMD, IA32_SPEC_CTRL, PRED_CMD_IBPB, SPEC_CTRL_IBRS
+from .base import MitigationConfig, V2Strategy
+
+#: Code addresses used by the demonstration (the probe uses its own).
+VICTIM_BRANCH_PC = 0x40_1000
+GADGET_ADDRESS = 0x40_2000
+BENIGN_ADDRESS = 0x40_3000
+LEAK_LINE = 0x7D00_0000_0000
+
+
+def retpoline_variant_for(config: MitigationConfig) -> Optional[str]:
+    """Machine retpoline flavor implied by a config, or None."""
+    if config.v2_strategy is V2Strategy.RETPOLINE_GENERIC:
+        return "generic"
+    if config.v2_strategy is V2Strategy.RETPOLINE_AMD:
+        return "amd"
+    return None
+
+
+def indirect_branch(target: int, pc: int, config: MitigationConfig) -> Instruction:
+    """An indirect branch as the kernel would compile it under ``config``:
+    a raw branch normally, a retpoline when the strategy says so."""
+    return isa.branch_indirect(target, pc=pc, retpoline=config.uses_retpolines)
+
+
+def ibpb_sequence() -> List[Instruction]:
+    """Indirect Branch Prediction Barrier: write IA32_PRED_CMD bit 0."""
+    return [isa.wrmsr(IA32_PRED_CMD, PRED_CMD_IBPB)]
+
+
+def rsb_stuffing_sequence() -> List[Instruction]:
+    """The 32-entry RSB fill loop, as one macro instruction (Table 7)."""
+    return [isa.rsb_fill()]
+
+
+def ibrs_entry_sequence() -> List[Instruction]:
+    """Legacy IBRS: set SPEC_CTRL.IBRS on kernel entry."""
+    return [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_IBRS)]
+
+
+def ibrs_exit_sequence() -> List[Instruction]:
+    """Legacy IBRS: clear SPEC_CTRL.IBRS before returning to user mode."""
+    return [isa.wrmsr(IA32_SPEC_CTRL, 0)]
+
+
+def install_gadget(machine: Machine) -> None:
+    """Register the Spectre gadget and a benign landing pad in program
+    memory so transient windows have something to execute."""
+    machine.register_code(
+        GADGET_ADDRESS,
+        [isa.load(LEAK_LINE)],  # the observable side effect
+    )
+    machine.register_code(BENIGN_ADDRESS, [isa.nop()])
+
+
+def poison_btb(machine: Machine, mode: Mode, pc: int = VICTIM_BRANCH_PC,
+               gadget: int = GADGET_ADDRESS, rounds: int = 4) -> None:
+    """Attacker phase: repeatedly execute the branch toward the gadget so
+    the BTB learns it.  ``mode`` is the mode the attacker runs in."""
+    saved = machine.mode
+    machine.mode = mode
+    for _ in range(rounds):
+        machine.execute(isa.branch_indirect(gadget, pc=pc))
+    machine.mode = saved
+
+
+def victim_executes(machine: Machine, mode: Mode, pc: int = VICTIM_BRANCH_PC,
+                    benign: int = BENIGN_ADDRESS,
+                    config: Optional[MitigationConfig] = None) -> None:
+    """Victim phase: the same branch runs with a *different* (benign)
+    architectural target.  If the poisoned prediction is consumed, the
+    gadget runs transiently and touches ``LEAK_LINE``."""
+    saved = machine.mode
+    machine.mode = mode
+    retpoline = bool(config and config.uses_retpolines)
+    machine.execute(isa.branch_indirect(benign, pc=pc, retpoline=retpoline))
+    machine.mode = saved
+
+
+def attempt_btb_injection(
+    machine: Machine,
+    attacker_mode: Mode,
+    victim_mode: Mode,
+    config: Optional[MitigationConfig] = None,
+    ibpb_between: bool = False,
+) -> bool:
+    """End-to-end V2 demonstration.  Returns True when the gadget's cache
+    footprint shows transient execution was steered to it."""
+    install_gadget(machine)
+    machine.caches.flush_line(LEAK_LINE)
+    poison_btb(machine, attacker_mode)
+    if ibpb_between:
+        machine.run(ibpb_sequence())
+    victim_executes(machine, victim_mode, config=config)
+    return machine.caches.probe_l1(LEAK_LINE)

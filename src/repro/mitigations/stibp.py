@@ -1,0 +1,62 @@
+"""STIBP: Single Thread Indirect Branch Predictors.
+
+The cross-hyperthread variant of Spectre V2: siblings share the BTB, so
+an attacker thread can steer the victim thread's indirect branches
+without any privilege transition at all.  STIBP (``IA32_SPEC_CTRL`` bit
+1) makes entries trained by the other thread invisible.  Linux manages
+it with the same ``spectre_v2_user=`` policy as IBPB — on for tasks that
+asked via prctl/seccomp.
+
+This module provides the MSR sequence and a mechanical demonstration on
+an :class:`~repro.cpu.smt.SMTCore`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cpu import isa
+from ..cpu.isa import Instruction
+from ..cpu.modes import Mode
+from ..cpu.msr import IA32_SPEC_CTRL, SPEC_CTRL_STIBP
+from ..cpu.smt import SMTCore
+
+#: Demonstration layout (distinct from the other demos' regions).
+VICTIM_BRANCH_PC = 0x45_1000
+GADGET_ADDRESS = 0x45_2000
+BENIGN_ADDRESS = 0x45_3000
+LEAK_LINE = 0x7B00_0000_0000
+
+
+def stibp_enable_sequence() -> List[Instruction]:
+    """MSR write turning STIBP on for the current thread."""
+    return [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_STIBP)]
+
+
+def attempt_cross_thread_injection(core: SMTCore, stibp: bool = False) -> bool:
+    """Spectre V2 across hyperthreads.
+
+    Thread 1 (attacker) trains the shared BTB toward a gadget; thread 0
+    (victim) executes the same branch site with a benign target.  Without
+    STIBP the victim transiently runs the gadget; with STIBP the foreign
+    entry is invisible.  Returns True when the gadget's cache footprint
+    appears.
+    """
+    victim, attacker = core.thread0, core.thread1
+    victim.register_code(GADGET_ADDRESS, [isa.load(LEAK_LINE)])
+    victim.register_code(BENIGN_ADDRESS, [isa.nop()])
+    victim.caches.flush_line(LEAK_LINE)
+
+    if stibp:
+        victim.run(stibp_enable_sequence())
+
+    # Attacker thread trains the shared predictor (same mode: both user).
+    attacker.mode = Mode.USER
+    for _ in range(4):
+        attacker.execute(isa.branch_indirect(GADGET_ADDRESS,
+                                             pc=VICTIM_BRANCH_PC))
+
+    # Victim thread executes the branch with its real, benign target.
+    victim.mode = Mode.USER
+    victim.execute(isa.branch_indirect(BENIGN_ADDRESS, pc=VICTIM_BRANCH_PC))
+    return victim.caches.probe_l1(LEAK_LINE)

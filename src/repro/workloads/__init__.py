@@ -1,0 +1,16 @@
+"""Workload substitutes for the paper's end-to-end benchmarks.
+
+* :mod:`~repro.workloads.lebench` — OS-interface microbenchmarks (4.2)
+* :mod:`~repro.workloads.parsec` — compute benchmarks (4.5, 5.5)
+* :mod:`~repro.workloads.lfs` — VM disk workloads (4.4)
+* :mod:`~repro.workloads.vm_lebench` — LEBench in a guest (4.4)
+
+The Octane suite lives with its engine in :mod:`repro.jsengine.octane`.
+"""
+
+from . import consolidation, custom, lebench, lfs, parsec, vm_lebench
+from .consolidation import ConsolidationMix
+from .custom import WorkloadBuilder
+
+__all__ = ["ConsolidationMix", "WorkloadBuilder", "consolidation", "custom",
+           "lebench", "lfs", "parsec", "vm_lebench"]

@@ -1,0 +1,86 @@
+"""Server consolidation: many mixed-trust processes on one core.
+
+The per-process mitigations (conditional IBPB/STIBP, SSBD opt-ins, eager
+FPU) only show their real cost when *different kinds* of tasks share a
+CPU: a consolidation host interleaves plain batch jobs with sandboxed
+(seccomp'd) services, and every switch across that trust boundary pays
+the barrier.  The paper's LEBench context-switch cases ping-pong between
+two identical processes; this workload generalizes them into the shape a
+cloud host actually runs, driven by the preemptive
+:class:`~repro.kernel.interrupts.TimesliceScheduler`.
+
+Knobs of interest: the sandboxed fraction (how many switches cross the
+trust boundary) and the timeslice (how often switches happen at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..cpu.machine import Machine
+from ..cpu.model import CPUModel
+from ..errors import WorkloadError
+from ..kernel import Kernel, Process, TaskState, TimesliceScheduler
+from ..mitigations.base import MitigationConfig
+
+
+@dataclass(frozen=True)
+class ConsolidationMix:
+    """One host's task population."""
+
+    plain_tasks: int = 4          # batch jobs, no opt-ins
+    sandboxed_tasks: int = 4      # seccomp'd services (IBPB/SSBD targets)
+    work_per_task: int = 120_000  # user cycles each must complete
+    timeslice_cycles: int = 15_000
+    fpu_tasks: bool = True        # services use the FPU (eager-FPU surface)
+
+    def __post_init__(self) -> None:
+        if self.plain_tasks + self.sandboxed_tasks < 1:
+            raise WorkloadError("need at least one task")
+        if self.work_per_task <= 0 or self.timeslice_cycles <= 0:
+            raise WorkloadError("work and timeslice must be positive")
+
+
+DEFAULT_MIX = ConsolidationMix()
+
+
+def build_tasks(mix: ConsolidationMix) -> List[TaskState]:
+    tasks: List[TaskState] = []
+    for i in range(mix.plain_tasks):
+        tasks.append(TaskState(Process(f"batch-{i}"),
+                               work_remaining=mix.work_per_task))
+    for i in range(mix.sandboxed_tasks):
+        tasks.append(TaskState(
+            Process(f"service-{i}", uses_seccomp=True,
+                    uses_fpu=mix.fpu_tasks),
+            work_remaining=mix.work_per_task))
+    return tasks
+
+
+def run_host(
+    cpu: CPUModel,
+    config: MitigationConfig,
+    mix: ConsolidationMix = DEFAULT_MIX,
+    seed: int = 1,
+) -> Tuple[int, TimesliceScheduler]:
+    """Run the whole task population to completion.
+
+    Returns (total cycles, the scheduler — for its tick/IBPB stats).
+    """
+    kernel = Kernel(Machine(cpu, seed=seed), config)
+    scheduler = TimesliceScheduler(kernel,
+                                   timeslice_cycles=mix.timeslice_cycles)
+    total = scheduler.run(build_tasks(mix))
+    return total, scheduler
+
+
+def consolidation_overhead_percent(
+    cpu: CPUModel,
+    config: MitigationConfig,
+    mix: ConsolidationMix = DEFAULT_MIX,
+) -> float:
+    """Slowdown of ``config`` vs all-off on this host shape."""
+    mitigated, _ = run_host(cpu, config, mix)
+    baseline, _ = run_host(cpu, MitigationConfig.all_off(), mix)
+    return 100.0 * (mitigated / baseline - 1.0)

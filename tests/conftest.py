@@ -1,0 +1,51 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.core.study import Settings
+from repro.mitigations import MitigationConfig, linux_default
+
+
+@pytest.fixture
+def broadwell():
+    return get_cpu("broadwell")
+
+
+@pytest.fixture
+def cascade_lake():
+    return get_cpu("cascade_lake")
+
+
+@pytest.fixture
+def zen3():
+    return get_cpu("zen3")
+
+
+@pytest.fixture
+def machine(broadwell):
+    """A fresh Broadwell machine (the most-vulnerable part: every attack
+    demo works there, so mitigations are what change outcomes)."""
+    return Machine(broadwell, seed=0)
+
+
+@pytest.fixture(params=[cpu.key for cpu in all_cpus()])
+def every_cpu(request):
+    """Parametrized over all eight catalog CPUs."""
+    return get_cpu(request.param)
+
+
+@pytest.fixture
+def all_off():
+    return MitigationConfig.all_off()
+
+
+@pytest.fixture
+def fast_settings():
+    return Settings.fast()
+
+
+def default_config(cpu):
+    return linux_default(cpu)

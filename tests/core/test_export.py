@@ -1,0 +1,78 @@
+"""JSON/CSV export of experiment results."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.attribution import AttributionResult, Contribution
+from repro.core.export import (
+    attributions_to_json,
+    paired_to_csv,
+    paired_to_json,
+    speculation_matrix_to_json,
+)
+from repro.core.probe import SCENARIOS, speculation_matrix
+from repro.core.stats import Measurement
+from repro.core.study import PairedOverhead
+from repro.cpu import get_cpu
+
+
+def fake_attribution():
+    result = AttributionResult(
+        cpu="broadwell", workload="lebench", metric="cycles",
+        baseline=Measurement(1000.0, 5.0, 12),
+        default=Measurement(1400.0, 5.0, 12),
+    )
+    result.contributions.append(Contribution(
+        knob="pti", boot_param="nopti", percent=25.0,
+        with_knob=Measurement(1400.0, 5.0, 12),
+        without_knob=Measurement(1150.0, 5.0, 12)))
+    result.other_percent = 15.0
+    return result
+
+
+def fake_paired():
+    return PairedOverhead(
+        cpu="zen3", workload="swaptions",
+        baseline=Measurement(100.0, 0.5, 10),
+        treated=Measurement(134.0, 0.5, 10),
+        overhead_percent=34.0)
+
+
+def test_attribution_json_roundtrip():
+    payload = json.loads(attributions_to_json([fake_attribution()]))
+    (entry,) = payload
+    assert entry["cpu"] == "broadwell"
+    assert entry["total_overhead_percent"] == pytest.approx(40.0)
+    (contribution,) = entry["contributions"]
+    assert contribution["knob"] == "pti"
+    assert contribution["significant"] is True
+    assert entry["baseline"]["samples"] == 12
+
+
+def test_paired_json():
+    payload = json.loads(paired_to_json([fake_paired()]))
+    (entry,) = payload
+    assert entry["workload"] == "swaptions"
+    assert entry["overhead_percent"] == pytest.approx(34.0)
+    assert entry["significant"] is True
+
+
+def test_paired_csv_parses_back():
+    text = paired_to_csv([fake_paired(), fake_paired()])
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[0]["cpu"] == "zen3"
+    assert float(rows[0]["overhead_percent"]) == pytest.approx(34.0)
+    assert rows[0]["significant"] == "1"
+
+
+def test_speculation_matrix_json():
+    matrix = speculation_matrix((get_cpu("zen"), get_cpu("broadwell")),
+                                ibrs=True)
+    payload = json.loads(speculation_matrix_to_json(matrix))
+    assert payload["zen"] is None  # the N/A row
+    assert set(payload["broadwell"]) == {s.label for s in SCENARIOS}
+    assert all(v is False for v in payload["broadwell"].values())

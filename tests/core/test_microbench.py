@@ -1,0 +1,111 @@
+"""Microbenchmarks recover the paper's Tables 3-8 through the timed-loop
+measurement pipeline (not by reading the calibration back)."""
+
+import pytest
+
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.core import microbench as mb
+from repro.errors import UnsupportedFeatureError
+
+ITER = 300
+
+
+@pytest.mark.parametrize("key,syscall,sysret,cr3", [
+    ("broadwell", 49, 40, 206),
+    ("skylake_client", 42, 42, 191),
+    ("zen3", 83, 55, None),
+])
+def test_table3_measurements(key, syscall, sysret, cr3):
+    row = mb.table3_row(get_cpu(key), iterations=ITER)
+    assert row.syscall == pytest.approx(syscall, abs=1)
+    assert row.sysret == pytest.approx(sysret, abs=1)
+    if cr3 is None:
+        assert row.swap_cr3 is None
+    else:
+        assert row.swap_cr3 == pytest.approx(cr3, abs=2)
+
+
+def test_table4_measurements():
+    assert mb.table4_value(get_cpu("cascade_lake"), ITER) == \
+        pytest.approx(458, abs=1)
+    assert mb.table4_value(get_cpu("zen2"), ITER) is None
+
+
+@pytest.mark.parametrize("key,base,ibrs,generic,amd", [
+    ("broadwell", 16, 32, 28, None),
+    ("cascade_lake", 3, 0, 49, None),
+    ("zen", 30, None, 25, 28),
+    ("zen2", 3, 13, 14, 0),
+])
+def test_table5_measurements(key, base, ibrs, generic, amd):
+    row = mb.table5_row(get_cpu(key), iterations=ITER)
+    assert row.baseline == pytest.approx(base, abs=1)
+    if ibrs is None:
+        assert row.ibrs_extra is None
+    else:
+        assert row.ibrs_extra == pytest.approx(ibrs, abs=1)
+    assert row.generic_extra == pytest.approx(generic, abs=1)
+    if amd is None:
+        assert row.amd_extra is None
+    else:
+        assert row.amd_extra == pytest.approx(amd, abs=1)
+
+
+def test_table6_measurements():
+    assert mb.table6_value(get_cpu("zen"), 50) == pytest.approx(7400, abs=5)
+    assert mb.table6_value(get_cpu("cascade_lake"), 50) == \
+        pytest.approx(340, abs=5)
+
+
+def test_table7_measurements():
+    assert mb.table7_value(get_cpu("ice_lake_client"), ITER) == \
+        pytest.approx(40, abs=1)
+
+
+def test_table8_measurements():
+    assert mb.table8_value(get_cpu("zen2"), ITER) == pytest.approx(4, abs=1)
+    assert mb.table8_value(get_cpu("zen"), ITER) == pytest.approx(48, abs=1)
+
+
+def test_indirect_branch_rejects_bogus_variant():
+    with pytest.raises(ValueError):
+        mb.measure_indirect_branch(Machine(get_cpu("zen")), "turbo")
+
+
+def test_ibrs_measurement_rejected_on_zen():
+    with pytest.raises(UnsupportedFeatureError):
+        mb.measure_indirect_branch(Machine(get_cpu("zen")), "ibrs")
+
+
+def test_ibpb_improvement_trend_matches_paper():
+    """Table 6's headline: IBPB got enormously cheaper over generations."""
+    values = {cpu.key: mb.table6_value(cpu, 30) for cpu in all_cpus()}
+    assert values["broadwell"] > 10 * values["cascade_lake"]
+    assert values["zen"] > 5 * values["zen3"]
+
+
+class TestBimodalEntries:
+    """Section 6.2.2: eIBRS kernel entries are bimodal."""
+
+    def test_two_modes_with_eibrs(self):
+        lat = mb.kernel_entry_latencies(get_cpu("cascade_lake"),
+                                        entries=300, eibrs=True)
+        values = sorted(set(lat))
+        assert len(values) == 2
+        assert values[1] - values[0] == 210  # the extra scrub cost
+
+    def test_slow_entry_rate_is_one_in_eight_to_twenty(self):
+        lat = mb.kernel_entry_latencies(get_cpu("cascade_lake"),
+                                        entries=2000, eibrs=True)
+        slow = sum(1 for v in lat if v > min(lat))
+        rate = len(lat) / slow
+        assert 8 <= rate <= 20
+
+    def test_unimodal_without_eibrs(self):
+        lat = mb.kernel_entry_latencies(get_cpu("cascade_lake"),
+                                        entries=300, eibrs=False)
+        assert len(set(lat)) == 1
+
+    def test_rejected_on_non_eibrs_part(self):
+        with pytest.raises(UnsupportedFeatureError):
+            mb.kernel_entry_latencies(get_cpu("broadwell"), eibrs=True)

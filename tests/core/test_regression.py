@@ -1,0 +1,112 @@
+"""Regression diffing of exported results."""
+
+import json
+
+import pytest
+
+from repro.core.regression import Change, diff_results, render_diff
+
+
+def attribution_json(pti=15.0, total=40.0):
+    return json.dumps([{
+        "cpu": "broadwell",
+        "workload": "lebench",
+        "total_overhead_percent": total,
+        "other_percent": 1.0,
+        "contributions": [
+            {"knob": "pti", "boot_param": "nopti", "percent": pti,
+             "significant": True},
+        ],
+    }])
+
+
+def paired_json(value=34.0):
+    return json.dumps([{
+        "cpu": "zen3", "workload": "swaptions",
+        "overhead_percent": value, "significant": True,
+    }])
+
+
+def test_identical_runs_produce_no_changes():
+    assert diff_results(attribution_json(), attribution_json()) == []
+
+
+def test_moved_knob_is_reported():
+    changes = diff_results(attribution_json(pti=15.0),
+                           attribution_json(pti=18.0))
+    keys = {c.key for c in changes}
+    assert ("broadwell", "lebench", "pti") in keys
+    (change,) = [c for c in changes
+                 if c.key == ("broadwell", "lebench", "pti")]
+    assert change.delta == pytest.approx(3.0)
+
+
+def test_tolerance_suppresses_small_drift():
+    changes = diff_results(attribution_json(pti=15.0),
+                           attribution_json(pti=15.3), tolerance=0.5)
+    assert not any(c.key[-1] == "pti" for c in changes)
+
+
+def test_paired_schema_supported():
+    changes = diff_results(paired_json(34.0), paired_json(28.0))
+    (change,) = changes
+    assert change.key == ("zen3", "swaptions")
+    assert change.delta == pytest.approx(-6.0)
+
+
+def test_disappearing_knob_reported_as_zero():
+    gone = json.dumps([{
+        "cpu": "broadwell", "workload": "lebench",
+        "total_overhead_percent": 40.0, "other_percent": 1.0,
+        "contributions": [],
+    }])
+    changes = diff_results(attribution_json(pti=15.0), gone)
+    (change,) = [c for c in changes
+                 if c.key == ("broadwell", "lebench", "pti")]
+    assert change.after == 0.0
+
+
+def test_bad_schema_rejected():
+    with pytest.raises(ValueError):
+        diff_results(json.dumps([{"what": 1}]), json.dumps([{"what": 1}]))
+    with pytest.raises(ValueError):
+        diff_results(json.dumps({"not": "a list"}), json.dumps([]))
+
+
+def test_empty_runs_diff_cleanly():
+    assert diff_results("[]", "[]") == []
+
+
+def test_render_diff():
+    changes = diff_results(paired_json(34.0), paired_json(28.0))
+    out = render_diff(changes)
+    assert "zen3/swaptions" in out and "-6.00" in out
+    assert render_diff([]) == "no changes beyond tolerance\n"
+
+
+def test_changes_sorted_stably():
+    old = json.dumps([
+        {"cpu": "zen3", "workload": "b", "overhead_percent": 1.0,
+         "significant": False},
+        {"cpu": "zen3", "workload": "a", "overhead_percent": 1.0,
+         "significant": False},
+    ])
+    new = json.dumps([
+        {"cpu": "zen3", "workload": "b", "overhead_percent": 9.0,
+         "significant": False},
+        {"cpu": "zen3", "workload": "a", "overhead_percent": 9.0,
+         "significant": False},
+    ])
+    changes = diff_results(old, new)
+    assert [c.key for c in changes] == [("zen3", "a"), ("zen3", "b")]
+
+
+def test_end_to_end_with_real_export():
+    """The diff consumes what the export module actually produces."""
+    from repro.core import export, study
+    from repro.core.study import Settings
+    from repro.cpu import get_cpu
+    results = study.figure5([get_cpu("zen")],
+                            settings=Settings.fast())
+    text = export.paired_to_json(results)
+    assert diff_results(text, text) == []

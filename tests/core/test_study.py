@@ -1,0 +1,77 @@
+"""Study drivers produce paper-shaped results (spot checks; the full
+acceptance bands live in tests/integration/test_paper_results.py)."""
+
+import pytest
+
+from repro.cpu import get_cpu
+from repro.core import study
+from repro.core.study import Settings
+
+
+@pytest.fixture(scope="module")
+def settings():
+    return Settings.fast()
+
+
+def test_settings_fast_is_cheaper_than_default():
+    fast, full = Settings.fast(), Settings()
+    assert fast.iterations < full.iterations
+    assert fast.max_samples < full.max_samples
+
+
+def test_figure2_single_cpu(settings):
+    (result,) = study.figure2([get_cpu("broadwell")], settings)
+    assert result.cpu == "broadwell"
+    assert result.workload == "lebench"
+    assert result.total_overhead_percent > 20
+    assert result.contribution_for("pti").percent > 5
+    assert result.contribution_for("mds").percent > 5
+
+
+def test_figure2_skips_irrelevant_knobs_on_amd(settings):
+    (result,) = study.figure2([get_cpu("zen2")], settings)
+    assert result.contribution_for("pti") is None
+    assert result.contribution_for("mds") is None
+    assert result.contribution_for("spectre_v2") is not None
+
+
+def test_figure3_single_cpu(settings):
+    (result,) = study.figure3([get_cpu("ice_lake_server")], settings)
+    assert result.metric == "score"
+    assert 10 < result.total_overhead_percent < 30
+    assert result.contribution_for("js_object_guards").percent > \
+        result.contribution_for("js_index_masking").percent
+
+
+def test_figure5_ordering(settings):
+    from repro.workloads.parsec import SUITE
+    results = study.figure5([get_cpu("zen3")], settings=settings)
+    by_name = {r.workload: r.overhead_percent for r in results}
+    assert by_name["swaptions"] > by_name["bodytrack"] > by_name["facesim"]
+    assert by_name["swaptions"] > 25
+
+
+def test_parsec_default_within_noise(settings):
+    results = study.parsec_default_overheads([get_cpu("zen2")],
+                                             settings=settings)
+    for r in results:
+        assert abs(r.overhead_percent) < 2.0
+
+
+def test_vm_lebench_band(settings):
+    (result,) = study.vm_lebench_overheads([get_cpu("skylake_client")],
+                                           settings)
+    assert abs(result.overhead_percent) < 3.0
+
+
+def test_lfs_band(settings):
+    results = study.lfs_overheads([get_cpu("cascade_lake")],
+                                  settings=settings)
+    for r in results:
+        assert r.overhead_percent < 3.0
+
+
+def test_paired_overhead_significance_fields(settings):
+    (result,) = study.vm_lebench_overheads([get_cpu("zen")], settings)
+    assert result.baseline.samples >= 2
+    assert result.treated.samples >= 2

@@ -1,0 +1,98 @@
+"""Sweeps: interpolation, crossovers, and the two canned curves."""
+
+import pytest
+
+from repro.core.sweeps import (
+    SweepResult,
+    find_crossover,
+    overhead_vs_operation_size,
+    ssbd_overhead_vs_forwarding_density,
+    sweep,
+)
+from repro.cpu import get_cpu
+from repro.mitigations import linux_default
+
+
+def test_sweep_result_validates_lengths():
+    with pytest.raises(ValueError):
+        SweepResult("x", (1.0, 2.0), (1.0,))
+
+
+def test_sweep_evaluates_in_order():
+    result = sweep("n", [1, 2, 3], lambda x: x * 10)
+    assert result.xs == (1.0, 2.0, 3.0)
+    assert result.ys == (10.0, 20.0, 30.0)
+
+
+class TestInterpolation:
+    CURVE = SweepResult("x", (0.0, 10.0, 20.0), (100.0, 50.0, 0.0))
+
+    def test_exact_points(self):
+        assert self.CURVE.interpolate(10.0) == 50.0
+
+    def test_midpoints(self):
+        assert self.CURVE.interpolate(5.0) == 75.0
+        assert self.CURVE.interpolate(15.0) == 25.0
+
+    def test_clamping(self):
+        assert self.CURVE.interpolate(-5.0) == 100.0
+        assert self.CURVE.interpolate(99.0) == 0.0
+
+    def test_first_below(self):
+        assert self.CURVE.first_below(50.0) == pytest.approx(10.0, abs=2.1)
+        assert self.CURVE.first_below(75.0) == pytest.approx(5.0, abs=0.1)
+        assert self.CURVE.first_below(-1.0) is None
+
+    def test_first_below_at_start(self):
+        low = SweepResult("x", (0.0, 1.0), (1.0, 2.0))
+        assert low.first_below(5.0) == 0.0
+
+
+class TestCrossover:
+    def test_crossing_curves(self):
+        a = SweepResult("x", (0.0, 1.0, 2.0), (10.0, 5.0, 0.0))
+        b = SweepResult("x", (0.0, 1.0, 2.0), (2.0, 2.0, 2.0))
+        x = find_crossover(a, b)
+        assert 1.0 < x < 2.0
+
+    def test_never_crossing(self):
+        a = SweepResult("x", (0.0, 1.0), (10.0, 9.0))
+        b = SweepResult("x", (0.0, 1.0), (1.0, 1.0))
+        assert find_crossover(a, b) is None
+
+    def test_starts_below(self):
+        a = SweepResult("x", (0.0, 1.0), (1.0, 1.0))
+        b = SweepResult("x", (0.0, 1.0), (5.0, 5.0))
+        assert find_crossover(a, b) == 0.0
+
+    def test_mismatched_grids_rejected(self):
+        a = SweepResult("x", (0.0, 1.0), (1.0, 1.0))
+        b = SweepResult("x", (0.0, 2.0), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            find_crossover(a, b)
+
+
+class TestCannedSweeps:
+    def test_overhead_falls_with_operation_size(self):
+        """The section 4.2 structure: fixed per-crossing tax, so bigger
+        operations dilute it monotonically."""
+        cpu = get_cpu("broadwell")
+        result = overhead_vs_operation_size(
+            cpu, linux_default(cpu), sizes=(100, 1000, 10000, 100000))
+        assert list(result.ys) == sorted(result.ys, reverse=True)
+        assert result.ys[0] > 100   # getpid-sized: enormous relative tax
+        assert result.ys[-1] < 5    # fork-sized: noise
+
+    def test_ssbd_overhead_rises_with_forwarding_density(self):
+        result = ssbd_overhead_vs_forwarding_density(
+            get_cpu("zen3"), densities=(0, 40, 120))
+        assert result.ys[0] == pytest.approx(0.0, abs=0.5)
+        assert list(result.ys) == sorted(result.ys)
+
+    def test_ssbd_curve_steeper_on_zen3_than_broadwell(self):
+        """The Figure 5 gradient as a curve property."""
+        dens = (0, 80, 160)
+        zen3 = ssbd_overhead_vs_forwarding_density(get_cpu("zen3"), dens)
+        broadwell = ssbd_overhead_vs_forwarding_density(
+            get_cpu("broadwell"), dens)
+        assert zen3.ys[-1] > 2 * broadwell.ys[-1]

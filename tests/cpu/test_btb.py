@@ -1,0 +1,111 @@
+"""BTB and BHB models: tagging, IBPB semantics, Zen 3 opacity."""
+
+from repro.cpu.btb import (
+    HARMLESS_TARGET,
+    BranchHistoryBuffer,
+    BranchTargetBuffer,
+)
+from repro.cpu.modes import Mode
+
+
+def test_train_then_lookup():
+    btb = BranchTargetBuffer()
+    btb.train(0x100, 0x2000, Mode.USER)
+    assert btb.lookup(0x100, Mode.USER) == 0x2000
+    assert btb.lookup(0x104, Mode.USER) is None
+
+
+def test_retraining_updates_target():
+    btb = BranchTargetBuffer()
+    btb.train(0x100, 0x2000, Mode.USER)
+    btb.train(0x100, 0x3000, Mode.USER)
+    assert btb.lookup(0x100, Mode.USER) == 0x3000
+
+
+def test_untagged_btb_crosses_modes():
+    """Pre-eIBRS parts: user training steers kernel branches (Table 9)."""
+    btb = BranchTargetBuffer(mode_tagged=False)
+    btb.train(0x100, 0x2000, Mode.USER)
+    assert btb.lookup(0x100, Mode.KERNEL) == 0x2000
+
+
+def test_mode_tagged_btb_blocks_cross_mode():
+    """eIBRS parts: entries only predict in their training mode."""
+    btb = BranchTargetBuffer(mode_tagged=True)
+    btb.train(0x100, 0x2000, Mode.USER)
+    assert btb.lookup(0x100, Mode.KERNEL) is None
+    assert btb.lookup(0x100, Mode.USER) == 0x2000
+
+
+def test_opaque_index_blocks_redirect_but_not_lookup():
+    """Zen 3: prediction still works for timing; the probe cannot land."""
+    btb = BranchTargetBuffer(opaque_index=True)
+    btb.train(0x100, 0x2000, Mode.USER)
+    assert btb.lookup(0x100, Mode.USER) == 0x2000
+    assert btb.redirect_target(0x100, Mode.USER) is None
+
+
+def test_redirect_matches_lookup_on_normal_parts():
+    btb = BranchTargetBuffer()
+    btb.train(0x100, 0x2000, Mode.KERNEL)
+    assert btb.redirect_target(0x100, Mode.KERNEL) == 0x2000
+
+
+def test_barrier_rewrites_to_harmless_not_invalid():
+    """IBPB: entries predict the harmless gadget, so branches still
+    mispredict afterwards — the paper's performance counter observation."""
+    btb = BranchTargetBuffer()
+    btb.train(0x100, 0x2000, Mode.USER)
+    assert btb.barrier() == 1
+    assert btb.lookup(0x100, Mode.USER) == HARMLESS_TARGET
+    assert btb.contains(0x100)
+
+
+def test_flush_invalidates():
+    btb = BranchTargetBuffer()
+    btb.train(0x100, 0x2000, Mode.USER)
+    assert btb.flush() == 1
+    assert btb.lookup(0x100, Mode.USER) is None
+    assert len(btb) == 0
+
+
+def test_capacity_eviction():
+    btb = BranchTargetBuffer(entries=4)
+    for i in range(10):
+        btb.train(0x100 + 16 * i, 0x2000, Mode.USER)
+    assert len(btb) == 4
+
+
+class TestBHB:
+    def test_push_changes_hash(self):
+        bhb = BranchHistoryBuffer()
+        before = bhb.value
+        bhb.push(0x1234)
+        assert bhb.value != before
+
+    def test_same_history_same_hash(self):
+        a, b = BranchHistoryBuffer(), BranchHistoryBuffer()
+        for pc in (0x10, 0x20, 0x30):
+            a.push(pc)
+            b.push(pc)
+        assert a.value == b.value
+
+    def test_order_matters(self):
+        a, b = BranchHistoryBuffer(), BranchHistoryBuffer()
+        a.push(0x10)
+        a.push(0x20)
+        b.push(0x20)
+        b.push(0x10)
+        assert a.value != b.value
+
+    def test_reset(self):
+        bhb = BranchHistoryBuffer()
+        bhb.push(0x10)
+        bhb.reset()
+        assert bhb.value == 0
+
+    def test_hash_bounded_by_depth(self):
+        bhb = BranchHistoryBuffer(depth=29)
+        for pc in range(0, 1 << 16, 97):
+            bhb.push(pc)
+            assert 0 <= bhb.value < (1 << 29)

@@ -1,0 +1,63 @@
+"""MDS-leakable buffers: deposit, sample, verw clearing, immunity."""
+
+from repro.cpu.buffers import FILL_BUFFER, LOAD_PORT, STORE_BUFFER, MicroarchBuffers
+from repro.cpu.modes import Mode
+
+
+def vulnerable():
+    return MicroarchBuffers(vulnerable=True)
+
+
+def test_sample_empty_buffers_leaks_nothing():
+    assert vulnerable().sample(Mode.USER) == {}
+
+
+def test_load_deposits_fill_buffer_and_load_port():
+    buffers = vulnerable()
+    buffers.deposit_load(0xAA, Mode.KERNEL)
+    leaked = buffers.sample(Mode.USER)
+    assert leaked == {FILL_BUFFER: 0xAA, LOAD_PORT: 0xAA}
+
+
+def test_store_deposits_store_buffer():
+    buffers = vulnerable()
+    buffers.deposit_store(0xBB, Mode.KERNEL)
+    assert buffers.sample(Mode.USER) == {STORE_BUFFER: 0xBB}
+
+
+def test_same_mode_residue_is_not_a_leak():
+    """MDS is a cross-domain sampler; your own data is not a secret."""
+    buffers = vulnerable()
+    buffers.deposit_load(0xCC, Mode.USER)
+    assert buffers.sample(Mode.USER) == {}
+    assert buffers.sample(Mode.KERNEL) != {}
+
+
+def test_verw_clear_erases_everything():
+    buffers = vulnerable()
+    buffers.deposit_load(0xAA, Mode.KERNEL)
+    buffers.deposit_store(0xBB, Mode.KERNEL)
+    buffers.clear()
+    assert buffers.sample(Mode.USER) == {}
+
+
+def test_immune_part_never_leaks():
+    buffers = MicroarchBuffers(vulnerable=False)
+    buffers.deposit_load(0xAA, Mode.KERNEL)
+    buffers.deposit_store(0xBB, Mode.KERNEL)
+    assert buffers.sample(Mode.USER) == {}
+    assert not buffers.holds_foreign_data(Mode.USER)
+
+
+def test_newer_residue_overwrites_older():
+    buffers = vulnerable()
+    buffers.deposit_load(0x01, Mode.KERNEL)
+    buffers.deposit_load(0x02, Mode.KERNEL)
+    assert buffers.sample(Mode.USER)[FILL_BUFFER] == 0x02
+
+
+def test_guest_modes_count_as_distinct_domains():
+    buffers = vulnerable()
+    buffers.deposit_load(0x42, Mode.GUEST_KERNEL)
+    assert buffers.holds_foreign_data(Mode.KERNEL)
+    assert not buffers.holds_foreign_data(Mode.GUEST_KERNEL)

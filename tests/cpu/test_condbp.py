@@ -1,0 +1,114 @@
+"""The 2-bit conditional predictor and its machine integration."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import counters as ctr
+from repro.cpu import isa
+from repro.cpu.condbp import (
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+    ConditionalPredictor,
+)
+
+
+class TestPredictor:
+    def test_initial_state(self):
+        predictor = ConditionalPredictor()
+        assert not predictor.predict(0x100)
+
+    def test_invalid_initial_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionalPredictor(initial=7)
+
+    def test_training_saturates_taken(self):
+        predictor = ConditionalPredictor()
+        for _ in range(10):
+            predictor.update(0x100, taken=True)
+        assert predictor.state(0x100) == STRONG_TAKEN
+        assert predictor.predict(0x100)
+
+    def test_two_bit_hysteresis(self):
+        """One contrary outcome doesn't flip a strong prediction."""
+        predictor = ConditionalPredictor()
+        for _ in range(4):
+            predictor.update(0x100, taken=True)
+        predictor.update(0x100, taken=False)
+        assert predictor.predict(0x100)      # still predicts taken
+        predictor.update(0x100, taken=False)
+        assert not predictor.predict(0x100)  # two flips it
+
+    def test_pcs_are_independent(self):
+        predictor = ConditionalPredictor()
+        predictor.update(0x100, taken=True)
+        predictor.update(0x100, taken=True)
+        assert predictor.predict(0x100)
+        assert not predictor.predict(0x200)
+
+    def test_flush(self):
+        predictor = ConditionalPredictor()
+        predictor.update(0x100, taken=True)
+        predictor.flush()
+        assert len(predictor) == 0
+
+
+class TestMachineIntegration:
+    GADGET = 0x4F_2000
+
+    def test_correctly_predicted_branch_is_cheap(self):
+        machine = Machine(get_cpu("zen2"))
+        branch = isa.branch_cond(pc=0x100, taken=False)
+        assert machine.execute(branch) == machine.costs.cond_branch
+
+    def test_mispredicted_branch_pays_penalty(self):
+        machine = Machine(get_cpu("zen2"))
+        taken = isa.branch_cond(pc=0x100, taken=True)
+        cost = machine.execute(taken)  # predictor said not-taken
+        assert cost == machine.costs.cond_branch + \
+            machine.costs.mispredict_penalty
+
+    def test_training_then_correct_prediction(self):
+        machine = Machine(get_cpu("zen2"))
+        taken = isa.branch_cond(pc=0x100, taken=True)
+        machine.execute(taken)
+        machine.execute(taken)
+        assert machine.execute(taken) == machine.costs.cond_branch
+
+    def test_mistrained_branch_runs_taken_path_transiently(self):
+        machine = Machine(get_cpu("broadwell"))
+        machine.register_code(self.GADGET, [isa.div()])
+        trained = isa.branch_cond(target=self.GADGET, pc=0x100, taken=True)
+        for _ in range(4):
+            machine.execute(trained)
+        machine.counters.reset()
+        machine.execute(isa.branch_cond(target=self.GADGET, pc=0x100,
+                                        taken=False))
+        assert machine.counters.read(ctr.DIVIDER_ACTIVE) > 0
+
+    def test_untrained_not_taken_branch_runs_nothing(self):
+        machine = Machine(get_cpu("broadwell"))
+        machine.register_code(self.GADGET, [isa.div()])
+        machine.execute(isa.branch_cond(target=self.GADGET, pc=0x100,
+                                        taken=False))
+        assert machine.counters.read(ctr.DIVIDER_ACTIVE) == 0
+
+
+class TestTrainedV1:
+    def test_trained_v1_leaks(self, every_cpu):
+        from repro.mitigations.spectre_v1 import attempt_bounds_bypass_trained
+        machine = Machine(every_cpu)
+        assert attempt_bounds_bypass_trained(machine, 0x3D) == 0x3D
+
+    def test_lfence_stops_the_trained_variant(self):
+        from repro.mitigations.spectre_v1 import attempt_bounds_bypass_trained
+        machine = Machine(get_cpu("broadwell"))
+        assert attempt_bounds_bypass_trained(machine, 0x3D,
+                                             lfence_hardened=True) is None
+
+    def test_masking_stops_the_trained_variant(self):
+        from repro.mitigations.spectre_v1 import attempt_bounds_bypass_trained
+        machine = Machine(get_cpu("zen3"))
+        assert attempt_bounds_bypass_trained(machine, 0x3D,
+                                             masked=True) is None

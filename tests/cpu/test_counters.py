@@ -1,0 +1,49 @@
+"""Performance counter bag and TSC."""
+
+from repro.cpu.counters import DIVIDER_ACTIVE, PerfCounters
+
+
+def test_tsc_accumulates():
+    counters = PerfCounters()
+    counters.add_cycles(10)
+    counters.add_cycles(5)
+    assert counters.tsc == 15
+
+
+def test_untouched_counter_reads_zero():
+    assert PerfCounters().read("nonexistent.event") == 0
+
+
+def test_bump_default_and_amount():
+    counters = PerfCounters()
+    counters.bump(DIVIDER_ACTIVE)
+    counters.bump(DIVIDER_ACTIVE, 17)
+    assert counters.read(DIVIDER_ACTIVE) == 18
+
+
+def test_snapshot_is_a_copy():
+    counters = PerfCounters()
+    counters.bump("a")
+    snap = counters.snapshot()
+    counters.bump("a")
+    assert snap["a"] == 1
+    assert counters.read("a") == 2
+
+
+def test_delta_reports_only_changes():
+    counters = PerfCounters()
+    counters.bump("a")
+    counters.bump("b", 3)
+    before = counters.snapshot()
+    counters.bump("b", 2)
+    counters.bump("c")
+    assert counters.delta(before) == {"b": 2, "c": 1}
+
+
+def test_reset_clears_events_not_tsc():
+    counters = PerfCounters()
+    counters.add_cycles(100)
+    counters.bump("a")
+    counters.reset()
+    assert counters.read("a") == 0
+    assert counters.tsc == 100

@@ -1,0 +1,229 @@
+"""Machine committed-path execution: costs, state effects, measurement."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.cpu import counters as ctr
+from repro.cpu import isa
+from repro.cpu import msr as msrdef
+from repro.cpu.machine import AMD_RETPOLINE, GENERIC_RETPOLINE
+from repro.errors import SegmentationFault, UnsupportedFeatureError
+
+
+@pytest.fixture
+def m():
+    return Machine(get_cpu("broadwell"), seed=0)
+
+
+def test_alu_and_work_costs(m):
+    assert m.execute(isa.Instruction(isa.Op.ALU)) == m.costs.alu
+    assert m.execute(isa.work(123)) == 123
+
+
+def test_tsc_tracks_execution(m):
+    before = m.read_tsc()
+    m.execute(isa.work(50))
+    assert m.read_tsc() == before + 50
+
+
+def test_div_charges_divider_counter_on_commit(m):
+    m.execute(isa.div())
+    assert m.counters.read(ctr.DIVIDER_ACTIVE) == m.costs.div
+
+
+def test_load_latency_by_cache_level(m):
+    addr = 0x7000_0000
+    cold = m.execute(isa.load(addr))
+    warm = m.execute(isa.load(addr))
+    assert cold > warm
+    assert warm >= m.costs.load_l1  # at least L1 latency
+
+
+def test_load_tlb_miss_surcharge(m):
+    addr = 0x7100_0000
+    first = m.execute(isa.load(addr))
+    m.caches.flush_line(addr)
+    second = m.execute(isa.load(addr))  # TLB warm now, cache cold
+    assert first - second == m.costs.tlb_miss
+
+
+def test_store_then_load_forwards(m):
+    addr = 0x7200_0000
+    m.execute(isa.store(addr))
+    cost = m.execute(isa.load(addr))
+    assert cost <= m.costs.store_forward + m.costs.tlb_miss
+    assert m.counters.read(ctr.STLF_HITS) == 1
+
+
+def test_ssbd_blocks_forwarding_and_costs(m):
+    m.msr.set_ssbd(True)
+    addr = 0x7300_0000
+    m.execute(isa.store(addr))
+    m.execute(isa.load(addr))  # warm everything
+    m.execute(isa.store(addr))
+    cost = m.execute(isa.load(addr))
+    assert cost >= m.cpu.ssbd_load_penalty
+    assert m.counters.read(ctr.STLF_BLOCKED) >= 1
+
+
+def test_kernel_address_faults_in_user_mode(m):
+    assert m.mode is Mode.USER
+    with pytest.raises(SegmentationFault):
+        m.execute(isa.load(0xFFFF_8880_0000_0000, kernel=True))
+
+
+def test_kernel_address_ok_in_kernel_mode(m):
+    m.mode = Mode.KERNEL
+    m.execute(isa.load(0xFFFF_8880_0000_0000, kernel=True))  # no raise
+
+
+def test_clflush_evicts(m):
+    addr = 0x7400_0000
+    m.execute(isa.load(addr))
+    m.execute(isa.clflush(addr))
+    assert not m.caches.probe_l1(addr)
+
+
+def test_syscall_and_sysret_switch_modes_and_cost(m):
+    assert m.execute(isa.syscall_instr()) == m.costs.syscall
+    assert m.mode is Mode.KERNEL
+    assert m.counters.read(ctr.KERNEL_ENTRIES) == 1
+    assert m.execute(isa.sysret_instr()) == m.costs.sysret
+    assert m.mode is Mode.USER
+
+
+def test_guest_syscall_stays_in_guest_modes(m):
+    m.mode = Mode.GUEST_USER
+    m.execute(isa.syscall_instr())
+    assert m.mode is Mode.GUEST_KERNEL
+    m.execute(isa.sysret_instr())
+    assert m.mode is Mode.GUEST_USER
+
+
+def test_vmexit_vmenter_modes_and_counter(m):
+    m.mode = Mode.GUEST_KERNEL
+    m.execute(isa.vmexit())
+    assert m.mode is Mode.KERNEL
+    assert m.counters.read(ctr.VM_EXITS) == 1
+    m.execute(isa.vmenter())
+    assert m.mode is Mode.GUEST_KERNEL
+
+
+def test_mov_cr3_cost_and_pcid_preservation(m):
+    m.execute(isa.load(0x7500_0000))
+    cost = m.execute(isa.mov_cr3(pcid=0x801))
+    assert cost == m.costs.swap_cr3  # PCIDs: no shootdown drag
+    m.execute(isa.mov_cr3(pcid=0))
+    # Entry still warm after the PCID round trip.
+    assert m.tlb.access(0x7500_0000) is True
+
+
+def test_verw_clearing_cost_on_vulnerable_part(m):
+    assert m.execute(isa.verw()) == m.costs.verw_clear
+    assert m.counters.read(ctr.VERW_CLEARS) == 1
+
+
+def test_verw_legacy_on_immune_part():
+    m = Machine(get_cpu("zen3"))
+    assert m.execute(isa.verw()) == m.costs.verw_legacy
+    assert m.counters.read(ctr.VERW_CLEARS) == 0
+
+
+def test_verw_legacy_without_microcode_patch():
+    m = Machine(get_cpu("broadwell"), microcode_patched=False)
+    assert m.execute(isa.verw()) == m.costs.verw_legacy
+
+
+def test_ibpb_wrmsr_cost_and_barrier(m):
+    m.btb.train(0x100, 0x2000, Mode.USER)
+    cost = m.execute(isa.wrmsr(msrdef.IA32_PRED_CMD, msrdef.PRED_CMD_IBPB))
+    assert cost == m.costs.ibpb
+    assert m.counters.read(ctr.IBPB_COUNT) == 1
+    from repro.cpu.btb import HARMLESS_TARGET
+    assert m.btb.lookup(0x100, Mode.USER) == HARMLESS_TARGET
+
+
+def test_l1d_flush_via_msr(m):
+    m.execute(isa.load(0x7600_0000))
+    cost = m.execute(isa.wrmsr(msrdef.IA32_FLUSH_CMD, msrdef.L1D_FLUSH_BIT))
+    assert cost == m.costs.l1d_flush
+    assert not m.caches.probe_l1(0x7600_0000)
+    assert m.counters.read(ctr.L1D_FLUSHES) == 1
+
+
+def test_plain_wrmsr_cost(m):
+    assert m.execute(isa.wrmsr(msrdef.IA32_SPEC_CTRL, 0)) == m.costs.wrmsr
+
+
+def test_rsb_fill_stuffs(m):
+    m.execute(isa.rsb_fill())
+    assert len(m.rsb) == m.cpu.rsb_depth
+
+
+def test_call_pushes_rsb(m):
+    m.execute(isa.call(pc=0x999))
+    assert len(m.rsb) == 1
+
+
+def test_ret_predicted_correctly_is_cheap(m):
+    m.execute(isa.call(pc=0x999))
+    cost = m.execute(isa.ret(pc=0xAAA, target=0x999))
+    assert cost == m.costs.ret_
+
+
+def test_ret_with_stale_prediction_pays_penalty(m):
+    m.execute(isa.call(pc=0x111))
+    cost = m.execute(isa.ret(pc=0xAAA, target=0x999))  # popped 0x111 != 0x999
+    assert cost == m.costs.ret_ + m.costs.mispredict_penalty
+
+
+def test_ret_underflow_pays_penalty(m):
+    cost = m.execute(isa.ret(pc=0x999))
+    assert cost == m.costs.ret_ + m.costs.mispredict_penalty
+
+
+def test_retpoline_indirect_costs_table5(m):
+    m.retpoline_variant = GENERIC_RETPOLINE
+    cost = m.execute(isa.branch_indirect(0x2000, pc=0x100, retpoline=True))
+    assert cost == m.costs.indirect_base + m.costs.generic_retpoline_extra
+
+
+def test_amd_retpoline_rejected_on_intel(m):
+    m.retpoline_variant = AMD_RETPOLINE
+    with pytest.raises(UnsupportedFeatureError):
+        m.execute(isa.branch_indirect(0x2000, pc=0x100, retpoline=True))
+
+
+def test_amd_retpoline_cost_on_zen2():
+    m = Machine(get_cpu("zen2"))
+    m.retpoline_variant = AMD_RETPOLINE
+    cost = m.execute(isa.branch_indirect(0x2000, pc=0x100, retpoline=True))
+    assert cost == m.costs.indirect_base + 0  # Table 5: +0 on Zen 2
+
+
+def test_indirect_branch_warm_prediction_hits_baseline(m):
+    branch = isa.branch_indirect(0x2000, pc=0x100)
+    m.execute(branch)                 # trains
+    cost = m.execute(branch)          # predicted
+    assert cost == m.costs.indirect_base
+    assert m.counters.read(ctr.BTB_HITS) == 1
+
+
+def test_register_code_rejects_address_zero(m):
+    with pytest.raises(ValueError):
+        m.register_code(0, [isa.nop()])
+
+
+def test_measure_recovers_single_instruction_cost(m):
+    measured = m.measure([isa.lfence()], iterations=200)
+    assert measured == pytest.approx(m.costs.lfence, abs=0.5)
+
+
+def test_measure_subtracts_loop_overhead(m):
+    assert m.measure([isa.Instruction(isa.Op.NOP)], iterations=200) == \
+        pytest.approx(m.costs.nop, abs=0.5)
+
+
+def test_run_sums_costs(m):
+    total = m.run([isa.work(10), isa.work(20)])
+    assert total == 30

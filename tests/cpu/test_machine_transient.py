@@ -1,0 +1,214 @@
+"""Machine transient-path semantics: windows, side effects, policy."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.cpu import counters as ctr
+from repro.cpu import isa
+
+
+@pytest.fixture
+def m():
+    return Machine(get_cpu("broadwell"), seed=0)
+
+
+GADGET = 0x40_0000
+LEAK = 0x7A00_0000
+
+
+def install_div_gadget(machine, address=GADGET):
+    machine.register_code(address, [isa.div(), isa.load(LEAK)])
+
+
+def test_speculate_runs_divider_without_committed_cycles(m):
+    tsc_before = m.read_tsc()
+    executed = m.speculate([isa.div()])
+    assert executed == 1
+    assert m.read_tsc() == tsc_before  # no committed time
+    assert m.counters.read(ctr.DIVIDER_ACTIVE) == m.costs.div
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 1
+
+
+def test_speculate_load_fills_cache(m):
+    m.caches.flush_line(LEAK)
+    m.speculate([isa.load(LEAK)])
+    assert m.caches.probe_l1(LEAK)
+
+
+def test_speculate_store_never_reaches_memory(m):
+    m.speculate([isa.store(0x1234, value=9)])
+    assert not m.store_buffer.match(0x1234)
+
+
+def test_lfence_ends_the_window(m):
+    executed = m.speculate([isa.lfence(), isa.div()])
+    assert executed == 0
+    assert m.counters.read(ctr.DIVIDER_ACTIVE) == 0
+
+
+def test_window_bounded_by_spec_window(m):
+    block = [isa.div()] * (m.cpu.spec_window + 10)
+    executed = m.speculate(block)
+    assert executed == m.cpu.spec_window
+
+
+def test_transient_kernel_read_gated_by_meltdown_and_kpti(m):
+    kernel_addr = 0xFFFF_8880_0000_1000
+    # Vulnerable + kernel mapped: the read goes through transiently.
+    m.kernel_mapped_in_user = True
+    assert m.speculate([isa.load(kernel_addr, kernel=True)]) == 1
+    # KPTI unmaps the kernel: the access (and window) is blocked.
+    m.kernel_mapped_in_user = False
+    m.transient_loads.clear()
+    assert m.speculate([isa.load(kernel_addr, kernel=True)]) == 0
+    assert kernel_addr not in m.transient_loads
+
+
+def test_transient_kernel_read_blocked_on_immune_part():
+    m = Machine(get_cpu("zen"))
+    m.kernel_mapped_in_user = True
+    assert m.speculate([isa.load(0xFFFF_8880_0000_1000, kernel=True)]) == 0
+
+
+def test_mispredicted_indirect_launches_window(m):
+    install_div_gadget(m)
+    m.caches.flush_line(LEAK)
+    pc = 0x100
+    m.execute(isa.branch_indirect(GADGET, pc=pc))    # train toward gadget
+    m.execute(isa.branch_indirect(0x50_0000, pc=pc))  # victim: mispredict
+    assert m.counters.read(ctr.MISPREDICTED_INDIRECT) == 1
+    assert m.counters.read(ctr.DIVIDER_ACTIVE) > 0
+    assert m.caches.probe_l1(LEAK)
+
+
+def test_correctly_predicted_branch_launches_nothing(m):
+    install_div_gadget(m)
+    pc = 0x100
+    m.execute(isa.branch_indirect(GADGET, pc=pc))
+    m.counters.reset()
+    m.execute(isa.branch_indirect(GADGET, pc=pc))  # same target: predicted
+    # A correct prediction launches no wrong-path window; the gadget's
+    # committed execution is the workload's business, not the branch's.
+    assert m.counters.read(ctr.DIVIDER_ACTIVE) == 0
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+
+
+def test_retpoline_branch_never_trains_or_speculates(m):
+    install_div_gadget(m)
+    pc = 0x100
+    m.execute(isa.branch_indirect(GADGET, pc=pc, retpoline=True))
+    m.execute(isa.branch_indirect(0x50_0000, pc=pc, retpoline=True))
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+    assert not m.btb.contains(pc)
+
+
+def test_ibrs_on_broadwell_blocks_prediction_and_costs_extra(m):
+    install_div_gadget(m)
+    pc = 0x100
+    m.execute(isa.branch_indirect(GADGET, pc=pc))  # train (IBRS off)
+    m.msr.set_ibrs(True)
+    cost = m.execute(isa.branch_indirect(0x50_0000, pc=pc))
+    assert cost == m.costs.indirect_base + m.costs.ibrs_extra
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+
+
+def test_eibrs_allows_same_mode_prediction():
+    m = Machine(get_cpu("cascade_lake"))
+    m.msr.set_ibrs(True)
+    pc = 0x100
+    branch = isa.branch_indirect(0x2000, pc=pc)
+    m.execute(branch)
+    cost = m.execute(branch)
+    assert cost == m.costs.indirect_base  # ibrs_extra is 0 on eIBRS parts
+
+
+def test_ice_lake_client_ibrs_blocks_kernel_prediction():
+    m = Machine(get_cpu("ice_lake_client"))
+    m.msr.set_ibrs(True)
+    m.mode = Mode.KERNEL
+    install_div_gadget(m)
+    pc = 0x100
+    m.execute(isa.branch_indirect(GADGET, pc=pc))
+    m.execute(isa.branch_indirect(0x50_0000, pc=pc))
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+
+
+def test_zen3_never_redirects_transiently():
+    m = Machine(get_cpu("zen3"))
+    install_div_gadget(m)
+    pc = 0x100
+    m.execute(isa.branch_indirect(GADGET, pc=pc))
+    m.execute(isa.branch_indirect(0x50_0000, pc=pc))
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+
+
+def test_ibpb_redirects_to_harmless_but_still_mispredicts(m):
+    """The paper's observation: post-IBPB branches count as mispredicted
+    (entries point at a harmless gadget), yet no attacker code runs."""
+    from repro.cpu import msr as msrdef
+    install_div_gadget(m)
+    pc = 0x100
+    m.execute(isa.branch_indirect(GADGET, pc=pc))
+    m.execute(isa.wrmsr(msrdef.IA32_PRED_CMD, msrdef.PRED_CMD_IBPB))
+    m.counters.reset()
+    m.execute(isa.branch_indirect(0x50_0000, pc=pc))
+    assert m.counters.read(ctr.MISPREDICTED_INDIRECT) == 1
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+
+
+def test_rsb_underflow_falls_back_to_btb_on_skylake():
+    """SpectreRSB surface: Skylake consults the BTB on RSB underflow."""
+    m = Machine(get_cpu("skylake_client"))
+    install_div_gadget(m)
+    pc = 0x200
+    m.execute(isa.branch_indirect(GADGET, pc=pc))  # plant a BTB entry at pc
+    m.counters.reset()
+    m.execute(isa.ret(pc=pc))  # empty RSB -> BTB fallback -> gadget
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) > 0
+
+
+def test_rsb_underflow_stalls_on_broadwell(m):
+    install_div_gadget(m)
+    pc = 0x200
+    m.execute(isa.branch_indirect(GADGET, pc=pc))
+    m.counters.reset()
+    m.execute(isa.ret(pc=pc))
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+
+
+def test_stale_rsb_entry_speculates_to_it(m):
+    install_div_gadget(m)
+    m.rsb.push(GADGET)  # attacker-planted return address
+    m.counters.reset()
+    m.execute(isa.ret(pc=0x300))  # actual target differs (0)
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) > 0
+
+
+def test_stuffed_rsb_yields_benign_mispredicts(m):
+    install_div_gadget(m)
+    m.rsb.push(GADGET)
+    m.execute(isa.rsb_fill())  # stuffing overwrites the planted entry
+    m.counters.reset()
+    m.execute(isa.ret(pc=0x300))
+    assert m.counters.read(ctr.TRANSIENT_INSTRUCTIONS) == 0
+
+
+def test_eibrs_periodic_scrub_fires_and_flushes():
+    m = Machine(get_cpu("cascade_lake"), seed=3)
+    m.msr.set_ibrs(True)
+    m.btb.train(0x100, 0x2000, Mode.KERNEL)
+    costs = []
+    for _ in range(40):
+        costs.append(m.execute(isa.syscall_instr()))
+        m.execute(isa.sysret_instr())
+    slow = [c for c in costs if c > m.costs.syscall]
+    assert slow, "periodic scrub never fired in 40 entries"
+    assert all(c == m.costs.syscall +
+               m.cpu.predictor.eibrs_scrub_extra_cycles for c in slow)
+    assert m.counters.read(ctr.BTB_FLUSH_ON_ENTRY) == len(slow)
+
+
+def test_no_scrub_without_eibrs_enabled():
+    m = Machine(get_cpu("cascade_lake"), seed=3)
+    costs = {m.execute(isa.syscall_instr()) for _ in range(40)}
+    assert costs == {m.costs.syscall}

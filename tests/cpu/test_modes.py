@@ -1,0 +1,26 @@
+"""Privilege mode enum."""
+
+from repro.cpu.modes import Mode
+
+
+def test_kernel_predicate():
+    assert Mode.KERNEL.is_kernel
+    assert Mode.GUEST_KERNEL.is_kernel
+    assert not Mode.USER.is_kernel
+    assert not Mode.GUEST_USER.is_kernel
+
+
+def test_guest_predicate():
+    assert Mode.GUEST_USER.is_guest
+    assert Mode.GUEST_KERNEL.is_guest
+    assert not Mode.USER.is_guest
+    assert not Mode.KERNEL.is_guest
+
+
+def test_str_is_the_value():
+    assert str(Mode.USER) == "user"
+    assert str(Mode.GUEST_KERNEL) == "guest_kernel"
+
+
+def test_modes_are_distinct_domains():
+    assert len({m for m in Mode}) == 4

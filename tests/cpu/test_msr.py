@@ -1,0 +1,101 @@
+"""MSR file: SPEC_CTRL bits, command MSRs, feature gating."""
+
+import pytest
+
+from repro.cpu import msr as m
+from repro.errors import UnsupportedFeatureError
+
+
+def make(ibrs=True, eibrs=False, ssbd=True, caps=0):
+    return m.MSRFile(supports_ibrs=ibrs, supports_eibrs=eibrs,
+                     supports_ssbd=ssbd, arch_capabilities=caps)
+
+
+def test_spec_ctrl_bits_roundtrip():
+    msrs = make()
+    msrs.write(m.IA32_SPEC_CTRL, m.SPEC_CTRL_IBRS | m.SPEC_CTRL_SSBD)
+    assert msrs.ibrs_enabled
+    assert msrs.ssbd_enabled
+    assert not msrs.stibp_enabled
+    assert msrs.read(m.IA32_SPEC_CTRL) == m.SPEC_CTRL_IBRS | m.SPEC_CTRL_SSBD
+
+
+def test_ibrs_write_rejected_without_support():
+    msrs = make(ibrs=False, eibrs=False)
+    with pytest.raises(UnsupportedFeatureError):
+        msrs.write(m.IA32_SPEC_CTRL, m.SPEC_CTRL_IBRS)
+
+
+def test_ibrs_write_allowed_with_eibrs_only():
+    msrs = make(ibrs=False, eibrs=True)
+    msrs.write(m.IA32_SPEC_CTRL, m.SPEC_CTRL_IBRS)
+    assert msrs.eibrs_active
+
+
+def test_eibrs_active_requires_both_support_and_bit():
+    msrs = make(ibrs=True, eibrs=False)
+    msrs.set_ibrs(True)
+    assert not msrs.eibrs_active
+    msrs2 = make(eibrs=True)
+    assert not msrs2.eibrs_active
+    msrs2.set_ibrs(True)
+    assert msrs2.eibrs_active
+
+
+def test_ssbd_write_rejected_without_support():
+    msrs = make(ssbd=False)
+    with pytest.raises(UnsupportedFeatureError):
+        msrs.write(m.IA32_SPEC_CTRL, m.SPEC_CTRL_SSBD)
+
+
+def test_pred_cmd_fires_callback_and_reads_zero():
+    msrs = make()
+    fired = []
+    msrs.on_ibpb(lambda: fired.append(True))
+    msrs.write(m.IA32_PRED_CMD, m.PRED_CMD_IBPB)
+    assert fired == [True]
+    assert msrs.read(m.IA32_PRED_CMD) == 0  # write-only command MSR
+
+
+def test_pred_cmd_zero_write_is_noop():
+    msrs = make()
+    fired = []
+    msrs.on_ibpb(lambda: fired.append(True))
+    msrs.write(m.IA32_PRED_CMD, 0)
+    assert fired == []
+
+
+def test_flush_cmd_fires_callback():
+    msrs = make()
+    fired = []
+    msrs.on_l1d_flush(lambda: fired.append(True))
+    msrs.write(m.IA32_FLUSH_CMD, m.L1D_FLUSH_BIT)
+    assert fired == [True]
+
+
+def test_arch_capabilities_read_only():
+    msrs = make(caps=m.ARCH_CAP_RDCL_NO)
+    assert msrs.read(m.IA32_ARCH_CAPABILITIES) == m.ARCH_CAP_RDCL_NO
+    with pytest.raises(UnsupportedFeatureError):
+        msrs.write(m.IA32_ARCH_CAPABILITIES, 0)
+
+
+def test_set_ibrs_preserves_other_bits():
+    msrs = make()
+    msrs.set_ssbd(True)
+    msrs.set_ibrs(True)
+    assert msrs.ssbd_enabled and msrs.ibrs_enabled
+    msrs.set_ibrs(False)
+    assert msrs.ssbd_enabled and not msrs.ibrs_enabled
+
+
+def test_set_ssbd_preserves_other_bits():
+    msrs = make()
+    msrs.set_ibrs(True)
+    msrs.set_ssbd(True)
+    msrs.set_ssbd(False)
+    assert msrs.ibrs_enabled
+
+
+def test_unknown_msr_reads_zero():
+    assert make().read(0xC000_0080) == 0

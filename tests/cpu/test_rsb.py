@@ -1,0 +1,51 @@
+"""Return stack buffer: depth, underflow, stuffing."""
+
+from repro.cpu.rsb import BENIGN_ENTRY, ReturnStackBuffer
+
+
+def test_push_pop_lifo():
+    rsb = ReturnStackBuffer(depth=4)
+    rsb.push(0x10)
+    rsb.push(0x20)
+    assert rsb.pop() == 0x20
+    assert rsb.pop() == 0x10
+
+
+def test_underflow_returns_none_and_counts():
+    rsb = ReturnStackBuffer(depth=4)
+    assert rsb.pop() is None
+    assert rsb.underflows == 1
+
+
+def test_depth_drops_oldest():
+    rsb = ReturnStackBuffer(depth=2)
+    for value in (1, 2, 3):
+        rsb.push(value)
+    assert len(rsb) == 2
+    assert rsb.pop() == 3
+    assert rsb.pop() == 2
+    assert rsb.pop() is None  # value 1 fell off the bottom
+
+
+def test_stuff_fills_to_depth_with_benign_entries():
+    rsb = ReturnStackBuffer(depth=32)
+    rsb.push(0xDEAD)
+    assert rsb.stuff() == 32
+    assert len(rsb) == 32
+    for _ in range(32):
+        assert rsb.pop() == BENIGN_ENTRY
+    # The stale 0xDEAD entry is gone: stuffing replaced everything.
+    assert rsb.pop() is None
+
+
+def test_clear():
+    rsb = ReturnStackBuffer(depth=4)
+    rsb.push(1)
+    rsb.clear()
+    assert len(rsb) == 0
+
+
+def test_underflow_fallback_flag_is_carried():
+    assert ReturnStackBuffer(underflow_falls_back_to_btb=True)\
+        .underflow_falls_back_to_btb
+    assert not ReturnStackBuffer().underflow_falls_back_to_btb

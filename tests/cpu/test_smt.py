@@ -1,0 +1,61 @@
+"""SMT core: shared structures, sibling identity."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.cpu import isa
+from repro.cpu.smt import SMTCore
+from repro.errors import ConfigurationError
+
+
+def test_zen_cannot_build_an_smt_core():
+    with pytest.raises(ConfigurationError):
+        SMTCore(get_cpu("zen"))
+
+
+def test_threads_have_distinct_ids():
+    core = SMTCore(get_cpu("skylake_client"))
+    assert core.thread0.thread_id == 0
+    assert core.thread1.thread_id == 1
+
+
+def test_btb_is_shared():
+    core = SMTCore(get_cpu("skylake_client"))
+    assert core.thread0.btb is core.thread1.btb
+    core.thread0.execute(isa.branch_indirect(0x2000, pc=0x100))
+    assert core.thread1.btb.contains(0x100)
+
+
+def test_caches_are_shared():
+    core = SMTCore(get_cpu("skylake_client"))
+    core.thread0.execute(isa.load(0x5000))
+    assert core.thread1.caches.probe_l1(0x5000)
+
+
+def test_mds_buffers_are_shared():
+    core = SMTCore(get_cpu("broadwell"))
+    core.thread0.mode = Mode.KERNEL
+    core.thread0.execute(isa.load(0xFFFF_8880_0000_0000, kernel=True))
+    assert core.thread1.mds_buffers.holds_foreign_data(Mode.USER)
+
+
+def test_rsb_and_store_buffer_stay_private():
+    """Statically partitioned structures don't leak across siblings."""
+    core = SMTCore(get_cpu("skylake_client"))
+    core.thread0.execute(isa.call(pc=0x999))
+    assert len(core.thread1.rsb) == 0
+    core.thread0.execute(isa.store(0x6000))
+    assert not core.thread1.store_buffer.match(0x6000)
+
+
+def test_sibling_of():
+    core = SMTCore(get_cpu("zen2"))
+    assert core.sibling_of(core.thread0) is core.thread1
+    assert core.sibling_of(core.thread1) is core.thread0
+    with pytest.raises(ValueError):
+        core.sibling_of(Machine(get_cpu("zen2")))
+
+
+def test_threads_property():
+    core = SMTCore(get_cpu("zen3"))
+    assert core.threads == (core.thread0, core.thread1)

@@ -1,0 +1,56 @@
+"""Store buffer: forwarding, the SSB bypass predicate, drain."""
+
+from repro.cpu.storebuffer import StoreBuffer
+
+
+def test_match_after_push():
+    sb = StoreBuffer()
+    sb.push(0x1000, value=7)
+    assert sb.match(0x1000)
+    assert sb.match(0x1030)       # same 64-byte line
+    assert not sb.match(0x2000)
+
+
+def test_forward_returns_youngest_value():
+    sb = StoreBuffer()
+    sb.push(0x1000, value=1)
+    sb.push(0x1000, value=2)
+    assert sb.forward(0x1000) == 2
+    assert sb.forward(0x9000) is None
+
+
+def test_depth_bound_drains_oldest():
+    sb = StoreBuffer(depth=4)
+    for i in range(8):
+        sb.push(i * 64, value=i)
+    assert len(sb) == 4
+    assert not sb.match(0)         # oldest drained to memory
+    assert sb.match(7 * 64)
+
+
+def test_bypass_possible_only_without_ssbd():
+    """The SSB attack predicate and the SSBD fix, in one place."""
+    sb = StoreBuffer()
+    sb.push(0x1000)
+    assert sb.speculative_bypass_possible(0x1000, ssbd=False)
+    assert not sb.speculative_bypass_possible(0x1000, ssbd=True)
+    assert not sb.speculative_bypass_possible(0x9000, ssbd=False)
+
+
+def test_drain_counts_and_empties():
+    sb = StoreBuffer()
+    sb.push(0x1000)
+    sb.push(0x2000)
+    assert sb.drain() == 2
+    assert len(sb) == 0
+    assert not sb.match(0x1000)
+
+
+def test_repushing_same_line_moves_to_youngest():
+    sb = StoreBuffer(depth=2)
+    sb.push(0x1000)
+    sb.push(0x2000)
+    sb.push(0x1000)   # rejuvenate
+    sb.push(0x3000)   # evicts 0x2000, not 0x1000
+    assert sb.match(0x1000)
+    assert not sb.match(0x2000)

@@ -1,0 +1,70 @@
+"""TLB model: PCID tagging, the KPTI-relevant switch semantics."""
+
+from repro.cpu.tlb import PAGE_SIZE, TLB
+
+
+def test_miss_then_hit():
+    tlb = TLB(entries=16)
+    assert tlb.access(0x1000) is False
+    assert tlb.access(0x1000) is True
+    assert tlb.access(0x1FFF) is True   # same page
+    assert tlb.access(0x2000) is False  # next page
+
+
+def test_capacity_lru():
+    tlb = TLB(entries=4)
+    for i in range(6):
+        tlb.access(i * PAGE_SIZE)
+    assert tlb.resident() == 4
+    assert tlb.access(0) is False        # evicted
+    assert tlb.access(5 * PAGE_SIZE) is True
+
+
+def test_pcid_preserving_switch_keeps_entries():
+    """The section 5.1 claim: with PCIDs, KPTI's cr3 writes don't flush."""
+    tlb = TLB(entries=64, supports_pcid=True)
+    tlb.access(0x5000)
+    invalidated = tlb.switch_context(pcid=0x800)
+    assert invalidated == 0
+    # Back on the original PCID the entry is still warm.
+    tlb.switch_context(pcid=0)
+    assert tlb.access(0x5000) is True
+
+
+def test_entries_are_pcid_private():
+    tlb = TLB(entries=64, supports_pcid=True)
+    tlb.access(0x5000)
+    tlb.switch_context(pcid=7)
+    assert tlb.access(0x5000) is False  # other context: cold
+
+
+def test_non_pcid_switch_flushes():
+    tlb = TLB(entries=64, supports_pcid=False)
+    tlb.access(0x5000)
+    invalidated = tlb.switch_context(pcid=1)
+    assert invalidated == 1
+    assert tlb.access(0x5000) is False
+
+
+def test_forced_legacy_switch_flushes_even_with_pcid():
+    tlb = TLB(entries=64, supports_pcid=True)
+    tlb.access(0x5000)
+    assert tlb.switch_context(pcid=1, preserve=False) == 1
+
+
+def test_global_pages_survive_everything_but_full_shootdown():
+    tlb = TLB(entries=8, supports_pcid=True)
+    tlb.insert_global(0xFFFF_0000)
+    assert tlb.access(0xFFFF_0000) is True
+    tlb.switch_context(pcid=3, preserve=False)
+    assert tlb.access(0xFFFF_0000) is True
+    tlb.flush_all(include_global=True)
+    assert tlb.access(0xFFFF_0000) is False
+
+
+def test_flush_all_counts():
+    tlb = TLB(entries=8)
+    for i in range(5):
+        tlb.access(i * PAGE_SIZE)
+    assert tlb.flush_all() == 5
+    assert tlb.resident() == 0

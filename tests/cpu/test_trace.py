@@ -1,0 +1,102 @@
+"""Execution tracing."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import isa
+from repro.cpu.isa import Op
+from repro.cpu.trace import ExecutionTrace
+from repro.kernel import GETPID, Kernel
+from repro.mitigations import MitigationConfig, linux_default
+
+
+@pytest.fixture
+def m():
+    return Machine(get_cpu("broadwell"))
+
+
+def test_counts_and_cycles(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.work(100))
+        m.execute(isa.work(50))
+        m.execute(isa.lfence())
+    assert trace.count(Op.WORK) == 2
+    assert trace.cycles(Op.WORK) == 150
+    assert trace.count(Op.LFENCE) == 1
+    assert trace.total_instructions == 3
+    assert trace.total_cycles == 150 + m.costs.lfence
+
+
+def test_detaches_after_with_block(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.nop())
+    m.execute(isa.nop())  # not traced
+    assert trace.count(Op.NOP) == 1
+    assert m.tracer is None
+
+
+def test_nested_attachment_restores_outer(m):
+    outer, inner = ExecutionTrace(), ExecutionTrace()
+    with outer.attach(m):
+        m.execute(isa.nop())
+        with inner.attach(m):
+            m.execute(isa.nop())
+        m.execute(isa.nop())
+    assert outer.count(Op.NOP) == 2
+    assert inner.count(Op.NOP) == 1
+
+
+def test_transient_instructions_counted_separately(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.speculate([isa.div(), isa.load(0x1000)])
+    assert trace.count(Op.DIV, transient=True) == 1
+    assert trace.count(Op.LOAD, transient=True) == 1
+    assert trace.total_instructions == 0  # nothing committed
+
+
+def test_top_costs_ranks_by_cycles(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.work(1000))
+        m.execute(isa.lfence())
+    (top_op, top_cycles), *_ = trace.top_costs()
+    assert top_op is Op.WORK and top_cycles == 1000
+
+
+def test_reset(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.nop())
+    trace.reset()
+    assert trace.total_instructions == 0
+
+
+def test_report_shape(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.work(10))
+        m.speculate([isa.div()])
+    out = trace.report()
+    assert "work" in out
+    assert "transient: div x1" in out
+
+
+def test_trace_shows_where_mitigation_cycles_go():
+    """The intended use: attribute a syscall's cycles to mitigation ops."""
+    cpu = get_cpu("broadwell")
+    kernel = Kernel(Machine(cpu), linux_default(cpu))
+    kernel.syscall(GETPID)  # warm
+    trace = ExecutionTrace()
+    with trace.attach(kernel.machine):
+        kernel.syscall(GETPID)
+    assert trace.count(Op.MOV_CR3) == 2      # KPTI, both directions
+    assert trace.count(Op.VERW) == 1         # MDS on exit
+    assert trace.count(Op.LFENCE) == 1       # V1 after swapgs
+    # PTI + MDS dominate the traced cycles, like Figure 2 says.
+    top_two = {op for op, _ in trace.top_costs(3)} - {Op.WORK}
+    assert {Op.MOV_CR3, Op.VERW} <= top_two | {Op.MOV_CR3, Op.VERW}
+    assert trace.cycles(Op.MOV_CR3) == 2 * cpu.costs.swap_cr3
+    assert trace.cycles(Op.VERW) == cpu.costs.verw_clear

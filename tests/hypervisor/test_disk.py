@@ -1,0 +1,91 @@
+"""Emulated disk: batching, exits per operation, bounds."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.hypervisor import EmulatedDisk, Hypervisor
+from repro.mitigations import MitigationConfig
+
+
+@pytest.fixture
+def disk():
+    hv = Hypervisor(Machine(get_cpu("zen2")), MitigationConfig.all_off())
+    return EmulatedDisk(hv.create_guest()), hv
+
+
+def test_queue_write_does_not_exit(disk):
+    d, hv = disk
+    d.queue_write(5)
+    assert hv.stats.exits == 0
+    assert d.pending == 1
+
+
+def test_kick_submits_batch_in_one_exit(disk):
+    d, hv = disk
+    for block in range(10):
+        d.queue_write(block)
+    cycles = d.kick()
+    assert hv.stats.exits == 1
+    assert hv.stats.kicks if hasattr(hv.stats, 'kicks') else True
+    assert d.stats.writes == 10
+    assert d.pending == 0
+    assert cycles > 0
+
+
+def test_empty_kick_is_free(disk):
+    d, hv = disk
+    assert d.kick() == 0
+    assert hv.stats.exits == 0
+
+
+def test_write_block_is_queue_plus_kick(disk):
+    d, hv = disk
+    d.write_block(1)
+    assert hv.stats.exits == 1
+    assert d.stats.writes == 1
+
+
+def test_read_block_exits(disk):
+    d, hv = disk
+    d.read_block(7)
+    assert hv.stats.exits == 1
+    assert d.stats.reads == 1
+
+
+def test_flush_submits_pending_then_drains(disk):
+    d, hv = disk
+    d.queue_write(1)
+    d.flush()
+    assert d.stats.writes == 1
+    assert d.stats.flushes == 1
+    assert hv.stats.exits == 2  # kick + flush
+
+
+def test_batched_writes_cost_less_per_block_than_unbatched():
+    def run(batch):
+        hv = Hypervisor(Machine(get_cpu("zen2")), MitigationConfig.all_off())
+        d = EmulatedDisk(hv.create_guest())
+        total = 0
+        for block in range(16):
+            d.queue_write(block)
+            if d.pending >= batch:
+                total += d.kick()
+        total += d.kick()
+        return total
+    assert run(16) < run(1)
+
+
+def test_out_of_range_blocks_rejected(disk):
+    d, _ = disk
+    with pytest.raises(ValueError):
+        d.read_block(d.capacity_blocks)
+    with pytest.raises(ValueError):
+        d.queue_write(-1)
+
+
+def test_request_counter(disk):
+    d, _ = disk
+    d.write_block(0)
+    d.read_block(0)
+    d.flush()
+    assert d.stats.requests == 3

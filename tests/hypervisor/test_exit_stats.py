@@ -1,0 +1,70 @@
+"""Exit accounting: the rate bookkeeping section 4.4's argument rests on."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.hypervisor import EXIT_DISPATCH_CYCLES, Hypervisor
+from repro.kernel import GETPID, HandlerProfile
+from repro.mitigations import MitigationConfig, linux_default
+
+
+def make(host_config=None, cpu_key="broadwell"):
+    return Hypervisor(Machine(get_cpu(cpu_key)),
+                      host_config if host_config is not None
+                      else MitigationConfig.all_off())
+
+
+def test_guest_and_host_cycles_tracked_separately():
+    hv = make()
+    guest = hv.create_guest()
+    guest.syscall(GETPID)
+    guest.hypercall(1000)
+    assert hv.stats.guest_cycles > 0
+    assert hv.stats.host_cycles > 0
+    assert hv.stats.exits == 1
+
+
+def test_exit_cost_floor():
+    hv = make()
+    cycles = hv.vm_exit(0)
+    machine_costs = hv.machine.costs
+    assert cycles >= machine_costs.vmexit + EXIT_DISPATCH_CYCLES + \
+        machine_costs.vmenter
+
+
+def test_handler_cycles_add_linearly():
+    hv = make()
+    small = hv.vm_exit(1000)
+    big = hv.vm_exit(9000)
+    assert big - small == pytest.approx(8000, abs=700)  # modulo verw etc.
+
+
+def test_exit_rate_computation_matches_the_paper_shape():
+    """Guest-heavy workloads keep cycles-per-exit high: the 4.4 regime."""
+    hv = make(linux_default(get_cpu("broadwell")))
+    guest = hv.create_guest()
+    heavy = HandlerProfile("guest_fs", work_cycles=40_000, loads=16,
+                           stores=16, indirect_branches=6)
+    total = 0
+    for _ in range(10):
+        total += guest.syscall(heavy)
+    total += guest.hypercall(8000)
+    cycles_per_exit = (hv.stats.guest_cycles + hv.stats.host_cycles) / \
+        hv.stats.exits
+    assert cycles_per_exit > 100_000
+
+
+def test_exits_preserve_user_guest_mode_distinction():
+    hv = make()
+    hv.machine.mode = Mode.GUEST_USER
+    guest = hv.create_guest()
+    guest.syscall(GETPID)
+    assert hv.machine.mode is Mode.GUEST_USER
+
+
+def test_mds_clearing_per_exit_counts():
+    from repro.cpu import counters as ctr
+    hv = make(MitigationConfig(mds_verw=True))
+    for _ in range(5):
+        hv.vm_exit(100)
+    assert hv.machine.counters.read(ctr.VERW_CLEARS) == 5

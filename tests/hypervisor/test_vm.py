@@ -1,0 +1,97 @@
+"""Hypervisor: exit paths, guest kernel isolation, mitigation work."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.cpu import counters as ctr
+from repro.hypervisor import Hypervisor
+from repro.kernel import GETPID
+from repro.mitigations import MitigationConfig, linux_default
+
+
+def make(cpu_key="broadwell", host_config=None):
+    cpu = get_cpu(cpu_key)
+    machine = Machine(cpu)
+    host = host_config if host_config is not None else MitigationConfig.all_off()
+    return Hypervisor(machine, host)
+
+
+def test_vm_exit_counts_and_costs():
+    hv = make()
+    cycles = hv.vm_exit(handler_cycles=1000)
+    assert hv.stats.exits == 1
+    assert cycles >= hv.machine.costs.vmexit + hv.machine.costs.vmenter + 1000
+
+
+def test_exit_returns_machine_to_guest_mode():
+    hv = make()
+    hv.machine.mode = Mode.GUEST_KERNEL
+    hv.vm_exit(0)
+    assert hv.machine.mode is Mode.GUEST_KERNEL
+
+
+def test_mds_host_clears_buffers_before_reentry():
+    cpu = get_cpu("broadwell")
+    hv = Hypervisor(Machine(cpu), MitigationConfig(mds_verw=True))
+    hv.machine.mds_buffers.deposit_load(0xAA, Mode.KERNEL)
+    hv.vm_exit(0)
+    assert hv.machine.mds_buffers.sample(Mode.GUEST_KERNEL) == {}
+
+
+def test_l1tf_flush_only_on_tainting_exits():
+    """KVM's conditional flush: fast-path exits skip it."""
+    cpu = get_cpu("broadwell")
+    hv = Hypervisor(Machine(cpu), MitigationConfig(l1d_flush_on_vmentry=True))
+    hv.vm_exit(0, taints_l1=False)
+    assert hv.machine.counters.read(ctr.L1D_FLUSHES) == 0
+    hv.vm_exit(0, taints_l1=True)
+    assert hv.machine.counters.read(ctr.L1D_FLUSHES) == 1
+
+
+def test_l1tf_flush_erases_host_l1_data():
+    from repro.cpu import isa
+    cpu = get_cpu("skylake_client")
+    hv = Hypervisor(Machine(cpu), MitigationConfig(l1d_flush_on_vmentry=True))
+    hv.machine.mode = Mode.KERNEL
+    hv.machine.execute(isa.load(0x1234_0000, kernel=True))
+    hv.machine.mode = Mode.GUEST_KERNEL
+    hv.vm_exit(0, taints_l1=True)
+    assert not hv.machine.caches.probe_l1(0x1234_0000)
+
+
+def test_guest_syscall_does_not_exit():
+    hv = make()
+    guest = hv.create_guest()
+    guest.syscall(GETPID)
+    assert hv.stats.exits == 0
+    assert hv.stats.guest_cycles > 0
+
+
+def test_guest_syscall_restores_mode():
+    hv = make()
+    guest = hv.create_guest()
+    hv.machine.mode = Mode.USER
+    guest.syscall(GETPID)
+    assert hv.machine.mode is Mode.USER
+
+
+def test_hypercall_exits():
+    hv = make()
+    guest = hv.create_guest()
+    guest.hypercall(500)
+    assert hv.stats.exits == 1
+
+
+def test_host_mitigations_make_exits_pricier():
+    cpu = get_cpu("broadwell")
+    bare = Hypervisor(Machine(cpu), MitigationConfig.all_off())
+    full = Hypervisor(Machine(cpu), linux_default(cpu))
+    assert full.vm_exit(0, taints_l1=True) > bare.vm_exit(0, taints_l1=True)
+
+
+def test_guest_runs_its_own_mitigation_config():
+    cpu = get_cpu("broadwell")
+    guest_cfg = MitigationConfig(pti=True)
+    hv = Hypervisor(Machine(cpu), MitigationConfig.all_off(), guest_cfg)
+    guest = hv.create_guest()
+    assert guest.kernel.config.pti

@@ -1,0 +1,119 @@
+"""Cross-validation: the microbenchmarks must *predict* the end-to-end
+results.
+
+The paper's analytical chain is: Tables 3-8 price the primitives, the
+boundary-crossing counts explain the workload results.  If our model is
+coherent, the same arithmetic must hold internally — e.g. the PTI
+contribution Figure 2 attributes to Broadwell must equal (2 x Table 3's
+swap-cr3 cost x syscalls per op) within measurement noise.  These tests
+close that loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import microbench
+from repro.cpu import Machine, get_cpu
+from repro.kernel import GETPID, HandlerProfile, Kernel
+from repro.mitigations import MitigationConfig, linux_default
+from repro.workloads import lebench
+
+
+def steady(kernel, profile, n=10):
+    for _ in range(4):
+        kernel.syscall(profile)
+    return sum(kernel.syscall(profile) for _ in range(n)) / n
+
+
+class TestPrimitiveComposition:
+    """Per-syscall mitigation cost == sum of its primitives' costs."""
+
+    @pytest.mark.parametrize("key", ["broadwell", "skylake_client"])
+    def test_pti_delta_equals_two_swap_cr3(self, key):
+        cpu = get_cpu(key)
+        measured_cr3 = microbench.table3_row(cpu, 300).swap_cr3
+        bare = steady(Kernel(Machine(cpu), MitigationConfig.all_off()), GETPID)
+        pti = steady(Kernel(Machine(cpu), MitigationConfig(pti=True)), GETPID)
+        assert pti - bare == pytest.approx(2 * measured_cr3, abs=3)
+
+    @pytest.mark.parametrize("key", ["broadwell", "cascade_lake"])
+    def test_mds_delta_equals_one_verw(self, key):
+        cpu = get_cpu(key)
+        measured_verw = microbench.table4_value(cpu, 300)
+        bare = steady(Kernel(Machine(cpu), MitigationConfig.all_off()), GETPID)
+        mds = steady(Kernel(Machine(cpu), MitigationConfig(mds_verw=True)),
+                     GETPID)
+        assert mds - bare == pytest.approx(measured_verw, abs=3)
+
+    def test_v1_delta_equals_one_lfence(self):
+        cpu = get_cpu("zen")  # the part with the priciest lfence
+        measured = microbench.table8_value(cpu, 300)
+        bare = steady(Kernel(Machine(cpu), MitigationConfig.all_off()), GETPID)
+        hardened = steady(Kernel(Machine(cpu),
+                                 MitigationConfig(v1_lfence_swapgs=True)),
+                          GETPID)
+        assert hardened - bare == pytest.approx(measured, abs=3)
+
+    def test_full_stack_composes_additively_on_broadwell(self):
+        """The whole default entry/exit tax equals the sum of its parts
+        (primitives don't interact on this path)."""
+        cpu = get_cpu("broadwell")
+        profile = HandlerProfile("medium", work_cycles=1000, loads=8,
+                                 stores=4, indirect_branches=4)
+        bare = steady(Kernel(Machine(cpu), MitigationConfig.all_off()),
+                      profile)
+        full = steady(Kernel(Machine(cpu), linux_default(cpu)), profile)
+        expected_delta = (
+            2 * cpu.costs.swap_cr3            # PTI
+            + cpu.costs.verw_clear            # MDS
+            + cpu.costs.lfence                # V1 swapgs fence
+            + 4 * cpu.costs.generic_retpoline_extra  # V2 on 4 branches
+        )
+        assert full - bare == pytest.approx(expected_delta, abs=5)
+
+
+class TestMicrobenchPredictsFigure2:
+    """Tables 3/4 plus crossing counts predict the attribution stack."""
+
+    def test_predicted_pti_share_matches_attribution(self):
+        cpu = get_cpu("broadwell")
+        # Measured end-to-end, per LEBench case: one syscall-ish crossing
+        # per op for syscall/fault cases.
+        off = lebench.run_suite(Machine(cpu, seed=1),
+                                MitigationConfig.all_off(),
+                                iterations=10, warmup=3)
+        pti_only = lebench.run_suite(Machine(cpu, seed=1),
+                                     MitigationConfig(pti=True),
+                                     iterations=10, warmup=3)
+        measured_geo = float(np.exp(np.mean(
+            [np.log(pti_only[n] / off[n]) for n in off]))) - 1
+
+        # Predicted from the microbenchmark: each op pays 2*cr3 per
+        # crossing; ctx/spawn ops make 2 crossings (+switch cr3 already
+        # present in baseline).
+        cr3 = microbench.table3_row(cpu, 300).swap_cr3
+        crossings = {case.name: (2 if case.kind in ("ctx",) else 1)
+                     for case in lebench.SUITE}
+        predicted_geo = float(np.exp(np.mean([
+            np.log(1 + 2 * cr3 * crossings[name] / off[name])
+            for name in off]))) - 1
+        assert measured_geo == pytest.approx(predicted_geo, rel=0.25)
+
+    def test_verw_share_scales_with_crossing_rate(self):
+        """Double the syscalls per op, double the verw tax (relative to
+        fixed work)."""
+        cpu = get_cpu("cascade_lake")
+        profile = HandlerProfile("fixed", work_cycles=4000)
+
+        def tax(crossings):
+            bare = Kernel(Machine(cpu), MitigationConfig.all_off())
+            mds = Kernel(Machine(cpu), MitigationConfig(mds_verw=True))
+            for _ in range(3):
+                for _ in range(crossings):
+                    bare.syscall(profile)
+                    mds.syscall(profile)
+            bare_cost = sum(bare.syscall(profile) for _ in range(crossings))
+            mds_cost = sum(mds.syscall(profile) for _ in range(crossings))
+            return mds_cost - bare_cost
+
+        assert tax(4) == pytest.approx(2 * tax(2), rel=0.05)

@@ -1,0 +1,104 @@
+"""Octane suite: scores, the seccomp/SSBD interaction, suite geomean."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.jsengine.octane import (
+    OctaneRunner,
+    SUITE,
+    WORKLOAD_NAMES,
+    get_workload,
+    run_suite,
+    suite_score,
+)
+from repro.mitigations import MitigationConfig, SSBDMode, linux_default
+
+
+def test_suite_has_fifteen_octane_parts():
+    assert len(SUITE) == 15
+    assert "richards" in WORKLOAD_NAMES
+    assert "navier-stokes" in WORKLOAD_NAMES
+
+
+def test_get_workload():
+    assert get_workload("splay").name == "splay"
+    with pytest.raises(KeyError):
+        get_workload("octane-nonexistent")
+
+
+def test_scores_are_positive_and_higher_without_mitigations():
+    cpu = get_cpu("skylake_client")
+    base = run_suite(Machine(cpu, seed=1), MitigationConfig.all_off(),
+                     iterations=6, warmup=2)
+    full = run_suite(Machine(cpu, seed=1), linux_default(cpu),
+                     iterations=6, warmup=2)
+    for name in base:
+        assert base[name] > 0
+        assert base[name] > full[name], name
+
+
+def test_firefox_process_is_seccomp_sandboxed():
+    cpu = get_cpu("zen3")
+    runner = OctaneRunner(Machine(cpu), linux_default(cpu))
+    assert runner.firefox.uses_seccomp
+
+
+def test_seccomp_policy_turns_ssbd_on_for_the_js_process():
+    """The Figure 3 mechanism: pre-5.16 kernels SSBD Firefox via seccomp."""
+    cpu = get_cpu("zen3")
+    old = OctaneRunner(Machine(cpu), linux_default(cpu, kernel=(5, 14)))
+    assert old.machine.msr.ssbd_enabled
+    new = OctaneRunner(Machine(cpu), linux_default(cpu, kernel=(5, 16)))
+    assert not new.machine.msr.ssbd_enabled
+
+
+def test_linux_5_16_recovers_score():
+    cpu = get_cpu("zen3")
+    old = suite_score(run_suite(Machine(cpu, seed=1),
+                                linux_default(cpu, kernel=(5, 14)),
+                                iterations=6, warmup=2))
+    new = suite_score(run_suite(Machine(cpu, seed=1),
+                                linux_default(cpu, kernel=(5, 16)),
+                                iterations=6, warmup=2))
+    assert new > old
+
+
+def test_suite_score_is_geometric_mean():
+    assert suite_score({"a": 4.0, "b": 16.0}) == pytest.approx(8.0)
+
+
+def test_array_heavy_workload_pays_most_for_masking():
+    """navier-stokes (array heavy) loses more to index masking than
+    splay (pointer heavy) — per-part sensitivity, like the real suite."""
+    cpu = get_cpu("cascade_lake")
+    base_cfg = MitigationConfig.all_off()
+    mask_cfg = MitigationConfig(js_index_masking=True)
+
+    def slowdown(name):
+        workload = get_workload(name)
+        base = OctaneRunner(Machine(cpu, seed=1), base_cfg).measure(
+            workload, iterations=6, warmup=2)
+        masked = OctaneRunner(Machine(cpu, seed=1), mask_cfg).measure(
+            workload, iterations=6, warmup=2)
+        return masked / base - 1
+
+    assert slowdown("navier-stokes") > slowdown("splay")
+
+
+def test_os_side_mitigations_touch_octane_through_gc_syscalls():
+    """The 'other OS' sliver of Figure 3: the engine's occasional GC /
+    housekeeping syscalls pay the kernel boundary tax, visibly on
+    PTI+MDS parts and negligibly on new ones."""
+    def slowdown(key):
+        cpu = get_cpu(key)
+        js_only = MitigationConfig(js_index_masking=True,
+                                   js_object_guards=True, js_other=True)
+        kernel_too = linux_default(cpu, kernel=(5, 16))  # no SSBD via seccomp
+        base = suite_score(run_suite(Machine(cpu, seed=1), js_only,
+                                     iterations=6, warmup=2))
+        full = suite_score(run_suite(Machine(cpu, seed=1), kernel_too,
+                                     iterations=6, warmup=2))
+        return 1 - full / base
+
+    assert slowdown("broadwell") > slowdown("ice_lake_server")
+    assert slowdown("broadwell") < 0.05  # a sliver, not a stack

@@ -1,0 +1,55 @@
+"""JS runtime object model: arrays, shapes, realms."""
+
+from repro.jsengine.runtime import REALM_HEAP_BYTES, JSArray, Realm, Shape
+
+
+def test_array_element_addressing():
+    array = JSArray(address=0x1000, length=4)
+    assert array.element_address(0) == 0x1000
+    assert array.element_address(3) == 0x1000 + 24
+
+
+def test_bounds_check():
+    array = JSArray(address=0x1000, length=4)
+    assert array.in_bounds(0) and array.in_bounds(3)
+    assert not array.in_bounds(4)
+    assert not array.in_bounds(-1)
+
+
+def test_masked_index_clamps_oob_to_zero():
+    array = JSArray(address=0x1000, length=4)
+    assert array.masked_index(2) == 2
+    assert array.masked_index(100) == 0
+    assert array.masked_index(-5) == 0
+
+
+def test_shape_assigns_slot_offsets():
+    shape = Shape.of("x", "y", "z")
+    assert shape.fields == {"x": 0, "y": 8, "z": 16}
+
+
+def test_shapes_have_unique_ids():
+    assert Shape.of("a").shape_id != Shape.of("a").shape_id
+
+
+def test_object_slot_addresses():
+    realm = Realm(1)
+    obj = realm.new_object(Shape.of("x", "y"), x=1, y=2)
+    assert obj.slot_address("y") == obj.slot_address("x") + 8
+    assert obj.values == {"x": 1, "y": 2}
+
+
+def test_realm_heaps_are_disjoint():
+    a, b = Realm(1), Realm(2)
+    assert b.heap_base - a.heap_base == REALM_HEAP_BYTES
+    array = a.new_array(16)
+    assert a.owns(array.address)
+    assert not b.owns(array.address)
+
+
+def test_allocations_are_line_aligned_and_monotonic():
+    realm = Realm(3)
+    first = realm.new_array(1)
+    second = realm.new_array(1)
+    assert first.address % 64 == 0
+    assert second.address > first.address

@@ -1,0 +1,65 @@
+"""Sandbox boundary: OOB reads, type confusion, timer clamping."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.jsengine.sandbox import (
+    ClampedClock,
+    attempt_sandbox_oob_read,
+    attempt_type_confusion,
+    can_distinguish_cache_hit,
+    new_realm,
+)
+
+
+@pytest.fixture
+def m():
+    return Machine(get_cpu("skylake_client"))
+
+
+def test_oob_read_escapes_sandbox_without_masking(m):
+    attacker, victim = new_realm("attacker"), new_realm("victim")
+    assert attempt_sandbox_oob_read(m, attacker, victim,
+                                    index_masking=False) is True
+
+
+def test_index_masking_contains_the_read(m):
+    attacker, victim = new_realm("attacker"), new_realm("victim")
+    assert attempt_sandbox_oob_read(m, attacker, victim,
+                                    index_masking=True) is False
+
+
+def test_type_confusion_leaks_without_guards(m):
+    realm = new_realm()
+    assert attempt_type_confusion(m, realm, object_guards=False) is True
+
+
+def test_object_guards_stop_type_confusion(m):
+    realm = new_realm()
+    assert attempt_type_confusion(m, realm, object_guards=True) is False
+
+
+class TestClampedClock:
+    def test_quantizes_downward(self, m):
+        clock = ClampedClock(m, resolution_cycles=100)
+        m.counters.add_cycles(250)
+        assert clock.now() == 200
+
+    def test_full_resolution_passthrough(self, m):
+        clock = ClampedClock(m, resolution_cycles=1)
+        m.counters.add_cycles(123)
+        assert clock.now() == m.read_tsc()
+
+    def test_rejects_zero_resolution(self, m):
+        with pytest.raises(ValueError):
+            ClampedClock(m, resolution_cycles=0)
+
+    def test_precise_timer_sees_cache_state(self, m):
+        clock = ClampedClock(m, resolution_cycles=1)
+        assert can_distinguish_cache_hit(m, clock) is True
+
+    def test_clamped_timer_blinds_the_probe(self, m):
+        """Firefox's mitigation: quantize below the hit/miss delta and the
+        cache covert channel's receiver goes blind."""
+        clock = ClampedClock(m, resolution_cycles=10_000)
+        assert can_distinguish_cache_hit(m, clock) is False

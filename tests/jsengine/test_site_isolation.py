@@ -1,0 +1,95 @@
+"""Site isolation: structural immunity and its process-model cost."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import counters as ctr
+from repro.jsengine.site_isolation import (
+    Browser,
+    PROCESS_PER_SITE,
+    SHARED_RENDERER,
+)
+from repro.kernel import Kernel
+from repro.mitigations import MitigationConfig, linux_default
+
+
+def make_browser(policy, cpu_key="skylake_client", config=None):
+    cpu = get_cpu(cpu_key)
+    kernel = Kernel(Machine(cpu, seed=1),
+                    config if config is not None else linux_default(cpu))
+    return Browser(kernel, policy)
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        make_browser("hope")
+
+
+def test_process_per_site_allocates_distinct_processes():
+    browser = make_browser(PROCESS_PER_SITE)
+    a = browser.open_site("bank.example")
+    b = browser.open_site("ads.example")
+    assert a.process is not b.process
+    assert a.process.mm is not b.process.mm
+
+
+def test_shared_renderer_reuses_one_process():
+    browser = make_browser(SHARED_RENDERER)
+    a = browser.open_site("bank.example")
+    b = browser.open_site("ads.example")
+    assert a.process is b.process
+
+
+def test_reopening_a_site_is_idempotent():
+    browser = make_browser(PROCESS_PER_SITE)
+    assert browser.open_site("x.example") is browser.open_site("x.example")
+
+
+class TestSecurity:
+    def setup_pair(self, policy):
+        browser = make_browser(policy)
+        browser.open_site("ads.example")
+        browser.open_site("bank.example")
+        return browser
+
+    def test_shared_renderer_leaks_without_masking(self):
+        browser = self.setup_pair(SHARED_RENDERER)
+        assert browser.cross_site_speculative_read_possible(
+            "ads.example", "bank.example", index_masking=False) is True
+
+    def test_shared_renderer_needs_the_jit_mitigation(self):
+        browser = self.setup_pair(SHARED_RENDERER)
+        assert browser.cross_site_speculative_read_possible(
+            "ads.example", "bank.example", index_masking=True) is False
+
+    def test_process_per_site_is_structurally_immune(self):
+        """No masking required: the victim heap isn't mapped at all."""
+        browser = self.setup_pair(PROCESS_PER_SITE)
+        assert browser.cross_site_speculative_read_possible(
+            "ads.example", "bank.example", index_masking=False) is False
+
+
+class TestCost:
+    SEQUENCE = ["a.example", "b.example"] * 6
+
+    def test_process_per_site_pays_switches(self):
+        isolated = make_browser(PROCESS_PER_SITE)
+        shared = make_browser(SHARED_RENDERER, config=linux_default(
+            get_cpu("skylake_client")))
+        cost_isolated = isolated.tab_switch_cost(list(self.SEQUENCE))
+        cost_shared = shared.tab_switch_cost(list(self.SEQUENCE))
+        assert cost_isolated > cost_shared
+
+    def test_switches_fire_ibpb_for_seccomp_renderers(self):
+        """Renderers are seccomp'd, so the conditional IBPB policy treats
+        them as protection-requesting — every cross-site switch pays the
+        Table 6 cost."""
+        browser = make_browser(PROCESS_PER_SITE, cpu_key="broadwell")
+        browser.tab_switch_cost(list(self.SEQUENCE))
+        assert browser.kernel.machine.counters.read(ctr.IBPB_COUNT) >= 10
+
+    def test_no_switches_within_one_site(self):
+        browser = make_browser(PROCESS_PER_SITE)
+        browser.tab_switch_cost(["solo.example"] * 5)
+        assert browser.kernel.machine.counters.read(
+            ctr.CONTEXT_SWITCHES) == 1  # the initial placement only

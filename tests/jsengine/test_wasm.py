@@ -1,0 +1,92 @@
+"""WASM sandboxing and Swivel-style hardening."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu.isa import Op
+from repro.jsengine.wasm import (
+    WasmCompiler,
+    attempt_wasm_indirect_escape,
+    attempt_wasm_sandbox_escape,
+    instantiate,
+)
+
+
+@pytest.fixture
+def m():
+    return Machine(get_cpu("skylake_client"))
+
+
+def test_modules_get_disjoint_memories():
+    a, b = instantiate(1 << 20), instantiate(1 << 20)
+    assert a.memory_base != b.memory_base
+    assert not a.contains(b.memory_base)
+    assert b.contains(b.memory_base)
+
+
+def test_masked_offset_always_in_bounds():
+    module = instantiate(4096)
+    for offset in (0, 4095, 4096, 100_000, (1 << 40) + 7):
+        assert 0 <= module.masked_offset(offset) < module.memory_bytes
+
+
+def test_raw_compiler_emits_check_then_access(m):
+    module = instantiate()
+    block = WasmCompiler(m, hardened=False).load(module, 64)
+    assert [i.op for i in block] == [Op.BRANCH_COND, Op.LOAD]
+
+
+def test_hardened_compiler_emits_mask_then_access(m):
+    module = instantiate()
+    block = WasmCompiler(m, hardened=True).load(module, 64)
+    assert [i.op for i in block] == [Op.ALU, Op.LOAD]
+    assert module.contains(block[1].address)
+
+
+def test_hardened_oob_access_is_wrapped_inside(m):
+    module = instantiate(4096)
+    block = WasmCompiler(m, hardened=True).load(module, 1 << 30)
+    assert module.contains(block[1].address)
+
+
+def test_v1_escape_works_raw_on_every_cpu(every_cpu):
+    machine = Machine(every_cpu)
+    attacker, victim = instantiate(), instantiate()
+    assert attempt_wasm_sandbox_escape(machine, attacker, victim,
+                                       hardened=False) is True
+
+
+def test_swivel_masking_contains_the_v1_escape(every_cpu):
+    machine = Machine(every_cpu)
+    attacker, victim = instantiate(), instantiate()
+    assert attempt_wasm_sandbox_escape(machine, attacker, victim,
+                                       hardened=True) is False
+
+
+def test_v2_escape_works_raw_where_btb_is_steerable(m):
+    module = instantiate()
+    assert attempt_wasm_indirect_escape(m, module, hardened=False) is True
+
+
+def test_swivel_pinned_calls_stop_the_v2_escape(m):
+    module = instantiate()
+    assert attempt_wasm_indirect_escape(m, module, hardened=True) is False
+
+
+def test_v2_escape_already_impossible_on_zen3():
+    machine = Machine(get_cpu("zen3"))
+    module = instantiate()
+    assert attempt_wasm_indirect_escape(machine, module,
+                                        hardened=False) is False
+
+
+def test_hardening_cost_is_one_alu_per_access(m):
+    module = instantiate()
+    raw = WasmCompiler(m, hardened=False)
+    hard = WasmCompiler(m, hardened=True)
+    offset = 4096
+    # Warm the line through both paths, then compare steady-state cost.
+    raw.access_cost(module, offset)
+    hard.access_cost(module, offset)
+    delta = hard.access_cost(module, offset) - raw.access_cost(module, offset)
+    assert delta == m.costs.alu - m.costs.cond_branch

@@ -1,0 +1,118 @@
+"""The eBPF boundary: verifier, sanitation, JIT costs, the V1 demo."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu.isa import Op
+from repro.errors import ConfigurationError
+from repro.kernel.ebpf import (
+    BPFJit,
+    BPFMap,
+    BPFProgram,
+    MAX_PROGRAM_INSNS,
+    Verifier,
+    VerifierPolicy,
+    attempt_bpf_v1,
+)
+from repro.mitigations import MitigationConfig, V2Strategy, linux_default
+
+
+def unprivileged():
+    return Verifier(VerifierPolicy(unprivileged=True))
+
+
+def privileged(sanitize=False):
+    return Verifier(VerifierPolicy(unprivileged=False, sanitize_v1=sanitize))
+
+
+class TestVerifier:
+    def test_oversized_program_rejected(self):
+        program = BPFProgram("huge", insns=MAX_PROGRAM_INSNS + 1)
+        with pytest.raises(ConfigurationError):
+            unprivileged().check(program)
+
+    def test_unbounded_loop_rejected(self):
+        program = BPFProgram("spin", insns=10, has_unbounded_loop=True)
+        with pytest.raises(ConfigurationError):
+            unprivileged().check(program)
+
+    def test_reasonable_program_admitted(self):
+        unprivileged().check(BPFProgram("ok", insns=100))
+
+    def test_unprivileged_always_sanitized(self):
+        """Linux forces Spectre sanitation on unprivileged loaders even
+        if someone asks it not to."""
+        verifier = Verifier(VerifierPolicy(unprivileged=True,
+                                           sanitize_v1=False))
+        assert verifier.sanitizes
+
+    def test_privileged_may_opt_out(self):
+        assert not privileged(sanitize=False).sanitizes
+        assert privileged(sanitize=True).sanitizes
+
+
+class TestJit:
+    def compile(self, config=None, verifier=None, **program_kwargs):
+        machine = Machine(get_cpu("broadwell"))
+        jit = BPFJit(machine, config or MitigationConfig.all_off(),
+                     verifier or unprivileged())
+        return jit.compile(BPFProgram("p", insns=100, **program_kwargs))
+
+    def test_sanitized_accesses_carry_the_mask(self):
+        block = self.compile(map_accesses=3)
+        assert sum(1 for i in block if i.op is Op.CMOV) == 3
+
+    def test_unsanitized_accesses_have_no_mask(self):
+        block = self.compile(verifier=privileged(), map_accesses=3)
+        assert not any(i.op is Op.CMOV for i in block)
+
+    def test_tail_calls_are_retpolined_under_kernel_policy(self):
+        config = MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_GENERIC)
+        block = self.compile(config=config, tail_calls=2)
+        branches = [i for i in block if i.op is Op.BRANCH_INDIRECT]
+        assert len(branches) == 2 and all(i.retpoline for i in branches)
+
+    def test_map_loads_stay_inside_the_map(self):
+        block = self.compile(map_accesses=8)
+        map_ = BPFProgram("p", insns=1).map
+        for instr in block:
+            if instr.op is Op.LOAD:
+                assert map_.address_of(0) <= instr.address < \
+                    map_.address_of(map_.entries)
+
+    def test_sanitation_costs_cycles(self):
+        machine = Machine(get_cpu("zen2"))
+        program = BPFProgram("p", insns=200, map_accesses=16)
+        clean = BPFJit(machine, MitigationConfig.all_off(),
+                       privileged()).invocation_cost(program)
+        masked = BPFJit(machine, MitigationConfig.all_off(),
+                        unprivileged()).invocation_cost(program)
+        assert masked - clean == pytest.approx(
+            16 * machine.costs.cmov, abs=1)
+
+    def test_retpolines_tax_tail_call_heavy_programs(self):
+        cpu = get_cpu("ice_lake_server")
+        machine = Machine(cpu)
+        program = BPFProgram("dispatch", insns=100, tail_calls=8)
+        raw = BPFJit(machine, MitigationConfig.all_off(),
+                     unprivileged()).invocation_cost(program)
+        retp = BPFJit(Machine(cpu),
+                      MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_GENERIC),
+                      unprivileged()).invocation_cost(program)
+        assert retp - raw == pytest.approx(
+            8 * cpu.costs.generic_retpoline_extra, abs=2)
+
+
+class TestAttack:
+    def test_unsanitized_map_read_leaks(self, every_cpu):
+        machine = Machine(every_cpu)
+        assert attempt_bpf_v1(machine, privileged(), 0x6B) == 0x6B
+
+    def test_sanitation_blocks_the_leak(self, every_cpu):
+        machine = Machine(every_cpu)
+        assert attempt_bpf_v1(machine, unprivileged(), 0x6B) is None
+
+    def test_distinct_secrets_recovered(self):
+        machine = Machine(get_cpu("cascade_lake"))
+        for secret in (1, 128, 255):
+            assert attempt_bpf_v1(machine, privileged(), secret) == secret

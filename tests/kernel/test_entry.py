@@ -1,0 +1,61 @@
+"""Kernel entry/exit path construction under different configs."""
+
+from repro.cpu.isa import Op
+from repro.mitigations.base import MitigationConfig, V2Strategy
+
+
+from repro.kernel.entry import build_entry_sequence, build_exit_sequence
+
+
+def ops(seq):
+    return [i.op for i in seq]
+
+
+def test_bare_entry_is_syscall_swapgs():
+    seq = build_entry_sequence(MitigationConfig.all_off())
+    assert ops(seq) == [Op.SYSCALL, Op.SWAPGS]
+
+
+def test_bare_exit_is_swapgs_sysret():
+    seq = build_exit_sequence(MitigationConfig.all_off())
+    assert ops(seq) == [Op.SWAPGS, Op.SYSRET]
+
+
+def test_v1_adds_lfence_after_swapgs():
+    seq = build_entry_sequence(MitigationConfig(v1_lfence_swapgs=True))
+    assert ops(seq) == [Op.SYSCALL, Op.SWAPGS, Op.LFENCE]
+
+
+def test_pti_adds_cr3_swaps_both_ways():
+    config = MitigationConfig(pti=True)
+    assert Op.MOV_CR3 in ops(build_entry_sequence(config))
+    assert Op.MOV_CR3 in ops(build_exit_sequence(config))
+
+
+def test_mds_adds_verw_on_exit_only():
+    config = MitigationConfig(mds_verw=True)
+    assert Op.VERW not in ops(build_entry_sequence(config))
+    assert ops(build_exit_sequence(config))[0] is Op.VERW
+
+
+def test_legacy_ibrs_writes_msr_both_ways():
+    config = MitigationConfig(v2_strategy=V2Strategy.IBRS)
+    assert Op.WRMSR in ops(build_entry_sequence(config))
+    assert Op.WRMSR in ops(build_exit_sequence(config))
+
+
+def test_eibrs_adds_no_per_entry_msr_write():
+    """The whole point of enhanced IBRS (section 6.2.2)."""
+    config = MitigationConfig(v2_strategy=V2Strategy.EIBRS)
+    assert Op.WRMSR not in ops(build_entry_sequence(config))
+    assert Op.WRMSR not in ops(build_exit_sequence(config))
+
+
+def test_full_config_ordering():
+    config = MitigationConfig(pti=True, mds_verw=True, v1_lfence_swapgs=True)
+    entry = ops(build_entry_sequence(config))
+    exit_ = ops(build_exit_sequence(config))
+    # Entry: hardware event, gs swap, V1 fence, then the PTI switch.
+    assert entry == [Op.SYSCALL, Op.SWAPGS, Op.LFENCE, Op.MOV_CR3]
+    # Exit: clear buffers while still on kernel tables, then switch, leave.
+    assert exit_ == [Op.VERW, Op.MOV_CR3, Op.SWAPGS, Op.SYSRET]

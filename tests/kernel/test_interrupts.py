@@ -1,0 +1,112 @@
+"""Interrupt delivery, timeslice scheduling, interrupted retpolines."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import counters as ctr
+from repro.errors import ConfigurationError
+from repro.kernel import HandlerProfile, Kernel, Process
+from repro.kernel.interrupts import (
+    DEVICE_VECTOR,
+    InterruptController,
+    TIMER_VECTOR,
+    TaskState,
+    TimesliceScheduler,
+    interrupted_retpoline_is_safe,
+)
+from repro.mitigations import MitigationConfig, linux_default
+
+
+def make_kernel(cpu_key="zen2", config=None):
+    cpu = get_cpu(cpu_key)
+    return Kernel(Machine(cpu, seed=1),
+                  config if config is not None else MitigationConfig.all_off())
+
+
+class TestController:
+    def test_deliver_counts_and_costs(self):
+        controller = InterruptController(make_kernel())
+        cycles = controller.deliver(TIMER_VECTOR)
+        assert cycles > 700  # handler work plus entry/exit
+        assert controller.delivered[TIMER_VECTOR] == 1
+
+    def test_unknown_vector_rejected(self):
+        controller = InterruptController(make_kernel())
+        with pytest.raises(ConfigurationError):
+            controller.deliver(0x99)
+
+    def test_register_custom_vector(self):
+        controller = InterruptController(make_kernel())
+        controller.register(0x30, HandlerProfile("nic", work_cycles=100))
+        assert controller.deliver(0x30) > 100
+
+    def test_register_rejects_reserved_vectors(self):
+        controller = InterruptController(make_kernel())
+        with pytest.raises(ConfigurationError):
+            controller.register(0x0E, HandlerProfile("pf"))
+
+    def test_interrupt_pays_boundary_mitigations(self):
+        """IRQs cross the same boundary as syscalls: PTI/MDS bill here."""
+        cpu_key = "broadwell"
+        bare = InterruptController(make_kernel(cpu_key))
+        full = InterruptController(
+            make_kernel(cpu_key, linux_default(get_cpu(cpu_key))))
+        for _ in range(3):
+            bare.deliver(DEVICE_VECTOR)
+            full.deliver(DEVICE_VECTOR)
+        assert full.deliver(DEVICE_VECTOR) > bare.deliver(DEVICE_VECTOR) + 800
+
+
+class TestTimesliceScheduler:
+    def tasks(self, n=3, work=50_000):
+        return [TaskState(Process(f"task{i}"), work_remaining=work)
+                for i in range(n)]
+
+    def test_all_work_completes(self):
+        scheduler = TimesliceScheduler(make_kernel(), timeslice_cycles=20_000)
+        tasks = self.tasks()
+        scheduler.run(tasks)
+        assert all(t.work_remaining == 0 for t in tasks)
+        assert all(t.work_done == 50_000 for t in tasks)
+
+    def test_preemption_produces_ticks_and_switches(self):
+        kernel = make_kernel()
+        scheduler = TimesliceScheduler(kernel, timeslice_cycles=10_000)
+        scheduler.run(self.tasks(n=2, work=30_000))
+        assert scheduler.ticks >= 4  # 2 tasks x 3 slices, minus the tail
+        assert kernel.machine.counters.read(ctr.CONTEXT_SWITCHES) >= 6
+
+    def test_invalid_timeslice_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimesliceScheduler(make_kernel(), timeslice_cycles=0)
+
+    def test_mitigations_tax_preemptive_multitasking(self):
+        """The scheduler pays entry/exit + switch mitigation work on every
+        slice; with slices this small the tax is visible."""
+        def total(cpu_key, config):
+            kernel = make_kernel(cpu_key, config)
+            scheduler = TimesliceScheduler(kernel, timeslice_cycles=5_000)
+            return scheduler.run(self.tasks(n=2, work=40_000))
+        cpu = get_cpu("broadwell")
+        assert total("broadwell", linux_default(cpu)) > \
+            1.10 * total("broadwell", MitigationConfig.all_off())
+
+    def test_single_task_needs_no_tick(self):
+        scheduler = TimesliceScheduler(make_kernel(),
+                                       timeslice_cycles=100_000)
+        scheduler.run(self.tasks(n=1, work=50_000))
+        assert scheduler.ticks == 0
+
+
+class TestInterruptedRetpoline:
+    """Section 5.3's reason for RSB stuffing, as a concrete scenario."""
+
+    def test_unsafe_without_stuffing(self):
+        machine = Machine(get_cpu("broadwell"))
+        assert interrupted_retpoline_is_safe(machine,
+                                             rsb_stuffing=False) is False
+
+    def test_safe_with_stuffing(self, every_cpu):
+        machine = Machine(every_cpu)
+        assert interrupted_retpoline_is_safe(machine,
+                                             rsb_stuffing=True) is True

@@ -1,0 +1,126 @@
+"""The booted kernel: syscall round trips, boot-time decisions."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.cpu import counters as ctr
+from repro.cpu.machine import AMD_RETPOLINE, GENERIC_RETPOLINE
+from repro.errors import ConfigurationError
+from repro.kernel import EXCEPTION_EXTRA_CYCLES, GETPID, HandlerProfile, Kernel
+from repro.mitigations import MitigationConfig, V2Strategy, linux_default
+
+
+def make(cpu_key="broadwell", config=None):
+    cpu = get_cpu(cpu_key)
+    machine = Machine(cpu)
+    return Kernel(machine, config if config is not None else
+                  MitigationConfig.all_off())
+
+
+def test_boot_validates_config():
+    with pytest.raises(ConfigurationError):
+        make("zen", MitigationConfig(v2_strategy=V2Strategy.IBRS))
+
+
+def test_boot_sets_kpti_mapping_state():
+    assert make("broadwell", MitigationConfig(pti=True))\
+        .machine.kernel_mapped_in_user is False
+    assert make("broadwell").machine.kernel_mapped_in_user is True
+
+
+def test_boot_selects_retpoline_variant():
+    k = make("zen2", MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_AMD))
+    assert k.machine.retpoline_variant == AMD_RETPOLINE
+    k = make("broadwell",
+             MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_GENERIC))
+    assert k.machine.retpoline_variant == GENERIC_RETPOLINE
+
+
+def test_boot_enables_eibrs_once():
+    k = make("cascade_lake", MitigationConfig(v2_strategy=V2Strategy.EIBRS))
+    assert k.machine.msr.eibrs_active
+
+
+def test_syscall_returns_to_user_mode():
+    k = make()
+    k.syscall(GETPID)
+    assert k.machine.mode is Mode.USER
+
+
+def test_syscall_cycles_scale_with_mitigations():
+    cpu = get_cpu("broadwell")
+    bare = Kernel(Machine(cpu), MitigationConfig.all_off())
+    full = Kernel(Machine(cpu), linux_default(cpu))
+    for _ in range(4):  # warm both
+        bare.syscall(GETPID)
+        full.syscall(GETPID)
+    assert full.syscall(GETPID) > bare.syscall(GETPID) + 800
+
+
+def test_pti_syscall_extra_is_two_cr3_swaps():
+    cpu = get_cpu("broadwell")
+    bare = Kernel(Machine(cpu), MitigationConfig.all_off())
+    pti = Kernel(Machine(cpu), MitigationConfig(pti=True))
+    for _ in range(4):
+        bare.syscall(GETPID)
+        pti.syscall(GETPID)
+    delta = pti.syscall(GETPID) - bare.syscall(GETPID)
+    assert delta == 2 * cpu.costs.swap_cr3
+
+
+def test_mds_syscall_extra_is_one_verw():
+    cpu = get_cpu("skylake_client")
+    bare = Kernel(Machine(cpu), MitigationConfig.all_off())
+    mds = Kernel(Machine(cpu), MitigationConfig(mds_verw=True))
+    for _ in range(4):
+        bare.syscall(GETPID)
+        mds.syscall(GETPID)
+    assert mds.syscall(GETPID) - bare.syscall(GETPID) == cpu.costs.verw_clear
+
+
+def test_retpoline_extra_scales_with_branch_count():
+    cpu = get_cpu("ice_lake_server")
+    profile = HandlerProfile("branchy", work_cycles=0, loads=0, stores=0,
+                             indirect_branches=6)
+    bare = Kernel(Machine(cpu), MitigationConfig.all_off())
+    retp = Kernel(Machine(cpu),
+                  MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_GENERIC))
+    for _ in range(4):
+        bare.syscall(profile)
+        retp.syscall(profile)
+    delta = retp.syscall(profile) - bare.syscall(profile)
+    assert delta == 6 * cpu.costs.generic_retpoline_extra
+
+
+def test_page_fault_costs_more_than_syscall():
+    k = make()
+    for _ in range(4):
+        k.syscall(GETPID)
+        k.page_fault(GETPID)
+    assert k.page_fault(GETPID) - k.syscall(GETPID) == EXCEPTION_EXTRA_CYCLES
+
+
+def test_handler_compilation_is_cached():
+    k = make()
+    k.syscall(GETPID)
+    first = k._compiled(GETPID)
+    assert k._compiled(GETPID) is first
+
+
+def test_kernel_entries_counted():
+    k = make()
+    k.syscall(GETPID)
+    k.syscall(GETPID)
+    assert k.machine.counters.read(ctr.KERNEL_ENTRIES) == 2
+
+
+def test_meltdown_fails_against_pti_booted_kernel():
+    from repro.mitigations.meltdown import attempt_meltdown
+    k = make("broadwell", MitigationConfig(pti=True))
+    assert attempt_meltdown(k.machine, 0x42) is None
+
+
+def test_meltdown_works_against_unmitigated_kernel():
+    from repro.mitigations.meltdown import attempt_meltdown
+    k = make("broadwell")
+    assert attempt_meltdown(k.machine, 0x42) == 0x42

@@ -1,0 +1,139 @@
+"""Virtual memory: VMAs, demand paging, KPTI views, L1TF-safe unmap."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.errors import SegmentationFault, WorkloadError
+from repro.kernel import Process
+from repro.kernel.memory import PAGE, MemoryManager, VMA
+from repro.mitigations import MitigationConfig
+from repro.mitigations.l1tf import UNCACHEABLE_FRAME, attempt_l1tf
+
+
+def make_mm(cpu_key="broadwell", config=None):
+    machine = Machine(get_cpu(cpu_key))
+    return MemoryManager(machine,
+                         config if config is not None else
+                         MitigationConfig.all_off())
+
+
+def test_vma_bounds():
+    vma = VMA(start=0x1000, pages=2)
+    assert vma.contains(0x1000)
+    assert vma.contains(0x2FFF)
+    assert not vma.contains(0x3000)
+
+
+def test_mmap_reserves_distinct_ranges():
+    mm = make_mm()
+    process = Process("p")
+    a, _ = mm.mmap(process, pages=4)
+    b, _ = mm.mmap(process, pages=4)
+    assert b >= a + 4 * PAGE
+
+
+def test_mmap_rejects_empty():
+    with pytest.raises(WorkloadError):
+        make_mm().mmap(Process("p"), pages=0)
+
+
+def test_touch_outside_any_vma_faults():
+    mm = make_mm()
+    with pytest.raises(SegmentationFault):
+        mm.touch(Process("p"), 0x7000_0000_0000)
+
+
+def test_first_touch_is_a_minor_fault_second_is_not():
+    mm = make_mm()
+    process = Process("p")
+    start, _ = mm.mmap(process, pages=1)
+    first = mm.touch(process, start)
+    assert mm.minor_faults == 1
+    second = mm.touch(process, start)
+    assert mm.minor_faults == 1
+    assert first > second  # the fault path dominates the warm access
+
+
+def test_each_page_faults_once():
+    mm = make_mm()
+    process = Process("p")
+    start, _ = mm.mmap(process, pages=3)
+    for i in range(3):
+        mm.touch(process, start + i * PAGE)
+    assert mm.minor_faults == 3
+
+
+def test_views_are_per_mm_not_per_task():
+    mm = make_mm()
+    a = Process("a")
+    thread = a.thread()
+    start, _ = mm.mmap(a, pages=1)
+    mm.touch(a, start)
+    # The thread shares the mm: no second fault.
+    mm.touch(thread, start)
+    assert mm.minor_faults == 1
+
+
+def test_munmap_unknown_vma_rejected():
+    mm = make_mm()
+    with pytest.raises(WorkloadError):
+        mm.munmap(Process("p"), 0x1234_0000)
+
+
+def test_munmap_then_touch_faults():
+    mm = make_mm()
+    process = Process("p")
+    start, _ = mm.mmap(process, pages=1)
+    mm.touch(process, start)
+    mm.munmap(process, start)
+    with pytest.raises(SegmentationFault):
+        mm.touch(process, start)
+
+
+class TestKPTIViews:
+    def test_without_kpti_kernel_is_in_user_views(self):
+        mm = make_mm(config=MitigationConfig(pti=False))
+        assert mm.kernel_reachable_from_user(Process("p")) is True
+        assert mm.machine.kernel_mapped_in_user is True
+
+    def test_with_kpti_user_views_carry_no_kernel(self):
+        mm = make_mm(config=MitigationConfig(pti=True))
+        assert mm.kernel_reachable_from_user(Process("p")) is False
+        assert mm.machine.kernel_mapped_in_user is False
+
+
+class TestL1TFLinkage:
+    def _stale_pte(self, config):
+        """mmap, touch, munmap: what PTE does the teardown leave?"""
+        mm = make_mm(cpu_key="skylake_client", config=config)
+        process = Process("victim")
+        start, _ = mm.mmap(process, pages=1)
+        mm.touch(process, start)
+        mm.munmap(process, start)
+        (pte,) = mm.not_present_ptes(process)
+        return mm, pte
+
+    def test_unmitigated_teardown_leaves_an_aimable_pte(self):
+        mm, pte = self._stale_pte(MitigationConfig(pte_inversion=False))
+        assert not pte.present
+        assert pte.physical_address < UNCACHEABLE_FRAME
+        # Warm the stale frame's line in L1 and the attack goes through.
+        from repro.cpu import isa
+        mm.machine.execute(isa.load(pte.physical_address))
+        assert attempt_l1tf(mm.machine, pte) is True
+
+    def test_pte_inversion_points_the_pte_into_nowhere(self):
+        mm, pte = self._stale_pte(MitigationConfig(pte_inversion=True))
+        assert pte.physical_address >= UNCACHEABLE_FRAME
+        assert attempt_l1tf(mm.machine, pte) is False
+
+
+def test_munmap_invalidates_tlb():
+    mm = make_mm()
+    process = Process("p")
+    start, _ = mm.mmap(process, pages=2)
+    mm.touch(process, start)
+    resident_before = mm.machine.tlb.resident()
+    assert resident_before > 0
+    mm.munmap(process, start)
+    assert mm.machine.tlb.resident() == 0

@@ -1,0 +1,41 @@
+"""Process and address space model."""
+
+from repro.kernel import AddressSpace, Process
+
+
+def test_pids_are_unique():
+    a, b = Process("a"), Process("b")
+    assert a.pid != b.pid
+
+
+def test_each_process_gets_its_own_mm():
+    a, b = Process("a"), Process("b")
+    assert a.mm is not b.mm
+    assert a.mm.mm_id != b.mm.mm_id
+
+
+def test_thread_shares_mm():
+    a = Process("a")
+    t = a.thread()
+    assert t.mm is a.mm
+    assert t.pid != a.pid
+
+
+def test_thread_inherits_security_attributes():
+    a = Process("a", uses_fpu=True, uses_seccomp=True, ssbd_prctl=True)
+    t = a.thread("worker")
+    assert t.uses_fpu and t.uses_seccomp and t.ssbd_prctl
+    assert t.name == "worker"
+
+
+def test_kpti_pcid_pair_differs_by_high_bit():
+    mm = AddressSpace()
+    assert mm.user_pcid == mm.kernel_pcid | 0x800
+    assert mm.kernel_pcid < 0x800
+
+
+def test_defaults_are_unprivileged_and_unopted():
+    p = Process()
+    assert not p.uses_seccomp
+    assert not p.ssbd_prctl
+    assert not p.ibpb_protect

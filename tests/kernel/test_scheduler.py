@@ -1,0 +1,156 @@
+"""Context switch path: IBPB policy, RSB stuffing, FPU, SSBD toggling."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import counters as ctr
+from repro.kernel import Kernel, Process
+from repro.mitigations import MitigationConfig, SSBDMode, V2Strategy
+from repro.mitigations import linux_default
+
+
+def kernel_with(config, cpu_key="broadwell"):
+    return Kernel(Machine(get_cpu(cpu_key)), config)
+
+
+def switch_pair(kernel):
+    a, b = Process("a"), Process("b")
+    kernel.context_switch(a)
+    return a, b
+
+
+def test_switch_sets_current():
+    k = kernel_with(MitigationConfig.all_off())
+    a, b = switch_pair(k)
+    k.context_switch(b)
+    assert k.current_process is b
+
+
+def test_plain_processes_get_no_ibpb_under_conditional_policy():
+    """Linux's default: the Table 6 cost only hits opted-in tasks."""
+    k = kernel_with(MitigationConfig(v2_ibpb=True))
+    a, b = switch_pair(k)
+    k.context_switch(b)
+    assert k.machine.counters.read(ctr.IBPB_COUNT) == 0
+
+
+def test_opted_in_process_gets_ibpb():
+    k = kernel_with(MitigationConfig(v2_ibpb=True))
+    a = Process("a")
+    b = Process("b", ibpb_protect=True)
+    k.context_switch(a)
+    k.context_switch(b)
+    assert k.machine.counters.read(ctr.IBPB_COUNT) == 1
+
+
+def test_seccomp_process_gets_ibpb():
+    k = kernel_with(MitigationConfig(v2_ibpb=True))
+    a = Process("a")
+    b = Process("b", uses_seccomp=True)
+    k.context_switch(a)
+    k.context_switch(b)
+    assert k.machine.counters.read(ctr.IBPB_COUNT) == 1
+
+
+def test_ibpb_always_fires_on_every_cross_mm_switch():
+    k = kernel_with(MitigationConfig(v2_ibpb=True, v2_ibpb_always=True))
+    a, b = switch_pair(k)
+    k.context_switch(b)
+    k.context_switch(a)
+    assert k.machine.counters.read(ctr.IBPB_COUNT) == 2
+
+
+def test_threads_of_one_mm_never_get_ibpb():
+    k = kernel_with(MitigationConfig(v2_ibpb=True, v2_ibpb_always=True))
+    a = Process("a", ibpb_protect=True)
+    t = a.thread()
+    k.context_switch(a)
+    k.context_switch(t)
+    assert k.machine.counters.read(ctr.IBPB_COUNT) == 0
+
+
+def test_ibpb_disabled_config_never_fires():
+    k = kernel_with(MitigationConfig(v2_ibpb=False))
+    a = Process("a", ibpb_protect=True)
+    b = Process("b", ibpb_protect=True)
+    k.context_switch(a)
+    k.context_switch(b)
+    assert k.machine.counters.read(ctr.IBPB_COUNT) == 0
+
+
+def test_rsb_stuffing_fills_buffer_on_switch():
+    k = kernel_with(MitigationConfig(v2_rsb_stuffing=True))
+    a, b = switch_pair(k)
+    k.machine.rsb.clear()
+    k.context_switch(b)
+    assert len(k.machine.rsb) == k.machine.cpu.rsb_depth
+
+
+def test_eager_fpu_costs_xsave_xrstor():
+    cpu = get_cpu("zen3")
+    lazy = Kernel(Machine(cpu), MitigationConfig(eager_fpu=False))
+    eager = Kernel(Machine(cpu), MitigationConfig(eager_fpu=True))
+    a1, b1 = Process("a"), Process("b")
+    a2, b2 = Process("a"), Process("b")
+    lazy.context_switch(a1)
+    eager.context_switch(a2)
+    delta = eager.context_switch(b2) - lazy.context_switch(b1)
+    assert delta == cpu.costs.xsave + cpu.costs.xrstor
+
+
+def test_lazy_fpu_charges_trap_for_fpu_tasks():
+    cpu = get_cpu("broadwell")
+    k = Kernel(Machine(cpu), MitigationConfig(eager_fpu=False))
+    a = Process("a")
+    b = Process("b", uses_fpu=True)
+    k.context_switch(a)
+    cost = k.context_switch(b)
+    assert cost >= cpu.costs.fpu_trap
+
+
+def test_lazyfp_leak_closed_by_eager_config():
+    from repro.mitigations.lazyfp import attempt_lazyfp
+    cpu = get_cpu("broadwell")
+    victim = Process("victim", uses_fpu=True)
+    victim.fpu_secret = 0xFEED
+    attacker = Process("attacker")
+
+    lazy = Kernel(Machine(cpu), MitigationConfig(eager_fpu=False))
+    lazy.context_switch(victim)
+    lazy.scheduler.fpu.secret = victim.fpu_secret
+    lazy.scheduler.fpu.owner_pid = victim.pid
+    lazy.context_switch(attacker)
+    assert attempt_lazyfp(lazy.machine, lazy.scheduler.fpu,
+                          attacker.pid) == 0xFEED
+
+    eager = Kernel(Machine(cpu), MitigationConfig(eager_fpu=True))
+    eager.context_switch(victim)
+    eager.context_switch(attacker)
+    assert attempt_lazyfp(eager.machine, eager.scheduler.fpu,
+                          attacker.pid) is None
+
+
+def test_ssbd_msr_toggles_with_process_policy():
+    config = MitigationConfig(ssbd_mode=SSBDMode.SECCOMP)
+    k = kernel_with(config)
+    plain = Process("plain")
+    sandboxed = Process("firefox", uses_seccomp=True)
+    k.context_switch(plain)
+    assert not k.machine.msr.ssbd_enabled
+    k.context_switch(sandboxed)
+    assert k.machine.msr.ssbd_enabled
+    k.context_switch(plain)
+    assert not k.machine.msr.ssbd_enabled
+
+
+def test_ssbd_off_policy_never_sets_msr():
+    k = kernel_with(MitigationConfig(ssbd_mode=SSBDMode.OFF))
+    k.context_switch(Process("p", uses_seccomp=True, ssbd_prctl=True))
+    assert not k.machine.msr.ssbd_enabled
+
+
+def test_context_switch_counter():
+    k = kernel_with(MitigationConfig.all_off())
+    a, b = switch_pair(k)
+    k.context_switch(b)
+    assert k.machine.counters.read(ctr.CONTEXT_SWITCHES) == 2

@@ -1,0 +1,115 @@
+"""MitigationConfig and the knob registry."""
+
+import pytest
+
+from repro.cpu import get_cpu
+from repro.errors import ConfigurationError
+from repro.mitigations.base import (
+    ALL_KNOBS,
+    JS_KNOBS,
+    KERNEL_KNOBS,
+    KNOBS_BY_NAME,
+    MitigationConfig,
+    SSBDMode,
+    V2Strategy,
+)
+
+
+def test_all_off_disables_everything():
+    config = MitigationConfig.all_off()
+    assert not config.pti
+    assert not config.mds_verw
+    assert config.v2_strategy is V2Strategy.NONE
+    assert config.ssbd_mode is SSBDMode.OFF
+    assert not config.js_index_masking
+
+
+def test_replace_returns_new_frozen_config():
+    base = MitigationConfig.all_off()
+    changed = base.replace(pti=True)
+    assert changed.pti and not base.pti
+    with pytest.raises(Exception):
+        base.pti = True  # frozen dataclass
+
+
+def test_uses_retpolines_property():
+    for strategy, expected in [
+        (V2Strategy.NONE, False),
+        (V2Strategy.RETPOLINE_GENERIC, True),
+        (V2Strategy.RETPOLINE_AMD, True),
+        (V2Strategy.IBRS, False),
+        (V2Strategy.EIBRS, False),
+    ]:
+        assert MitigationConfig(v2_strategy=strategy).uses_retpolines == expected
+
+
+def test_uses_ibrs_entry_write_only_for_legacy_ibrs():
+    assert MitigationConfig(v2_strategy=V2Strategy.IBRS).uses_ibrs_entry_write
+    assert not MitigationConfig(v2_strategy=V2Strategy.EIBRS).uses_ibrs_entry_write
+
+
+def test_validate_rejects_ibrs_on_zen():
+    config = MitigationConfig(v2_strategy=V2Strategy.IBRS)
+    with pytest.raises(ConfigurationError):
+        config.validate_for(get_cpu("zen"))
+
+
+def test_validate_rejects_eibrs_on_non_eibrs_part():
+    config = MitigationConfig(v2_strategy=V2Strategy.EIBRS)
+    with pytest.raises(ConfigurationError):
+        config.validate_for(get_cpu("broadwell"))
+
+
+def test_validate_rejects_amd_retpoline_on_intel():
+    config = MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_AMD)
+    with pytest.raises(ConfigurationError):
+        config.validate_for(get_cpu("skylake_client"))
+    config.validate_for(get_cpu("zen"))  # fine on AMD
+
+
+def test_validate_rejects_smt_off_on_smt_less_part():
+    config = MitigationConfig(mds_smt_off=True)
+    with pytest.raises(ConfigurationError):
+        config.validate_for(get_cpu("zen"))  # Ryzen 3 1200 has no SMT
+    config.validate_for(get_cpu("zen2"))
+
+
+def test_knob_registry_names_unique_and_complete():
+    names = [k.name for k in ALL_KNOBS]
+    assert len(names) == len(set(names))
+    assert set(KNOBS_BY_NAME) == set(names)
+    assert len(KERNEL_KNOBS) + len(JS_KNOBS) == len(ALL_KNOBS)
+
+
+def test_each_knob_disable_is_idempotent():
+    full = MitigationConfig(
+        pti=True, pte_inversion=True, l1d_flush_on_vmentry=True,
+        eager_fpu=True, v1_lfence_swapgs=True, v1_usercopy_masking=True,
+        v2_strategy=V2Strategy.RETPOLINE_GENERIC, v2_rsb_stuffing=True,
+        v2_ibpb=True, ssbd_mode=SSBDMode.SECCOMP, mds_verw=True,
+        js_index_masking=True, js_object_guards=True, js_other=True,
+    )
+    for knob in ALL_KNOBS:
+        once = knob.disable(full)
+        assert knob.disable(once) == once
+        assert once != full, f"knob {knob.name} did nothing"
+
+
+def test_disabling_every_knob_reaches_nearly_all_off():
+    full = MitigationConfig(
+        pti=True, pte_inversion=True, l1d_flush_on_vmentry=True,
+        eager_fpu=True, v1_lfence_swapgs=True, v1_usercopy_masking=True,
+        v2_strategy=V2Strategy.RETPOLINE_GENERIC, v2_rsb_stuffing=True,
+        v2_ibpb=True, ssbd_mode=SSBDMode.SECCOMP, mds_verw=True,
+        js_index_masking=True, js_object_guards=True, js_other=True,
+    )
+    config = full
+    for knob in ALL_KNOBS:
+        config = knob.disable(config)
+    assert config == MitigationConfig.all_off()
+
+
+def test_knob_boot_params_look_like_kernel_flags():
+    assert KNOBS_BY_NAME["pti"].boot_param == "nopti"
+    assert KNOBS_BY_NAME["mds"].boot_param == "mds=off"
+    assert KNOBS_BY_NAME["spectre_v2"].boot_param == "nospectre_v2"

@@ -1,0 +1,47 @@
+"""Branch History Injection: the section 6.3 eIBRS gap, end to end."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.mitigations.bhi import attempt_bhi
+
+EIBRS_PARTS = ("cascade_lake", "ice_lake_server")
+
+
+@pytest.mark.parametrize("key", EIBRS_PARTS)
+def test_bhi_defeats_eibrs(key):
+    """Same-mode kernel mistraining sails past the mode-tagged BTB —
+    exactly the paper's 'not a complete mitigation' takeaway and the
+    Barberis et al. concurrent result."""
+    assert attempt_bhi(Machine(get_cpu(key)), eibrs=True) is True
+
+
+@pytest.mark.parametrize("key", EIBRS_PARTS)
+def test_retpolines_stop_bhi(key):
+    assert attempt_bhi(Machine(get_cpu(key)), retpolines=True) is False
+
+
+@pytest.mark.parametrize("key", EIBRS_PARTS)
+def test_ibpb_between_attacker_and_victim_stops_bhi(key):
+    assert attempt_bhi(Machine(get_cpu(key)), ibpb_before_victim=True) is False
+
+
+def test_ice_lake_client_kernel_blocking_stops_bhi():
+    """The part whose eIBRS also disables kernel-mode prediction
+    (Table 10's blank kernel->kernel cells) is incidentally BHI-proof."""
+    assert attempt_bhi(Machine(get_cpu("ice_lake_client")), eibrs=True) is False
+
+
+def test_zen3_opaque_indexing_stops_bhi():
+    assert attempt_bhi(Machine(get_cpu("zen3"))) is False
+
+
+def test_legacy_ibrs_parts_block_bhi_when_ibrs_set():
+    """On Broadwell-class parts, IBRS=1 disables all prediction, so the
+    BHI pattern has nothing to steer (at the known performance price)."""
+    assert attempt_bhi(Machine(get_cpu("broadwell")), eibrs=True) is False
+
+
+def test_bhi_on_old_parts_without_any_v2_mitigation():
+    """With nothing enabled, the same-mode mistraining of course works."""
+    assert attempt_bhi(Machine(get_cpu("broadwell")), eibrs=False) is True

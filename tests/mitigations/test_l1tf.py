@@ -1,0 +1,68 @@
+"""L1TF: terminal-fault leak predicate, PTE inversion, L1 flush."""
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import isa
+from repro.mitigations.l1tf import (
+    PAGE,
+    PageTableEntry,
+    attempt_l1tf,
+    invert_pte,
+    l1d_flush_sequence,
+)
+
+
+def warm_line(machine, physical):
+    machine.execute(isa.load(physical))
+
+
+def test_leak_when_line_resident_on_vulnerable_part():
+    machine = Machine(get_cpu("broadwell"))
+    pte = PageTableEntry(present=False, frame=0x1234)
+    warm_line(machine, pte.physical_address)
+    assert attempt_l1tf(machine, pte) is True
+
+
+def test_no_leak_when_line_cold():
+    machine = Machine(get_cpu("broadwell"))
+    pte = PageTableEntry(present=False, frame=0x1234)
+    assert attempt_l1tf(machine, pte) is False
+
+
+def test_present_pte_is_not_a_terminal_fault():
+    machine = Machine(get_cpu("broadwell"))
+    pte = PageTableEntry(present=True, frame=0x1234)
+    warm_line(machine, pte.physical_address)
+    assert attempt_l1tf(machine, pte) is False
+
+
+def test_immune_parts_never_leak():
+    for key in ("cascade_lake", "zen", "zen3"):
+        machine = Machine(get_cpu(key))
+        pte = PageTableEntry(present=False, frame=0x1234)
+        warm_line(machine, pte.physical_address)
+        assert attempt_l1tf(machine, pte) is False
+
+
+def test_pte_inversion_defeats_the_leak():
+    machine = Machine(get_cpu("skylake_client"))
+    pte = PageTableEntry(present=False, frame=0x1234)
+    warm_line(machine, pte.physical_address)
+    inverted = invert_pte(pte)
+    assert attempt_l1tf(machine, inverted) is False
+
+
+def test_inversion_leaves_present_ptes_alone():
+    pte = PageTableEntry(present=True, frame=77)
+    assert invert_pte(pte) is pte
+
+
+def test_l1_flush_defeats_the_leak():
+    machine = Machine(get_cpu("broadwell"))
+    pte = PageTableEntry(present=False, frame=0x1234)
+    warm_line(machine, pte.physical_address)
+    machine.run(l1d_flush_sequence())  # host flushes before VM entry
+    assert attempt_l1tf(machine, pte) is False
+
+
+def test_physical_address_math():
+    assert PageTableEntry(present=False, frame=3).physical_address == 3 * PAGE

@@ -1,0 +1,61 @@
+"""LazyFP: lazy-switch leak, eager fix, and the cost inversion."""
+
+from repro.cpu import Machine, get_cpu
+from repro.mitigations.lazyfp import (
+    FPUState,
+    attempt_lazyfp,
+    eager_switch,
+    eager_switch_cost,
+    eager_switch_sequence,
+    lazy_switch,
+    lazy_switch_cost,
+)
+
+
+def leaky_state():
+    """Process 1's secret sits in the registers; a lazy switch happened."""
+    fpu = FPUState(owner_pid=1, enabled=True, secret=0xC0FFEE)
+    lazy_switch(fpu, new_pid=2)
+    return fpu
+
+
+def test_lazy_switch_leaks_on_vulnerable_part():
+    machine = Machine(get_cpu("broadwell"))
+    assert attempt_lazyfp(machine, leaky_state(), attacker_pid=2) == 0xC0FFEE
+
+
+def test_amd_parts_are_immune():
+    for key in ("zen", "zen2", "zen3"):
+        machine = Machine(get_cpu(key))
+        assert attempt_lazyfp(machine, leaky_state(), attacker_pid=2) is None
+
+
+def test_eager_switch_prevents_the_leak():
+    machine = Machine(get_cpu("broadwell"))
+    fpu = FPUState(owner_pid=1, enabled=True, secret=0xC0FFEE)
+    eager_switch(fpu, new_pid=2, new_secret=0)
+    assert attempt_lazyfp(machine, fpu, attacker_pid=2) is None
+
+
+def test_own_registers_are_not_a_leak():
+    machine = Machine(get_cpu("broadwell"))
+    fpu = leaky_state()
+    assert attempt_lazyfp(machine, fpu, attacker_pid=1) == None  # noqa: E711
+
+
+def test_eager_cost_is_save_plus_restore(machine):
+    assert eager_switch_cost(machine) == \
+        machine.costs.xsave + machine.costs.xrstor
+    assert len(eager_switch_sequence()) == 2
+
+
+def test_lazy_is_free_for_fpu_less_tasks(machine):
+    assert lazy_switch_cost(machine, new_process_uses_fpu=False) == 0
+
+
+def test_lazy_costs_more_than_eager_for_fpu_tasks(machine):
+    """The paper's 'amusingly, the mitigation speeds things up' claim:
+    the #NM trap makes lazy switching the slower strategy when the
+    incoming task actually touches the FPU."""
+    assert lazy_switch_cost(machine, new_process_uses_fpu=True) > \
+        eager_switch_cost(machine)

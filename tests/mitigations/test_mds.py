@@ -1,0 +1,68 @@
+"""MDS: sampling demo, verw clearing, the SMT capacity tradeoff."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.cpu import isa
+from repro.mitigations.mds import (
+    attempt_mds_sample,
+    kernel_touched_secret,
+    smt_effective_threads,
+    verw_sequence,
+)
+
+
+def test_sampling_leaks_kernel_residue_on_vulnerable_parts():
+    for key in ("broadwell", "skylake_client", "cascade_lake"):
+        machine = Machine(get_cpu(key))
+        kernel_touched_secret(machine, 0xBEEF)
+        leaked = attempt_mds_sample(machine)
+        assert leaked, key
+        assert 0xBEEF in leaked.values()
+
+
+def test_immune_parts_never_leak():
+    for key in ("ice_lake_client", "ice_lake_server", "zen", "zen2", "zen3"):
+        machine = Machine(get_cpu(key))
+        kernel_touched_secret(machine, 0xBEEF)
+        assert attempt_mds_sample(machine) == {}, key
+
+
+def test_verw_on_kernel_exit_stops_the_leak():
+    machine = Machine(get_cpu("broadwell"))
+    kernel_touched_secret(machine, 0xBEEF)
+    machine.mode = Mode.KERNEL
+    machine.run(verw_sequence())
+    machine.mode = Mode.USER
+    assert attempt_mds_sample(machine) == {}
+
+
+def test_unpatched_microcode_verw_does_not_clear():
+    """Without the microcode patch, verw only has its legacy behaviour."""
+    machine = Machine(get_cpu("broadwell"), microcode_patched=False)
+    kernel_touched_secret(machine, 0xBEEF)
+    machine.mode = Mode.KERNEL
+    machine.run(verw_sequence())
+    machine.mode = Mode.USER
+    assert attempt_mds_sample(machine) != {}
+
+
+def test_kernel_mode_attacker_sees_user_residue():
+    machine = Machine(get_cpu("broadwell"))
+    machine.execute(isa.load(0x1000))  # user-mode load leaves residue
+    assert attempt_mds_sample(machine, attacker_mode=Mode.KERNEL) != {}
+
+
+class TestSMT:
+    def test_smt_on_yields_more_than_cores(self):
+        assert smt_effective_threads(10, True) == pytest.approx(12.5)
+
+    def test_smt_off_yields_exactly_cores(self):
+        assert smt_effective_threads(10, False) == 10.0
+
+    def test_disable_smt_cost_is_the_yield_delta(self):
+        """Why Table 1 marks Disable-SMT as '!': the capacity loss
+        (here 20%) dwarfs the verw path cost."""
+        on = smt_effective_threads(10, True)
+        off = smt_effective_threads(10, False)
+        assert (on - off) / on == pytest.approx(0.2)

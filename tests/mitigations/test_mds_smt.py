@@ -1,0 +1,37 @@
+"""Cross-hyperthread MDS: the case only disabling SMT fixes."""
+
+import pytest
+
+from repro.cpu import Mode, get_cpu
+from repro.cpu import isa
+from repro.cpu.smt import SMTCore
+from repro.mitigations.mds import attempt_cross_thread_mds
+
+
+def test_cross_thread_sampling_on_vulnerable_parts():
+    for key in ("broadwell", "skylake_client", "cascade_lake"):
+        leaked = attempt_cross_thread_mds(SMTCore(get_cpu(key)), 0xD00D)
+        assert leaked, key
+        assert 0xD00D in leaked.values()
+
+
+def test_cross_thread_sampling_fails_on_immune_parts():
+    for key in ("ice_lake_server", "zen2", "zen3"):
+        assert attempt_cross_thread_mds(SMTCore(get_cpu(key))) == {}, key
+
+
+def test_verw_on_the_victim_thread_does_not_close_the_window():
+    """The key limitation of the default mitigation: verw runs at the
+    *boundary crossing*, but a concurrent sibling samples mid-execution.
+    After the victim's verw the residue is gone — but the attacker
+    already sampled.  This ordering is why Table 1 lists Disable-SMT as
+    the needed-but-undefaulted extra."""
+    core = SMTCore(get_cpu("broadwell"))
+    leaked_during = attempt_cross_thread_mds(core, 0xAB)
+    assert leaked_during  # sampled while the victim was in-kernel
+    # Victim finally exits through verw...
+    core.thread0.mode = Mode.KERNEL
+    core.thread0.execute(isa.verw())
+    core.thread0.mode = Mode.USER
+    # ...which clears the shared buffers, but only from now on.
+    assert core.thread1.mds_buffers.sample(Mode.USER) == {}

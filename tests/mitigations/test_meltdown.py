@@ -1,0 +1,59 @@
+"""Meltdown demo: leaks without KPTI on vulnerable parts, never with."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.mitigations.meltdown import (
+    attempt_meltdown,
+    kpti_entry_sequence,
+    kpti_exit_sequence,
+)
+
+
+def test_leak_on_vulnerable_part_without_kpti():
+    machine = Machine(get_cpu("broadwell"))
+    machine.kernel_mapped_in_user = True
+    assert attempt_meltdown(machine, 0x42) == 0x42
+
+
+def test_recovers_arbitrary_bytes():
+    machine = Machine(get_cpu("skylake_client"))
+    for secret in (0x01, 0x7F, 0xFF):
+        assert attempt_meltdown(machine, secret) == secret
+
+
+def test_kpti_stops_the_leak():
+    machine = Machine(get_cpu("broadwell"))
+    machine.kernel_mapped_in_user = False
+    assert attempt_meltdown(machine, 0x42) is None
+
+
+@pytest.mark.parametrize("key", [
+    "cascade_lake", "ice_lake_client", "ice_lake_server",
+    "zen", "zen2", "zen3",
+])
+def test_immune_parts_never_leak(key):
+    machine = Machine(get_cpu(key))
+    machine.kernel_mapped_in_user = True  # even with the kernel mapped
+    assert attempt_meltdown(machine, 0x42) is None
+
+
+def test_secret_must_be_one_byte():
+    machine = Machine(get_cpu("broadwell"))
+    with pytest.raises(ValueError):
+        attempt_meltdown(machine, 0x1FF)
+
+
+def test_kpti_sequences_are_cr3_writes():
+    from repro.cpu.isa import Op
+    (entry,) = kpti_entry_sequence()
+    (exit_,) = kpti_exit_sequence()
+    assert entry.op is Op.MOV_CR3
+    assert exit_.op is Op.MOV_CR3
+    assert entry.value != exit_.value  # two distinct PCID halves
+
+
+def test_repeated_attack_is_stable():
+    machine = Machine(get_cpu("broadwell"))
+    for _ in range(3):
+        assert attempt_meltdown(machine, 0x17) == 0x17

@@ -1,0 +1,63 @@
+"""Figure 4's generic retpoline, run through the live RSB/BTB."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import counters as ctr
+from repro.cpu import isa
+from repro.mitigations.retpoline_asm import (
+    CAPTURE_LOOP,
+    THUNK_RET_PC,
+    capture_loop_block,
+    execute_generic_retpoline,
+    retpoline_speculation_is_captured,
+)
+
+GADGET = 0x4D_2000
+
+
+def test_capture_loop_is_pause_then_lfence():
+    block = capture_loop_block()
+    assert [i.op for i in block] == [isa.Op.PAUSE, isa.Op.LFENCE]
+
+
+def test_speculation_goes_to_the_capture_loop_not_the_gadget(every_cpu):
+    """The retpoline's whole point, on every part: a poisoned BTB entry
+    at the ret site is never consumed; speculation lands in the trap."""
+    machine = Machine(every_cpu)
+    gadget_ran, captured = retpoline_speculation_is_captured(machine, GADGET)
+    assert gadget_ran is False
+    assert captured is True
+
+
+def test_raw_indirect_branch_with_same_poisoning_runs_the_gadget():
+    """Control: without the retpoline, the same poisoned entry works."""
+    machine = Machine(get_cpu("broadwell"))
+    machine.register_code(GADGET, [isa.div()])
+    machine.btb.train(THUNK_RET_PC, GADGET, machine.mode)
+    before = machine.counters.read(ctr.DIVIDER_ACTIVE)
+    machine.execute(isa.branch_indirect(0x4C_9000, pc=THUNK_RET_PC))
+    assert machine.counters.read(ctr.DIVIDER_ACTIVE) > before
+
+
+def test_capture_window_executes_at_most_the_pause():
+    """The lfence is serializing: exactly one transient instruction (the
+    pause) runs inside the trap."""
+    machine = Machine(get_cpu("zen2"))
+    before = machine.counters.read(ctr.TRANSIENT_INSTRUCTIONS)
+    execute_generic_retpoline(machine, target=0x4C_9000)
+    assert machine.counters.read(ctr.TRANSIENT_INSTRUCTIONS) - before == 1
+
+
+def test_retpoline_never_trains_the_btb():
+    machine = Machine(get_cpu("skylake_client"))
+    execute_generic_retpoline(machine, target=0x4C_9000)
+    assert not machine.btb.contains(THUNK_RET_PC)
+
+
+def test_architectural_cost_is_call_alu_ret_mispredict():
+    machine = Machine(get_cpu("broadwell"))
+    cycles = execute_generic_retpoline(machine, target=0x4C_9000)
+    costs = machine.costs
+    assert cycles == costs.call + costs.alu + costs.ret_ + \
+        costs.mispredict_penalty

@@ -1,0 +1,43 @@
+"""SpectreRSB: planted returns, underflow fallback, and stuffing."""
+
+import pytest
+
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.mitigations.spectre_rsb import (
+    attempt_planted_return,
+    attempt_underflow_fallback,
+)
+
+
+def test_planted_return_leaks_on_every_cpu(every_cpu):
+    """The RSB itself is untagged everywhere: a planted entry steers the
+    next return on every part we model."""
+    assert attempt_planted_return(Machine(every_cpu)) is True
+
+
+def test_stuffing_overwrites_the_plant(every_cpu):
+    assert attempt_planted_return(Machine(every_cpu), stuffed=True) is False
+
+
+def test_underflow_fallback_only_on_btb_fallback_parts():
+    """Skylake-class parts consult the BTB on underflow; Broadwell
+    stalls.  (Paper 5.3's SpectreRSB discussion.)"""
+    fallback = {cpu.key for cpu in all_cpus()
+                if cpu.predictor.rsb_underflow_uses_btb}
+    assert "skylake_client" in fallback
+    assert "broadwell" not in fallback
+    for cpu in all_cpus():
+        expected = cpu.predictor.rsb_underflow_uses_btb and \
+            not cpu.predictor.btb_opaque_index
+        assert attempt_underflow_fallback(Machine(cpu)) == expected, cpu.key
+
+
+def test_stuffing_prevents_the_underflow():
+    machine = Machine(get_cpu("skylake_client"))
+    assert attempt_underflow_fallback(machine, stuffed=True) is False
+
+
+def test_mode_tagged_btb_does_not_save_the_underflow_path():
+    """On Cascade Lake the fallback entry was trained in the same (user)
+    mode, so mode tagging doesn't stop this one — stuffing is the fix."""
+    assert attempt_underflow_fallback(Machine(get_cpu("cascade_lake"))) is True

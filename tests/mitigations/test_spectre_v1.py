@@ -1,0 +1,64 @@
+"""Spectre V1: the Figure-1 gadget, lfence and masking mitigations."""
+
+import pytest
+
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.cpu.isa import Op
+from repro.mitigations.spectre_v1 import (
+    ARRAY_LENGTH,
+    attempt_bounds_bypass,
+    build_gadget,
+    lfence_after_swapgs_sequence,
+)
+
+
+def test_raw_gadget_leaks_on_every_cpu(every_cpu):
+    """V1 affects every part the paper measured."""
+    machine = Machine(every_cpu)
+    assert attempt_bounds_bypass(machine, 0x5A) == 0x5A
+
+
+def test_lfence_stops_the_leak(every_cpu):
+    machine = Machine(every_cpu)
+    assert attempt_bounds_bypass(machine, 0x5A, lfence_hardened=True) is None
+
+
+def test_index_masking_stops_the_leak(every_cpu):
+    machine = Machine(every_cpu)
+    assert attempt_bounds_bypass(machine, 0x5A, masked=True) is None
+
+
+def test_different_secrets_recovered():
+    machine = Machine(get_cpu("zen2"))
+    for secret in (1, 100, 255):
+        assert attempt_bounds_bypass(machine, secret) == secret
+
+
+def test_gadget_structure_unhardened():
+    gadget = build_gadget(index=3, secret_byte=9)
+    assert [i.op for i in gadget] == [Op.LOAD, Op.LOAD]
+
+
+def test_gadget_structure_lfence_first():
+    gadget = build_gadget(index=3, secret_byte=9, lfence_hardened=True)
+    assert gadget[0].op is Op.LFENCE
+
+
+def test_gadget_masking_inserts_cmov_and_clamps():
+    oob = ARRAY_LENGTH + 1000
+    gadget = build_gadget(index=oob, secret_byte=9, masked=True)
+    assert gadget[0].op is Op.CMOV
+    # The first load was clamped to index 0.
+    from repro.mitigations.spectre_v1 import ARRAY_BASE
+    assert gadget[1].address == ARRAY_BASE
+
+
+def test_masking_leaves_in_bounds_indices_alone():
+    gadget = build_gadget(index=5, secret_byte=9, masked=True)
+    from repro.mitigations.spectre_v1 import ARRAY_BASE
+    assert gadget[1].address == ARRAY_BASE + 5
+
+
+def test_swapgs_sequence_is_one_lfence():
+    (instr,) = lfence_after_swapgs_sequence()
+    assert instr.op is Op.LFENCE

@@ -1,0 +1,82 @@
+"""Spectre V2: BTB injection demo and every mitigation against it."""
+
+import pytest
+
+from repro.cpu import Machine, Mode, get_cpu
+from repro.cpu.isa import Op
+from repro.mitigations import linux_default
+from repro.mitigations.base import MitigationConfig, V2Strategy
+from repro.mitigations.spectre_v2 import (
+    attempt_btb_injection,
+    ibpb_sequence,
+    ibrs_entry_sequence,
+    ibrs_exit_sequence,
+    indirect_branch,
+    retpoline_variant_for,
+    rsb_stuffing_sequence,
+)
+
+
+def test_injection_works_user_to_kernel_on_untagged_parts():
+    for key in ("broadwell", "skylake_client", "zen", "zen2"):
+        machine = Machine(get_cpu(key))
+        assert attempt_btb_injection(machine, Mode.USER, Mode.KERNEL), key
+
+
+def test_mode_tagged_parts_block_cross_mode_injection():
+    for key in ("cascade_lake", "ice_lake_client", "ice_lake_server"):
+        machine = Machine(get_cpu(key))
+        assert not attempt_btb_injection(machine, Mode.USER, Mode.KERNEL), key
+
+
+def test_mode_tagged_parts_still_allow_same_mode_injection():
+    machine = Machine(get_cpu("cascade_lake"))
+    assert attempt_btb_injection(machine, Mode.USER, Mode.USER)
+
+
+def test_zen3_resists_even_same_mode_injection():
+    machine = Machine(get_cpu("zen3"))
+    assert not attempt_btb_injection(machine, Mode.USER, Mode.USER)
+
+
+def test_ibpb_between_train_and_victim_stops_injection():
+    machine = Machine(get_cpu("broadwell"))
+    assert not attempt_btb_injection(machine, Mode.USER, Mode.KERNEL,
+                                     ibpb_between=True)
+
+
+def test_retpoline_compiled_victim_is_immune():
+    cpu = get_cpu("broadwell")
+    machine = Machine(cpu)
+    config = linux_default(cpu)
+    assert config.uses_retpolines
+    assert not attempt_btb_injection(machine, Mode.USER, Mode.KERNEL,
+                                     config=config)
+
+
+def test_ibrs_enabled_blocks_injection_on_old_intel():
+    machine = Machine(get_cpu("skylake_client"))
+    machine.msr.set_ibrs(True)
+    assert not attempt_btb_injection(machine, Mode.USER, Mode.KERNEL)
+
+
+def test_sequence_shapes():
+    assert [i.op for i in ibpb_sequence()] == [Op.WRMSR]
+    assert [i.op for i in rsb_stuffing_sequence()] == [Op.RSB_FILL]
+    assert [i.op for i in ibrs_entry_sequence()] == [Op.WRMSR]
+    assert [i.op for i in ibrs_exit_sequence()] == [Op.WRMSR]
+
+
+def test_retpoline_variant_for_config():
+    assert retpoline_variant_for(
+        MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_GENERIC)) == "generic"
+    assert retpoline_variant_for(
+        MitigationConfig(v2_strategy=V2Strategy.RETPOLINE_AMD)) == "amd"
+    assert retpoline_variant_for(MitigationConfig.all_off()) is None
+
+
+def test_indirect_branch_compilation_respects_config():
+    retp = indirect_branch(0x2000, 0x100, MitigationConfig(
+        v2_strategy=V2Strategy.RETPOLINE_GENERIC))
+    raw = indirect_branch(0x2000, 0x100, MitigationConfig.all_off())
+    assert retp.retpoline and not raw.retpoline

@@ -1,0 +1,59 @@
+"""Speculative Store Bypass: the stale-read demo and the SSBD policy."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.mitigations.base import SSBDMode
+from repro.mitigations.ssb import (
+    attempt_store_bypass,
+    process_wants_ssbd,
+    ssbd_disable_sequence,
+    ssbd_enable_sequence,
+)
+
+
+def test_bypass_leaks_stale_value_on_every_cpu(every_cpu):
+    """No part the paper measured is immune to SSB."""
+    machine = Machine(every_cpu)
+    assert attempt_store_bypass(machine, 0x77) == 0x77
+
+
+def test_ssbd_stops_the_bypass(every_cpu):
+    machine = Machine(every_cpu)
+    machine.msr.set_ssbd(True)
+    assert attempt_store_bypass(machine, 0x77) is None
+
+
+def test_ssbd_msr_sequences():
+    from repro.cpu.msr import SPEC_CTRL_SSBD
+    (enable,) = ssbd_enable_sequence()
+    (disable,) = ssbd_disable_sequence()
+    assert enable.value & SPEC_CTRL_SSBD
+    assert not disable.value & SPEC_CTRL_SSBD
+
+
+class TestPolicy:
+    """The prctl/seccomp decision table (paper 3.2, 4.3, 7)."""
+
+    def test_off_never_enables(self):
+        assert not process_wants_ssbd(SSBDMode.OFF, True, True)
+
+    def test_force_on_always_enables(self):
+        assert process_wants_ssbd(SSBDMode.FORCE_ON, False, False)
+
+    def test_prctl_mode_requires_explicit_opt_in(self):
+        assert process_wants_ssbd(SSBDMode.PRCTL, True, False)
+        assert not process_wants_ssbd(SSBDMode.PRCTL, False, True)
+
+    def test_seccomp_mode_catches_firefox(self):
+        """Pre-5.16: merely using seccomp turns SSBD on — why Firefox
+        paid the Figure 3 cost."""
+        assert process_wants_ssbd(SSBDMode.SECCOMP, False, True)
+        assert process_wants_ssbd(SSBDMode.SECCOMP, True, False)
+        assert not process_wants_ssbd(SSBDMode.SECCOMP, False, False)
+
+    def test_linux_5_16_change_releases_firefox(self):
+        """The same process stops paying under the new default."""
+        firefox = dict(opted_in_prctl=False, uses_seccomp=True)
+        assert process_wants_ssbd(SSBDMode.SECCOMP, **firefox)
+        assert not process_wants_ssbd(SSBDMode.PRCTL, **firefox)

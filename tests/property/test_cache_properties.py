@@ -1,0 +1,69 @@
+"""Hypothesis properties of the cache model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.cache import Cache
+
+addresses = st.integers(min_value=0, max_value=1 << 40)
+
+
+@given(st.lists(addresses, max_size=200))
+@settings(max_examples=50)
+def test_capacity_never_exceeded(addrs):
+    cache = Cache(16 * 64, 4, 64)
+    for addr in addrs:
+        cache.access(addr)
+    assert cache.resident_lines() <= 16
+
+
+@given(addresses)
+def test_access_is_idempotent_for_residency(addr):
+    cache = Cache(4096, 4)
+    cache.access(addr)
+    assert cache.probe(addr)
+    cache.access(addr)
+    assert cache.probe(addr)
+
+
+@given(st.lists(addresses, max_size=100), addresses)
+@settings(max_examples=50)
+def test_flush_line_always_evicts(addrs, victim):
+    cache = Cache(4096, 8)
+    for addr in addrs:
+        cache.access(addr)
+    cache.flush_line(victim)
+    assert not cache.probe(victim)
+
+
+@given(st.lists(addresses, min_size=1, max_size=100))
+@settings(max_examples=50)
+def test_flush_all_leaves_nothing(addrs):
+    cache = Cache(4096, 8)
+    for addr in addrs:
+        cache.access(addr)
+    cache.flush_all()
+    assert cache.resident_lines() == 0
+    assert all(not cache.probe(a) for a in addrs)
+
+
+@given(st.lists(addresses, max_size=100))
+@settings(max_examples=50)
+def test_most_recent_access_always_resident(addrs):
+    """The line you just touched can never have been evicted."""
+    cache = Cache(16 * 64, 2, 64)
+    for addr in addrs:
+        cache.access(addr)
+        assert cache.probe(addr)
+
+
+@given(st.lists(addresses, max_size=60))
+@settings(max_examples=50)
+def test_probe_never_changes_resident_count(addrs):
+    cache = Cache(4096, 4)
+    for addr in addrs:
+        cache.access(addr)
+    before = cache.resident_lines()
+    for addr in addrs:
+        cache.probe(addr)
+    assert cache.resident_lines() == before

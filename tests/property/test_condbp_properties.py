@@ -1,0 +1,64 @@
+"""Hypothesis properties of the 2-bit conditional predictor."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.condbp import (
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    ConditionalPredictor,
+)
+
+outcomes = st.lists(st.booleans(), max_size=100)
+pcs = st.integers(min_value=0, max_value=1 << 30)
+
+
+@given(pcs, outcomes)
+@settings(max_examples=100)
+def test_state_always_two_bits(pc, history):
+    predictor = ConditionalPredictor()
+    for taken in history:
+        predictor.update(pc, taken)
+        assert STRONG_NOT_TAKEN <= predictor.state(pc) <= STRONG_TAKEN
+
+
+@given(pcs, outcomes)
+@settings(max_examples=100)
+def test_two_consecutive_same_outcomes_fix_the_prediction(pc, history):
+    """After two identical outcomes the predictor always agrees with
+    them, regardless of prior history (2-bit saturation property)."""
+    predictor = ConditionalPredictor()
+    for taken in history:
+        predictor.update(pc, taken)
+    predictor.update(pc, True)
+    predictor.update(pc, True)
+    assert predictor.predict(pc) is True
+    predictor.update(pc, False)
+    predictor.update(pc, False)
+    assert predictor.predict(pc) is False
+
+
+@given(pcs, pcs, outcomes)
+@settings(max_examples=100)
+def test_updates_never_leak_across_pcs(pc_a, pc_b, history):
+    if pc_a == pc_b:
+        return
+    predictor = ConditionalPredictor()
+    initial_b = predictor.state(pc_b)
+    for taken in history:
+        predictor.update(pc_a, taken)
+    assert predictor.state(pc_b) == initial_b
+
+
+@given(outcomes)
+@settings(max_examples=100)
+def test_steady_stream_mispredicts_at_most_twice(history):
+    """Against a constant outcome stream, a 2-bit predictor converges
+    within two mispredictions and never diverges again."""
+    predictor = ConditionalPredictor()
+    mispredicts = 0
+    for _ in range(30):
+        if predictor.predict(0x100) is not True:
+            mispredicts += 1
+        predictor.update(0x100, True)
+    assert mispredicts <= 2

@@ -1,0 +1,92 @@
+"""Hypothesis properties of configs, knobs, and the policy engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import all_cpus, get_cpu
+from repro.mitigations import linux_default
+from repro.mitigations.base import (
+    ALL_KNOBS,
+    MitigationConfig,
+    SSBDMode,
+    V2Strategy,
+)
+
+cpu_keys = st.sampled_from([c.key for c in all_cpus()])
+kernels = st.tuples(st.just(5), st.integers(min_value=4, max_value=18))
+
+#: Configs built from independent random switches (constrained to be
+#: hardware-agnostic: no IBRS/eIBRS/AMD-retpoline so they validate anywhere
+#: with SMT; we use zen2 which has SMT).
+configs = st.builds(
+    MitigationConfig,
+    pti=st.booleans(),
+    pte_inversion=st.booleans(),
+    l1d_flush_on_vmentry=st.booleans(),
+    eager_fpu=st.booleans(),
+    v1_lfence_swapgs=st.booleans(),
+    v1_usercopy_masking=st.booleans(),
+    v2_strategy=st.sampled_from([V2Strategy.NONE, V2Strategy.RETPOLINE_GENERIC]),
+    v2_rsb_stuffing=st.booleans(),
+    v2_ibpb=st.booleans(),
+    ssbd_mode=st.sampled_from(list(SSBDMode)),
+    mds_verw=st.booleans(),
+    js_index_masking=st.booleans(),
+    js_object_guards=st.booleans(),
+    js_other=st.booleans(),
+)
+
+knobs = st.sampled_from(list(ALL_KNOBS))
+
+
+@given(configs, knobs)
+@settings(max_examples=100)
+def test_knob_disable_is_idempotent(config, knob):
+    once = knob.disable(config)
+    assert knob.disable(once) == once
+
+
+@given(configs, st.lists(knobs, max_size=10))
+@settings(max_examples=100)
+def test_knob_chains_commute_to_the_same_endpoint(config, chain):
+    """Disabling is monotone: order never changes the final config."""
+    forward = config
+    for knob in chain:
+        forward = knob.disable(forward)
+    backward = config
+    for knob in reversed(chain):
+        backward = knob.disable(backward)
+    assert forward == backward
+
+
+@given(configs)
+@settings(max_examples=100)
+def test_all_knobs_reach_a_fixed_point(config):
+    current = config
+    for knob in ALL_KNOBS:
+        current = knob.disable(current)
+    again = current
+    for knob in ALL_KNOBS:
+        again = knob.disable(again)
+    assert current == again
+
+
+@given(cpu_keys, kernels)
+@settings(max_examples=60)
+def test_linux_default_always_validates(key, kernel):
+    cpu = get_cpu(key)
+    config = linux_default(cpu, kernel=kernel)
+    config.validate_for(cpu)  # must never raise
+
+
+@given(cpu_keys, kernels)
+@settings(max_examples=60)
+def test_linux_default_never_under_mitigates(key, kernel):
+    """Every vulnerability the part has gets its default mitigation."""
+    cpu = get_cpu(key)
+    config = linux_default(cpu, kernel=kernel)
+    assert config.pti == cpu.vulns.meltdown
+    assert config.mds_verw == cpu.vulns.mds
+    assert config.pte_inversion == cpu.vulns.l1tf
+    if cpu.vulns.spectre_v2:
+        assert config.v2_strategy is not V2Strategy.NONE

@@ -1,0 +1,83 @@
+"""Hypothesis properties of the kernel layer.
+
+The central one is monotonicity: adding a mitigation can never make a
+boundary crossing cheaper.  (LazyFP is the famous exception the paper
+jokes about — eager FPU can *beat* lazy — but that's a context-switch
+policy, not a boundary-crossing mitigation, and it's excluded here.)
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.kernel import HandlerProfile, Kernel
+from repro.mitigations import MitigationConfig, SSBDMode, V2Strategy
+
+cpu_keys = st.sampled_from([c.key for c in all_cpus()])
+
+#: Hardware-agnostic boundary-crossing switches (everything here is legal
+#: on every catalog CPU and affects the syscall path only).
+boundary_configs = st.builds(
+    MitigationConfig,
+    pti=st.booleans(),
+    v1_lfence_swapgs=st.booleans(),
+    v1_usercopy_masking=st.booleans(),
+    v2_strategy=st.sampled_from([V2Strategy.NONE,
+                                 V2Strategy.RETPOLINE_GENERIC]),
+    mds_verw=st.booleans(),
+)
+
+profiles = st.builds(
+    HandlerProfile,
+    name=st.just("prop"),
+    work_cycles=st.integers(min_value=0, max_value=20000),
+    loads=st.integers(min_value=0, max_value=16),
+    stores=st.integers(min_value=0, max_value=16),
+    indirect_branches=st.integers(min_value=0, max_value=8),
+    copy_bytes=st.integers(min_value=0, max_value=1024),
+)
+
+
+def steady_syscall_cost(cpu_key, config, profile):
+    kernel = Kernel(Machine(get_cpu(cpu_key), seed=1), config)
+    for _ in range(4):
+        kernel.syscall(profile)
+    return kernel.syscall(profile)
+
+
+@given(cpu_keys, boundary_configs, profiles)
+@settings(max_examples=40, deadline=None)
+def test_mitigations_never_speed_up_a_syscall(cpu_key, config, profile):
+    baseline = steady_syscall_cost(cpu_key, MitigationConfig.all_off(),
+                                   profile)
+    mitigated = steady_syscall_cost(cpu_key, config, profile)
+    assert mitigated >= baseline
+
+
+@given(cpu_keys, boundary_configs, profiles)
+@settings(max_examples=40, deadline=None)
+def test_syscall_cost_is_deterministic(cpu_key, config, profile):
+    assert steady_syscall_cost(cpu_key, config, profile) == \
+        steady_syscall_cost(cpu_key, config, profile)
+
+
+@given(cpu_keys, profiles)
+@settings(max_examples=30, deadline=None)
+def test_pti_delta_is_exactly_two_cr3_swaps(cpu_key, profile):
+    cpu = get_cpu(cpu_key)
+    baseline = steady_syscall_cost(cpu_key, MitigationConfig.all_off(),
+                                   profile)
+    with_pti = steady_syscall_cost(cpu_key, MitigationConfig(pti=True),
+                                   profile)
+    assert with_pti - baseline == 2 * cpu.costs.swap_cr3
+
+
+@given(cpu_keys, profiles)
+@settings(max_examples=30, deadline=None)
+def test_syscall_always_returns_to_user_mode(cpu_key, profile):
+    from repro.cpu import Mode
+    kernel = Kernel(Machine(get_cpu(cpu_key), seed=1),
+                    MitigationConfig(pti=True, mds_verw=True,
+                                     v1_lfence_swapgs=True))
+    kernel.syscall(profile)
+    assert kernel.machine.mode is Mode.USER

@@ -1,0 +1,81 @@
+"""Hypothesis properties of the machine and the mitigation demos."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Machine, all_cpus, get_cpu
+from repro.cpu import isa
+from repro.mitigations.meltdown import attempt_meltdown
+from repro.mitigations.spectre_v1 import attempt_bounds_bypass
+
+cpu_keys = st.sampled_from([c.key for c in all_cpus()])
+secret_bytes = st.integers(min_value=1, max_value=255)
+
+SAFE_OPS = st.sampled_from([
+    isa.nop, isa.lfence, isa.verw, isa.rsb_fill, isa.swapgs,
+    isa.rdtsc, isa.rdpmc, isa.div, isa.mul, isa.cmov,
+])
+
+
+@given(cpu_keys, st.lists(SAFE_OPS, max_size=50))
+@settings(max_examples=60)
+def test_cycle_accounting_matches_tsc(key, makers):
+    machine = Machine(get_cpu(key))
+    start = machine.read_tsc()
+    total = machine.run([make() for make in makers])
+    assert machine.read_tsc() - start == total
+    assert total >= 0
+
+
+@given(cpu_keys, st.lists(SAFE_OPS, min_size=1, max_size=30))
+@settings(max_examples=60)
+def test_execution_is_deterministic_across_machines(key, makers):
+    instrs_a = [make() for make in makers]
+    instrs_b = [make() for make in makers]
+    a = Machine(get_cpu(key), seed=1)
+    b = Machine(get_cpu(key), seed=1)
+    assert a.run(instrs_a) == b.run(instrs_b)
+
+
+@given(cpu_keys, secret_bytes)
+@settings(max_examples=40)
+def test_meltdown_iff_vulnerable_and_mapped(key, secret):
+    cpu = get_cpu(key)
+    machine = Machine(cpu)
+    machine.kernel_mapped_in_user = True
+    leaked = attempt_meltdown(machine, secret)
+    if cpu.vulns.meltdown:
+        assert leaked == secret
+    else:
+        assert leaked is None
+
+
+@given(cpu_keys, secret_bytes)
+@settings(max_examples=40)
+def test_kpti_always_wins(key, secret):
+    machine = Machine(get_cpu(key))
+    machine.kernel_mapped_in_user = False
+    assert attempt_meltdown(machine, secret) is None
+
+
+@given(cpu_keys, secret_bytes,
+       st.booleans(), st.booleans())
+@settings(max_examples=60)
+def test_v1_leaks_iff_unhardened(key, secret, lfence, masked):
+    machine = Machine(get_cpu(key))
+    leaked = attempt_bounds_bypass(machine, secret,
+                                   lfence_hardened=lfence, masked=masked)
+    if lfence or masked:
+        assert leaked is None
+    else:
+        assert leaked == secret
+
+
+@given(cpu_keys, st.integers(min_value=0, max_value=1 << 40))
+@settings(max_examples=60)
+def test_transient_loads_never_commit_time(key, address):
+    machine = Machine(get_cpu(key))
+    tsc = machine.read_tsc()
+    machine.speculate([isa.load(address)])
+    assert machine.read_tsc() == tsc
+    assert machine.caches.probe_l1(address)  # but the footprint is real

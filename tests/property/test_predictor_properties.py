@@ -1,0 +1,91 @@
+"""Hypothesis properties of the BTB, RSB and store buffer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.btb import HARMLESS_TARGET, BranchTargetBuffer
+from repro.cpu.modes import Mode
+from repro.cpu.rsb import BENIGN_ENTRY, ReturnStackBuffer
+from repro.cpu.storebuffer import StoreBuffer
+
+pcs = st.integers(min_value=1, max_value=1 << 30)
+targets = st.integers(min_value=1, max_value=1 << 30)
+modes = st.sampled_from([Mode.USER, Mode.KERNEL])
+
+
+@given(st.lists(st.tuples(pcs, targets, modes), max_size=50))
+@settings(max_examples=50)
+def test_btb_lookup_returns_last_trained_target(history):
+    btb = BranchTargetBuffer(entries=1024)
+    latest = {}
+    for pc, target, mode in history:
+        btb.train(pc, target, mode)
+        latest[pc] = target
+    for pc, target in latest.items():
+        assert btb.lookup(pc, Mode.USER) == target  # untagged: any mode
+
+
+@given(st.lists(st.tuples(pcs, targets), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_btb_barrier_leaves_only_harmless_targets(history):
+    btb = BranchTargetBuffer()
+    for pc, target in history:
+        btb.train(pc, target, Mode.USER)
+    btb.barrier()
+    for pc, _target in history:
+        assert btb.lookup(pc, Mode.USER) == HARMLESS_TARGET
+
+
+@given(st.lists(st.tuples(pcs, targets, modes), max_size=50))
+@settings(max_examples=50)
+def test_mode_tagged_btb_never_leaks_across_modes(history):
+    btb = BranchTargetBuffer(mode_tagged=True)
+    for pc, target, mode in history:
+        btb.train(pc, target, mode)
+        other = Mode.KERNEL if mode is Mode.USER else Mode.USER
+        prediction = btb.lookup(pc, other)
+        # Either no prediction, or one trained earlier in *that* mode —
+        # never the entry we just installed from the other mode.
+        assert prediction != target or any(
+            p == pc and t == target and m is other for p, t, m in history)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1 << 20), max_size=80),
+       st.integers(min_value=1, max_value=64))
+@settings(max_examples=50)
+def test_rsb_is_a_bounded_lifo(pushes, depth):
+    rsb = ReturnStackBuffer(depth=depth)
+    for value in pushes:
+        rsb.push(value)
+    kept = pushes[-depth:]
+    for expected in reversed(kept):
+        assert rsb.pop() == expected
+    assert rsb.pop() is None
+
+
+@given(st.integers(min_value=1, max_value=64))
+def test_rsb_stuffing_is_always_full_and_benign(depth):
+    rsb = ReturnStackBuffer(depth=depth)
+    assert rsb.stuff() == depth
+    assert all(rsb.pop() == BENIGN_ENTRY for _ in range(depth))
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=100),
+       st.integers(min_value=1, max_value=56))
+@settings(max_examples=50)
+def test_store_buffer_youngest_stores_always_forwardable(stores, depth):
+    sb = StoreBuffer(depth=depth)
+    for addr in stores:
+        sb.push(addr)
+        assert sb.match(addr)  # the store just made is always pending
+    assert len(sb) <= depth
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=50))
+@settings(max_examples=50)
+def test_ssbd_forecloses_bypass_everywhere(stores):
+    sb = StoreBuffer()
+    for addr in stores:
+        sb.push(addr)
+    for addr in stores:
+        assert not sb.speculative_bypass_possible(addr, ssbd=True)

@@ -1,0 +1,58 @@
+"""Hypothesis properties of the WASM sandbox model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import Machine, get_cpu
+from repro.jsengine.wasm import WasmCompiler, WasmModule, instantiate
+
+offsets = st.integers(min_value=0, max_value=1 << 48)
+sizes = st.sampled_from([4096, 1 << 16, 1 << 20, 1 << 30])
+
+
+@given(sizes, offsets)
+@settings(max_examples=100)
+def test_masked_offset_always_in_bounds(size, offset):
+    module = WasmModule(memory_bytes=size, module_id=0)
+    masked = module.masked_offset(offset)
+    assert 0 <= masked < size
+
+
+@given(sizes, st.integers(min_value=0, max_value=4095))
+@settings(max_examples=100)
+def test_masking_is_identity_in_bounds(size, offset):
+    """Hardening must not change the semantics of correct programs."""
+    module = WasmModule(memory_bytes=size, module_id=0)
+    assert module.masked_offset(offset % size) == offset % size
+
+
+@given(st.integers(min_value=0, max_value=100),
+       st.integers(min_value=0, max_value=100))
+@settings(max_examples=50)
+def test_distinct_modules_never_overlap(id_a, id_b):
+    a = WasmModule(memory_bytes=1 << 30, module_id=id_a)
+    b = WasmModule(memory_bytes=1 << 30, module_id=id_b)
+    if id_a != id_b:
+        assert not a.contains(b.memory_base)
+        assert not b.contains(a.memory_base)
+    else:
+        assert a.memory_base == b.memory_base
+
+
+@given(sizes, offsets)
+@settings(max_examples=60)
+def test_hardened_code_never_addresses_outside(size, offset):
+    machine = Machine(get_cpu("zen2"))
+    module = WasmModule(memory_bytes=size, module_id=3)
+    block = WasmCompiler(machine, hardened=True).load(module, offset)
+    load = block[-1]
+    assert module.contains(load.address)
+
+
+@given(offsets)
+@settings(max_examples=60)
+def test_raw_code_addresses_exactly_what_it_was_told(offset):
+    machine = Machine(get_cpu("zen2"))
+    module = instantiate(1 << 20)
+    block = WasmCompiler(machine, hardened=False).load(module, offset)
+    assert block[-1].address == module.memory_base + offset

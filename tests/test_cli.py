@@ -1,0 +1,157 @@
+"""CLI: every subcommand runs and emits its artifact."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_cpus(capsys):
+    out = run_cli(capsys, "cpus")
+    assert "E5-2640v4" in out
+
+
+@pytest.mark.parametrize("n,needle", [
+    (1, "Page Table Isolation"),
+    (2, "Broadwell"),
+    (3, "swap cr3"),
+    (4, "verw"),
+    (5, "Generic"),
+    (6, "IBPB"),
+    (7, "RSB"),
+    (8, "lfence"),
+])
+def test_tables(capsys, n, needle):
+    out = run_cli(capsys, "table", str(n), "--iterations", "100")
+    assert needle in out
+
+
+def test_table9_and_10(capsys):
+    out9 = run_cli(capsys, "table", "9")
+    assert "Table 9" in out9
+    out10 = run_cli(capsys, "table", "10")
+    assert "N/A" in out10  # Zen has no IBRS
+
+
+def test_unknown_table_exits(capsys):
+    with pytest.raises(SystemExit):
+        main(["table", "42"])
+
+
+def test_figure2_fast_subset(capsys):
+    out = run_cli(capsys, "figure", "2", "--fast", "--cpus", "zen2")
+    assert "zen2" in out and "Figure 2" in out
+
+
+def test_figure3_fast_subset(capsys):
+    out = run_cli(capsys, "figure", "3", "--fast", "--cpus", "zen3")
+    assert "Figure 3" in out
+
+
+def test_figure5_fast_subset(capsys):
+    out = run_cli(capsys, "figure", "5", "--fast", "--cpus", "broadwell")
+    assert "swaptions" in out
+
+
+def test_unknown_figure_exits():
+    with pytest.raises(SystemExit):
+        main(["figure", "4"])
+
+
+def test_vm_fast(capsys):
+    out = run_cli(capsys, "vm", "--fast", "--cpus", "zen")
+    assert "LEBench in a VM" in out and "LFS" in out
+
+
+def test_parsec_fast(capsys):
+    out = run_cli(capsys, "parsec", "--fast", "--cpus", "zen")
+    assert "PARSEC" in out
+
+
+def test_bimodal(capsys):
+    out = run_cli(capsys, "bimodal", "--cpu", "cascade_lake",
+                  "--entries", "100")
+    assert "cycles" in out
+
+
+def test_attacks(capsys):
+    out = run_cli(capsys, "attacks", "--cpu", "broadwell")
+    assert "Meltdown, KPTI off : leaked byte 66" in out
+    assert "Meltdown, KPTI on  : leaked byte None" in out
+    assert "MDS, after verw    : sampled {}" in out
+
+
+def test_attacks_on_immune_part(capsys):
+    out = run_cli(capsys, "attacks", "--cpu", "zen3")
+    assert "Meltdown, KPTI off : leaked byte None" in out
+
+
+def test_attacks_includes_extended_battery(capsys):
+    out = run_cli(capsys, "attacks", "--cpu", "cascade_lake")
+    assert "SpectreRSB raw     : gadget ran = True" in out
+    assert "BHI vs eIBRS       : gadget ran = True" in out
+    assert "BHI vs retpolines  : gadget ran = False" in out
+    assert "SMT V2, STIBP      : injected = False" in out
+
+
+def test_attacks_skips_smt_section_on_zen(capsys):
+    out = run_cli(capsys, "attacks", "--cpu", "zen")
+    assert "SMT V2" not in out  # Ryzen 3 1200 has no hyperthreads
+
+
+def test_sweep_opsize(capsys):
+    out = run_cli(capsys, "sweep", "opsize", "--cpu", "broadwell")
+    assert "overhead drops below" in out
+
+
+def test_sweep_ssbd(capsys):
+    out = run_cli(capsys, "sweep", "ssbd", "--cpu", "zen3")
+    assert "slowdown" in out
+
+
+def test_export_table9_is_valid_json(capsys):
+    import json
+    out = run_cli(capsys, "export", "table9", "--cpus", "zen3")
+    payload = json.loads(out)
+    assert payload["zen3"]["user->user (direct)"] is False
+
+
+def test_export_figure5_is_valid_json(capsys):
+    import json
+    out = run_cli(capsys, "export", "figure5", "--fast", "--cpus", "zen")
+    payload = json.loads(out)
+    assert {entry["workload"] for entry in payload} == \
+        {"swaptions", "facesim", "bodytrack"}
+
+
+def test_regress_command(capsys, tmp_path):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text('[{"cpu": "zen3", "workload": "swaptions", '
+                   '"overhead_percent": 34.0, "significant": true}]')
+    new.write_text('[{"cpu": "zen3", "workload": "swaptions", '
+                   '"overhead_percent": 20.0, "significant": true}]')
+    out = run_cli(capsys, "regress", str(old), str(new))
+    assert "zen3/swaptions" in out
+    out_same = run_cli(capsys, "regress", str(old), str(old))
+    assert "no changes" in out_same
+
+
+def test_all_writes_artifacts(capsys, tmp_path):
+    out = run_cli(capsys, "all", "--fast", "--outdir", str(tmp_path))
+    assert "wrote" in out
+    assert (tmp_path / "table9.txt").exists()
+    assert (tmp_path / "figure2.txt").exists()
+    assert (tmp_path / "bimodal.txt").exists()
+
+
+def test_summary_command(capsys):
+    out = run_cli(capsys, "summary")
+    assert "Q1:" in out and "Q2:" in out and "Q3:" in out
+    assert "IBPB" in out

@@ -1,0 +1,44 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    SegmentationFault,
+    SpectreSimError,
+    StatisticsError,
+    UnknownCPUError,
+    UnsupportedFeatureError,
+    WorkloadError,
+)
+
+
+def test_everything_derives_from_spectresimerror():
+    for exc_type in (ConfigurationError, SegmentationFault, StatisticsError,
+                     UnknownCPUError, UnsupportedFeatureError, WorkloadError):
+        assert issubclass(exc_type, SpectreSimError)
+
+
+def test_unknown_cpu_is_also_a_keyerror():
+    assert issubclass(UnknownCPUError, KeyError)
+    error = UnknownCPUError("i486", ("broadwell", "zen"))
+    assert "i486" in str(error)
+    assert "broadwell" in str(error)
+    assert error.key == "i486"
+
+
+def test_segfault_carries_address_and_mode():
+    fault = SegmentationFault(0xFFFF_8880_0000_0000, "user")
+    assert fault.address == 0xFFFF_8880_0000_0000
+    assert fault.mode == "user"
+    assert "0xffff888000000000" in str(fault)
+
+
+def test_one_except_clause_catches_the_library():
+    from repro.cpu import Machine, get_cpu
+    from repro.cpu import isa
+    machine = Machine(get_cpu("zen"))
+    with pytest.raises(SpectreSimError):
+        machine.execute(isa.load(0xFFFF_8880_0000_0000, kernel=True))
+    with pytest.raises(SpectreSimError):
+        get_cpu("i486")

@@ -1,0 +1,77 @@
+"""Every example script runs end to end and produces its key output."""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, capsys, argv=()):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "Meltdown vs unmitigated kernel" in out
+    assert "blocked" in out
+    assert "LEBench overhead" in out
+
+
+def test_cloud_upgrade_study(capsys):
+    out = run_example("cloud_upgrade_study.py", capsys)
+    assert "Mitigation tax" in out
+    assert "Ice Lake Server" in out
+    assert "the upgrade, not the boot flag" in out
+
+
+def test_browser_vendor_tuning(capsys):
+    out = run_example("browser_vendor_tuning.py", capsys)
+    assert "with index masking=safe" in out
+    assert "kernel 5.16" in out
+
+
+def test_security_audit_default_cpu(capsys):
+    out = run_example("security_audit.py", capsys)
+    assert "mitigations=off:" in out
+    assert "Linux defaults:" in out
+    # The proposal knocks out exactly the MDS defence.
+    proposal = out.split("performance-team proposal")[1]
+    assert "mds                LEAKS" in proposal
+    assert "meltdown           blocked" in proposal
+
+
+def test_security_audit_amd(capsys):
+    out = run_example("security_audit.py", capsys, argv=["zen2"])
+    # AMD: Meltdown never leaks, even with everything off.
+    first_block = out.split("Linux defaults:")[0]
+    assert "meltdown           blocked" in first_block
+
+
+def test_probe_new_silicon(capsys):
+    out = run_example("probe_new_silicon.py", capsys)
+    assert "Nextgen Lake" in out
+    assert "SPECULATES" not in out  # the fictional part resists the probe
+
+
+def test_capacity_planning(capsys):
+    out = run_example("capacity_planning.py", capsys)
+    assert "Mitigation tax on the request handler" in out
+    assert "pairs/iter" in out
+
+
+def test_speculation_probe_tour(capsys):
+    out = run_example("speculation_probe_tour.py", capsys)
+    assert "speculated to the pad!" in out        # Broadwell
+    assert "the prediction was not consumed" in out  # Cascade Lake
+    assert "mispredict delta = 1, divider delta = 0" in out
+    assert "S" in out.split("fingerprint")[-1]

@@ -1,0 +1,85 @@
+"""The consolidation-host workload."""
+
+import pytest
+
+from repro.cpu import get_cpu
+from repro.cpu import counters as ctr
+from repro.errors import WorkloadError
+from repro.mitigations import MitigationConfig, linux_default
+from repro.workloads.consolidation import (
+    ConsolidationMix,
+    build_tasks,
+    consolidation_overhead_percent,
+    run_host,
+)
+
+
+def test_mix_validation():
+    with pytest.raises(WorkloadError):
+        ConsolidationMix(plain_tasks=0, sandboxed_tasks=0)
+    with pytest.raises(WorkloadError):
+        ConsolidationMix(work_per_task=0)
+
+
+def test_task_population_shape():
+    mix = ConsolidationMix(plain_tasks=2, sandboxed_tasks=3)
+    tasks = build_tasks(mix)
+    assert len(tasks) == 5
+    assert sum(1 for t in tasks if t.process.uses_seccomp) == 3
+
+
+def test_all_work_completes():
+    cpu = get_cpu("zen2")
+    mix = ConsolidationMix(plain_tasks=2, sandboxed_tasks=2,
+                           work_per_task=40_000)
+    _, scheduler = run_host(cpu, MitigationConfig.all_off(), mix)
+    assert scheduler.ticks > 0
+
+
+def test_seccomp_services_draw_ibpb_on_switches():
+    """Switching between plain and sandboxed tasks fires the conditional
+    barrier; an all-plain population never does."""
+    cpu = get_cpu("broadwell")
+    config = linux_default(cpu)
+    mixed = ConsolidationMix(plain_tasks=2, sandboxed_tasks=2,
+                             work_per_task=40_000)
+    plain = ConsolidationMix(plain_tasks=4, sandboxed_tasks=0,
+                             work_per_task=40_000)
+    _, sched_mixed = run_host(cpu, config, mixed)
+    _, sched_plain = run_host(cpu, config, plain)
+    assert sched_mixed.kernel.machine.counters.read(ctr.IBPB_COUNT) > 0
+    assert sched_plain.kernel.machine.counters.read(ctr.IBPB_COUNT) == 0
+
+
+def test_mixed_population_costs_more_than_plain():
+    cpu = get_cpu("zen")  # the priciest IBPB (Table 6)
+    config = linux_default(cpu)
+    mixed = ConsolidationMix(plain_tasks=2, sandboxed_tasks=2,
+                             work_per_task=40_000)
+    plain = ConsolidationMix(plain_tasks=4, sandboxed_tasks=0,
+                             work_per_task=40_000)
+    assert consolidation_overhead_percent(cpu, config, mixed) > \
+        consolidation_overhead_percent(cpu, config, plain)
+
+
+def test_longer_timeslices_amortize_the_tax():
+    cpu = get_cpu("broadwell")
+    config = linux_default(cpu)
+    chatty = ConsolidationMix(plain_tasks=2, sandboxed_tasks=2,
+                              work_per_task=60_000, timeslice_cycles=6_000)
+    calm = ConsolidationMix(plain_tasks=2, sandboxed_tasks=2,
+                            work_per_task=60_000, timeslice_cycles=30_000)
+    assert consolidation_overhead_percent(cpu, config, chatty) > \
+        consolidation_overhead_percent(cpu, config, calm)
+
+
+def test_overhead_shrinks_on_new_silicon():
+    mix = ConsolidationMix(plain_tasks=2, sandboxed_tasks=2,
+                           work_per_task=40_000)
+    old = consolidation_overhead_percent(get_cpu("broadwell"),
+                                         linux_default(get_cpu("broadwell")),
+                                         mix)
+    new = consolidation_overhead_percent(
+        get_cpu("ice_lake_server"),
+        linux_default(get_cpu("ice_lake_server")), mix)
+    assert old > new

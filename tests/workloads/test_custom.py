@@ -1,0 +1,108 @@
+"""The custom workload builder."""
+
+import pytest
+
+from repro.cpu import get_cpu
+from repro.cpu import Machine
+from repro.errors import WorkloadError
+from repro.kernel import HandlerProfile
+from repro.mitigations import MitigationConfig, SSBDMode, linux_default
+from repro.workloads.custom import WorkloadBuilder
+
+RECV = HandlerProfile("custom_recv", work_cycles=2000, loads=10, stores=4,
+                      indirect_branches=6, copy_bytes=256)
+
+
+def webserver():
+    return (WorkloadBuilder("webserver")
+            .user_work(3000)
+            .syscall(RECV)
+            .syscall(RECV)
+            .store_load_pairs(10))
+
+
+def test_empty_workload_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadBuilder("empty").build_runner(
+            Machine(get_cpu("zen")), MitigationConfig.all_off())
+
+
+def test_negative_user_work_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadBuilder("w").user_work(-1)
+
+
+def test_bad_ctx_period_rejected():
+    with pytest.raises(WorkloadError):
+        WorkloadBuilder("w").context_switch_every(0)
+
+
+def test_builder_is_fluent():
+    builder = WorkloadBuilder("w")
+    assert builder.user_work(10) is builder
+    assert builder.streaming_loads(5) is builder
+
+
+def test_measure_returns_positive_cycles():
+    cpu = get_cpu("zen2")
+    assert webserver().measure(cpu, MitigationConfig.all_off()) > 3000
+
+
+def test_overhead_reflects_boundary_crossings():
+    """A syscall-heavy custom workload pays on Broadwell; a pure-compute
+    one does not."""
+    cpu = get_cpu("broadwell")
+    config = linux_default(cpu)
+    syscall_heavy = webserver().overhead_percent(cpu, config)
+    compute_only = (WorkloadBuilder("compute").user_work(20000)
+                    .overhead_percent(cpu, config))
+    assert syscall_heavy > 10
+    assert abs(compute_only) < 1
+
+
+def test_context_switch_period_fires():
+    from repro.cpu import counters as ctr
+    builder = webserver().context_switch_every(4)
+    runner = builder.build_runner(Machine(get_cpu("zen")),
+                                  MitigationConfig.all_off())
+    for _ in range(8):
+        runner.run_iteration()
+    # Initial placement + 2 per period boundary (out and back).
+    assert runner.machine.counters.read(ctr.CONTEXT_SWITCHES) == 1 + 2 * 2
+
+
+def test_process_attributes_feed_the_ssbd_policy():
+    """A seccomp'd custom workload pays SSBD under pre-5.16 policy."""
+    cpu = get_cpu("zen3")
+    config = MitigationConfig(ssbd_mode=SSBDMode.SECCOMP)
+
+    def cost(seccomp):
+        builder = (WorkloadBuilder("sandboxed")
+                   .user_work(2000)
+                   .store_load_pairs(60)
+                   .process(uses_seccomp=seccomp))
+        return builder.measure(cpu, config)
+
+    assert cost(True) > cost(False) * 1.05
+
+
+def test_streaming_loads_touch_distinct_lines():
+    builder = WorkloadBuilder("reader").streaming_loads(8)
+    runner = builder.build_runner(Machine(get_cpu("zen")),
+                                  MitigationConfig.all_off())
+    first = runner.run_iteration()
+    second = runner.run_iteration()  # different cursor -> cold lines again
+    assert first > 0 and second > 0
+
+
+def test_page_fault_step_uses_the_exception_path():
+    from repro.kernel import EXCEPTION_EXTRA_CYCLES
+    cpu = get_cpu("zen")
+    fault_wl = (WorkloadBuilder("faulty").page_fault(RECV))
+    sys_wl = (WorkloadBuilder("sysy").syscall(RECV))
+    fault_cost = fault_wl.measure(cpu, MitigationConfig.all_off(),
+                                  iterations=10, warmup=3)
+    sys_cost = sys_wl.measure(cpu, MitigationConfig.all_off(),
+                              iterations=10, warmup=3)
+    assert fault_cost - sys_cost == pytest.approx(EXCEPTION_EXTRA_CYCLES,
+                                                  abs=2)

@@ -1,0 +1,98 @@
+"""LEBench workload: suite composition, runner behaviour, overhead shape."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.kernel import Kernel
+from repro.mitigations import MitigationConfig, linux_default
+from repro.workloads.lebench import (
+    CASE_NAMES,
+    CTX,
+    FAULT,
+    LEBenchRunner,
+    SPAWN,
+    SUITE,
+    SYSCALL,
+    get_case,
+    run_suite,
+)
+
+
+def test_suite_covers_the_lebench_operation_classes():
+    kinds = {case.kind for case in SUITE}
+    assert kinds == {SYSCALL, FAULT, CTX, SPAWN}
+    assert len(SUITE) == 18
+    for name in ("getpid", "context_switch", "big_read", "fork", "epoll"):
+        assert name in CASE_NAMES
+
+
+def test_get_case_unknown_raises():
+    with pytest.raises(KeyError):
+        get_case("frobnicate")
+
+
+def test_invalid_kind_rejected():
+    from repro.workloads.lebench import LEBenchCase
+    from repro.kernel import HandlerProfile
+    with pytest.raises(ValueError):
+        LEBenchCase("bad", "hypercall", HandlerProfile("bad"))
+
+
+def test_ops_return_positive_cycles():
+    kernel = Kernel(Machine(get_cpu("zen")), MitigationConfig.all_off())
+    runner = LEBenchRunner(kernel)
+    for case in SUITE:
+        assert runner.run_op(case) > 0, case.name
+
+
+def test_operation_sizes_span_orders_of_magnitude():
+    """LEBench mixes ns-scale getpid with tens-of-us fork: the geomean
+    only lands in the paper's bands because the suite is size-diverse."""
+    results = run_suite(Machine(get_cpu("zen2"), seed=1),
+                        MitigationConfig.all_off(), iterations=8, warmup=2)
+    assert results["big_fork"] > 50 * results["getpid"]
+
+
+def test_ctx_case_switches_processes():
+    from repro.cpu import counters as ctr
+    kernel = Kernel(Machine(get_cpu("zen")), MitigationConfig.all_off())
+    runner = LEBenchRunner(kernel)
+    before = kernel.machine.counters.read(ctr.CONTEXT_SWITCHES)
+    runner.run_op(get_case("context_switch"))
+    assert kernel.machine.counters.read(ctr.CONTEXT_SWITCHES) == before + 2
+
+
+def test_thread_create_switches_to_same_mm():
+    kernel = Kernel(Machine(get_cpu("zen")), MitigationConfig.all_off())
+    runner = LEBenchRunner(kernel)
+    assert runner.thread.mm is runner.proc_a.mm
+    assert runner.child.mm is not runner.proc_a.mm
+
+
+def test_mitigations_slow_every_syscall_case_on_broadwell():
+    cpu = get_cpu("broadwell")
+    off = run_suite(Machine(cpu, seed=1), MitigationConfig.all_off(),
+                    iterations=8, warmup=2)
+    on = run_suite(Machine(cpu, seed=1), linux_default(cpu),
+                   iterations=8, warmup=2)
+    for case in SUITE:
+        assert on[case.name] > off[case.name], case.name
+
+
+def test_getpid_is_the_worst_case_relative_overhead():
+    cpu = get_cpu("broadwell")
+    off = run_suite(Machine(cpu, seed=1), MitigationConfig.all_off(),
+                    iterations=8, warmup=2)
+    on = run_suite(Machine(cpu, seed=1), linux_default(cpu),
+                   iterations=8, warmup=2)
+    ratios = {name: on[name] / off[name] for name in off}
+    assert max(ratios, key=ratios.get) == "getpid"
+    assert ratios["big_fork"] < 1.1  # big operations amortize the cost
+
+
+def test_subset_run():
+    subset = (get_case("getpid"), get_case("mmap"))
+    results = run_suite(Machine(get_cpu("zen3"), seed=1),
+                        MitigationConfig.all_off(), iterations=4, warmup=1,
+                        cases=subset)
+    assert set(results) == {"getpid", "mmap"}

@@ -1,0 +1,72 @@
+"""LFS workloads: exit rates and the <2% host-mitigation band."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.mitigations import MitigationConfig, linux_default
+from repro.workloads.lfs import (
+    LARGEFILE,
+    LFSRunner,
+    SMALLFILE,
+    SUITE,
+    get_workload,
+    run_workload,
+)
+
+
+def test_suite_is_smallfile_and_largefile():
+    assert {w.name for w in SUITE} == {"smallfile", "largefile"}
+
+
+def test_get_workload_unknown():
+    with pytest.raises(KeyError):
+        get_workload("mediumfile")
+
+
+def test_smallfile_fsyncs_largefile_streams():
+    assert SMALLFILE.fsync_per_file and not LARGEFILE.fsync_per_file
+    assert LARGEFILE.submit_batch > SMALLFILE.submit_batch
+
+
+def test_smallfile_has_higher_exit_rate_than_largefile():
+    def exits_per_cycle(workload):
+        runner = LFSRunner(Machine(get_cpu("zen2")),
+                           MitigationConfig.all_off(),
+                           MitigationConfig.all_off())
+        cycles = runner.run_iteration(workload)
+        return runner.hypervisor.stats.exits / cycles
+    assert exits_per_cycle(SMALLFILE) > exits_per_cycle(LARGEFILE)
+
+
+def test_guest_work_dominates_host_work():
+    """The section 4.4 rate argument: most cycles are guest-side."""
+    runner = LFSRunner(Machine(get_cpu("broadwell")),
+                       MitigationConfig.all_off(), MitigationConfig.all_off())
+    runner.run_iteration(SMALLFILE)
+    stats = runner.hypervisor.stats
+    assert stats.guest_cycles > 2 * stats.host_cycles
+
+
+def test_host_mitigation_overhead_under_the_paper_band():
+    """Median under 2%; the flush-heavy smallfile worst case stays ~2.5%."""
+    overheads = []
+    for key in ("broadwell", "cascade_lake", "zen"):
+        cpu = get_cpu(key)
+        for workload in SUITE:
+            base = run_workload(Machine(cpu, seed=1),
+                                MitigationConfig.all_off(), workload,
+                                iterations=4, warmup=1)
+            full = run_workload(Machine(cpu, seed=1), linux_default(cpu),
+                                workload, iterations=4, warmup=1)
+            overheads.append(full / base - 1)
+    overheads.sort()
+    median = overheads[len(overheads) // 2]
+    assert median < 0.02
+    assert max(overheads) < 0.04
+
+
+def test_block_allocation_wraps():
+    runner = LFSRunner(Machine(get_cpu("zen")), MitigationConfig.all_off(),
+                       MitigationConfig.all_off())
+    runner._next_block = runner.disk.capacity_blocks - 1
+    runner.run_iteration(LARGEFILE)  # must not raise out-of-range

@@ -1,0 +1,54 @@
+"""LEBench-in-a-VM: the ±3% host-mitigation band (section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.mitigations import MitigationConfig, linux_default
+from repro.workloads.lebench import get_case
+from repro.workloads.vm_lebench import (
+    GuestLEBenchRunner,
+    TIMER_EXIT_PERIOD,
+    run_suite,
+)
+
+
+def test_guest_ops_mostly_avoid_exits():
+    runner = GuestLEBenchRunner(Machine(get_cpu("broadwell")),
+                                MitigationConfig.all_off(),
+                                MitigationConfig.all_off())
+    case = get_case("getpid")
+    for _ in range(TIMER_EXIT_PERIOD - 1):
+        runner.run_op(case)
+    assert runner.hypervisor.stats.exits == 0
+    runner.run_op(case)
+    assert runner.hypervisor.stats.exits == 1
+
+
+def test_host_mitigations_within_three_percent(every_cpu):
+    off = run_suite(Machine(every_cpu, seed=1), MitigationConfig.all_off(),
+                    iterations=12, warmup=3)
+    on = run_suite(Machine(every_cpu, seed=1), linux_default(every_cpu),
+                   iterations=12, warmup=3)
+    geo = float(np.exp(np.mean([np.log(on[n] / off[n]) for n in off])))
+    assert abs(geo - 1) < 0.03, every_cpu.key
+
+
+def test_guest_mitigations_still_cost_inside_the_vm():
+    """The guest pays for its *own* config; only host work is ~free."""
+    cpu = get_cpu("broadwell")
+    guest_off = run_suite(Machine(cpu, seed=1), MitigationConfig.all_off(),
+                          guest_config=MitigationConfig.all_off(),
+                          iterations=10, warmup=3)
+    guest_on = run_suite(Machine(cpu, seed=1), MitigationConfig.all_off(),
+                         guest_config=linux_default(cpu),
+                         iterations=10, warmup=3)
+    assert guest_on["getpid"] > guest_off["getpid"] * 1.5
+
+
+def test_default_selection_excludes_cross_process_cases():
+    results = run_suite(Machine(get_cpu("zen"), seed=1),
+                        MitigationConfig.all_off(), iterations=2, warmup=1)
+    assert "context_switch" not in results
+    assert "fork" not in results
+    assert "getpid" in results
