@@ -1,0 +1,86 @@
+"""Observability overhead guard: the null tracer must be (nearly) free.
+
+The instrumentation points sit on the hottest paths in the simulator
+(every syscall, VM exit, and JS iteration), gated on ``tracer.enabled``.
+This bench compares the instrumented-but-untraced syscall loop against a
+replica of the uninstrumented pre-obs path, and asserts the null-tracer
+penalty stays under 5%.  Active tracing is timed too, for the record —
+it is allowed to cost real time (it allocates a span per crossing).
+"""
+
+import time
+
+from repro.cpu import Machine, get_cpu
+from repro.kernel import GETPID, Kernel
+from repro.mitigations import linux_default
+from repro.obs import NULL_TRACER, SpanTracer, use_tracer
+
+LOOPS = 3000
+REPEATS = 7
+BUDGET = 0.05  # null tracer may cost at most 5% over the seed path
+
+
+def _seed_syscall(kernel, profile):
+    """The pre-observability syscall body, verbatim: the seed baseline."""
+    machine = kernel.machine
+    cycles = machine.run(kernel._entry)
+    cycles += machine.run(kernel._compiled(profile))
+    cycles += machine.run(kernel._exit)
+    return cycles
+
+
+def _fresh_kernel():
+    cpu = get_cpu("broadwell")
+    return Kernel(Machine(cpu), linux_default(cpu))
+
+
+def _time_loop(syscall_fn, profile):
+    """Best-of-N wall time for LOOPS syscalls (min defeats scheduler noise)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for _ in range(LOOPS):
+            syscall_fn(profile)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_null_tracer_overhead_under_budget():
+    assert not NULL_TRACER.enabled
+
+    kernel = _fresh_kernel()
+    seed = _time_loop(lambda p: _seed_syscall(kernel, p), GETPID)
+
+    kernel = _fresh_kernel()
+    nulled = _time_loop(kernel.syscall, GETPID)
+
+    overhead = nulled / seed - 1.0
+    print(f"\nseed path      : {1e6 * seed / LOOPS:8.3f} us/syscall")
+    print(f"null tracer    : {1e6 * nulled / LOOPS:8.3f} us/syscall "
+          f"({100.0 * overhead:+.2f}%)")
+    assert overhead < BUDGET, (
+        f"null-tracer syscall path is {100.0 * overhead:.1f}% slower than "
+        f"the uninstrumented seed path (budget {100.0 * BUDGET:.0f}%)")
+
+
+def test_active_tracing_records_every_syscall():
+    """Active tracing is allowed to cost; it must at least be complete."""
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        kernel = _fresh_kernel()
+        start = time.perf_counter()
+        for _ in range(LOOPS):
+            kernel.syscall(GETPID)
+        elapsed = time.perf_counter() - start
+    spans = tracer.find("kernel.syscall")
+    assert len(spans) == LOOPS
+    print(f"\nactive tracing : {1e6 * elapsed / LOOPS:8.3f} us/syscall, "
+          f"{len(tracer.spans)} spans recorded")
+
+
+def bench_null_tracer_syscalls(benchmark):
+    """pytest-benchmark view of the untraced hot path."""
+    kernel = _fresh_kernel()
+    benchmark.pedantic(
+        lambda: [kernel.syscall(GETPID) for _ in range(200)],
+        rounds=5, iterations=1)

@@ -11,6 +11,11 @@ Reproduce any paper artifact from a shell::
     spectresim bimodal --cpu cascade_lake
     spectresim attacks --cpu broadwell
     spectresim all --outdir results
+
+Observability::
+
+    spectresim profile figure 2 --fast --trace-out t.json --flame-out t.folded
+    spectresim --trace t.json figure 3 --fast    # trace any command
 """
 
 from __future__ import annotations
@@ -18,8 +23,10 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Dict, Optional, Sequence
 
+from . import obs
 from .cpu import Machine, Mode, all_cpus, get_cpu
 from .core import microbench, reporting, study
 from .core.probe import speculation_matrix
@@ -209,24 +216,46 @@ def cmd_sweep(args: argparse.Namespace) -> str:
     raise SystemExit(f"unknown sweep kind {args.kind!r}")
 
 
+def _run_manifest(command: str, settings: Optional[Settings],
+                  cpus, **extra) -> obs.RunManifest:
+    """Full provenance for a CLI run: seed, CPU list, and the default
+    mitigation config each CPU would boot with."""
+    config: Dict[str, object] = {
+        cpu.key: obs.config_to_dict(linux_default(cpu)) for cpu in cpus
+    }
+    return obs.build_manifest(
+        command=command,
+        seed=settings.seed if settings is not None else None,
+        cpus=[cpu.key for cpu in cpus],
+        config=config,
+        settings=settings,
+        **extra,
+    )
+
+
 def cmd_export(args: argparse.Namespace) -> str:
     """Emit one experiment's results as JSON."""
     from .core import export
     settings = _settings(args)
     cpus = _selected_cpus(args)
+    manifest = _run_manifest(f"export {args.experiment}", settings, cpus)
     if args.experiment == "figure2":
-        return export.attributions_to_json(study.figure2(cpus, settings)) + "\n"
+        return export.attributions_to_json(
+            study.figure2(cpus, settings), provenance=manifest) + "\n"
     if args.experiment == "figure3":
-        return export.attributions_to_json(study.figure3(cpus, settings)) + "\n"
+        return export.attributions_to_json(
+            study.figure3(cpus, settings), provenance=manifest) + "\n"
     if args.experiment == "figure5":
         return export.paired_to_json(
-            study.figure5(cpus, settings=settings)) + "\n"
+            study.figure5(cpus, settings=settings), provenance=manifest) + "\n"
     if args.experiment == "table9":
         return export.speculation_matrix_to_json(
-            speculation_matrix(tuple(cpus), ibrs=False)) + "\n"
+            speculation_matrix(tuple(cpus), ibrs=False),
+            provenance=manifest) + "\n"
     if args.experiment == "table10":
         return export.speculation_matrix_to_json(
-            speculation_matrix(tuple(cpus), ibrs=True)) + "\n"
+            speculation_matrix(tuple(cpus), ibrs=True),
+            provenance=manifest) + "\n"
     raise SystemExit(f"unknown experiment {args.experiment!r}")
 
 
@@ -244,6 +273,45 @@ def cmd_regress(args: argparse.Namespace) -> str:
     with open(args.new) as f:
         new = f.read()
     return render_diff(diff_results(old, new, tolerance=args.tolerance))
+
+
+def cmd_profile(args: argparse.Namespace) -> str:
+    """Run one artifact under the span tracer; write trace/flame files."""
+    settings = _settings(args)
+    cpus = _selected_cpus(args)
+    tracer = obs.SpanTracer()
+    started = time.perf_counter()
+    with obs.use_tracer(tracer):
+        if args.kind == "figure":
+            rendered = cmd_figure(args)
+        else:
+            # Tables are microbenchmarks without deep instrumentation; a
+            # coarse top-level span still times the whole render.
+            with tracer.span(f"table.{args.number}"):
+                rendered = cmd_table(args)
+    wall = time.perf_counter() - started
+    manifest = _run_manifest(
+        f"profile {args.kind} {args.number}", settings, cpus,
+        wall_time_s=round(wall, 3), sim_cycles=tracer.total_cycles())
+
+    lines = [rendered.rstrip("\n"), ""]
+    if args.trace_out:
+        obs.write_chrome_trace(args.trace_out, tracer, provenance=manifest)
+        lines.append(f"trace: wrote {len(tracer.spans)} spans to "
+                     f"{args.trace_out}")
+    if args.flame_out:
+        obs.write_flamegraph(args.flame_out, tracer)
+        lines.append(f"flame: wrote collapsed stacks to {args.flame_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as f:
+            f.write(tracer.metrics.to_json())
+        lines.append(f"metrics: wrote registry to {args.metrics_out}")
+    lines.append(f"coverage: {100.0 * tracer.coverage():.1f}% of "
+                 f"{tracer.total_cycles()} simulated cycles attributed "
+                 f"to named spans")
+    lines.append("")
+    lines.append(tracer.report().rstrip("\n"))
+    return "\n".join(lines) + "\n"
 
 
 def cmd_all(args: argparse.Namespace) -> str:
@@ -293,6 +361,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="spectresim",
         description="Reproduce the EuroSys '22 transient-execution "
                     "mitigation study on simulated CPUs.")
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="run the command under the span tracer and write a Chrome "
+             "trace-event JSON (load in Perfetto) to PATH")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("cpus", help="list the modelled CPUs (Table 2)")
@@ -342,6 +414,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("new")
     p.add_argument("--tolerance", type=float, default=0.5)
 
+    p = sub.add_parser(
+        "profile",
+        help="run a figure/table under the span tracer; export "
+             "Perfetto trace, flamegraph, and metrics")
+    p.add_argument("kind", choices=["figure", "table"])
+    p.add_argument("number", type=int)
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--cpus", nargs="*")
+    p.add_argument("--iterations", type=int, default=1000,
+                   help="iterations for table microbenchmarks")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write Chrome trace-event JSON here")
+    p.add_argument("--flame-out", metavar="PATH", default=None,
+                   help="write collapsed-stack flamegraph format here")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="write the metrics registry as JSON here")
+
     p = sub.add_parser("all", help="run everything, write artifacts")
     p.add_argument("--outdir", default="results")
     p.add_argument("--fast", action="store_true")
@@ -362,13 +451,33 @@ _COMMANDS = {
     "export": cmd_export,
     "summary": cmd_summary,
     "regress": cmd_regress,
+    "profile": cmd_profile,
     "all": cmd_all,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    output = _COMMANDS[args.command](args)
+    trace_path = getattr(args, "trace", None)
+    if trace_path and args.command != "profile":
+        tracer = obs.SpanTracer()
+        started = time.perf_counter()
+        with obs.use_tracer(tracer):
+            output = _COMMANDS[args.command](args)
+        manifest = obs.build_manifest(
+            command=args.command,
+            settings=_settings(args)
+            if hasattr(args, "fast") else None,
+            cpus=[cpu.key for cpu in _selected_cpus(args)],
+            wall_time_s=round(time.perf_counter() - started, 3),
+            sim_cycles=tracer.total_cycles(),
+        )
+        obs.write_chrome_trace(trace_path, tracer, provenance=manifest)
+        output += (f"[trace] {len(tracer.spans)} spans, "
+                   f"{100.0 * tracer.coverage():.1f}% cycle coverage -> "
+                   f"{trace_path}\n")
+    else:
+        output = _COMMANDS[args.command](args)
     sys.stdout.write(output)
     return 0
 

@@ -4,6 +4,13 @@ The text renderer in :mod:`~repro.core.reporting` is for eyeballs; this
 module serializes the same structures for downstream tooling (plotting,
 regression tracking between library versions, diffing against the
 paper's published numbers).
+
+Every artifact embeds a provenance manifest (seed, CPUs, mitigation
+config, package version — see :mod:`repro.obs.provenance`): JSON exports
+are ``{"provenance": {...}, "results": [...]}`` envelopes, CSV exports
+carry ``#``-prefixed manifest comment lines above the header.  Callers
+with full run context pass a manifest; otherwise a minimal one is built
+from the results themselves.
 """
 
 from __future__ import annotations
@@ -13,6 +20,12 @@ import io
 import json
 from typing import Dict, List, Optional, Sequence
 
+from ..obs.provenance import (
+    RunManifest,
+    build_manifest,
+    manifest_comment_lines,
+    stamp_payload,
+)
 from .attribution import AttributionResult
 from .probe import SCENARIOS, Scenario
 from .stats import Measurement
@@ -22,6 +35,12 @@ from .study import PairedOverhead
 def _measurement_dict(m: Measurement) -> Dict[str, float]:
     return {"mean": m.mean, "ci_half_width": m.ci_half_width,
             "samples": m.samples}
+
+
+def _fallback_manifest(cpus: Sequence[str], command: str) -> RunManifest:
+    """Library callers that pass no manifest still get seed/cpu/config/
+    version keys — unknown context is explicit ``null``, never absent."""
+    return build_manifest(command=command, cpus=sorted(set(cpus)))
 
 
 def attribution_to_dict(result: AttributionResult) -> Dict[str, object]:
@@ -47,9 +66,13 @@ def attribution_to_dict(result: AttributionResult) -> Dict[str, object]:
 
 
 def attributions_to_json(results: Sequence[AttributionResult],
-                         indent: int = 2) -> str:
-    return json.dumps([attribution_to_dict(r) for r in results],
-                      indent=indent)
+                         indent: int = 2,
+                         provenance: Optional[RunManifest] = None) -> str:
+    manifest = provenance or _fallback_manifest(
+        [r.cpu for r in results], "export attributions")
+    return json.dumps(
+        stamp_payload([attribution_to_dict(r) for r in results], manifest),
+        indent=indent)
 
 
 def paired_to_dict(result: PairedOverhead) -> Dict[str, object]:
@@ -63,13 +86,27 @@ def paired_to_dict(result: PairedOverhead) -> Dict[str, object]:
     }
 
 
-def paired_to_json(results: Sequence[PairedOverhead], indent: int = 2) -> str:
-    return json.dumps([paired_to_dict(r) for r in results], indent=indent)
+def paired_to_json(results: Sequence[PairedOverhead], indent: int = 2,
+                   provenance: Optional[RunManifest] = None) -> str:
+    manifest = provenance or _fallback_manifest(
+        [r.cpu for r in results], "export paired")
+    return json.dumps(
+        stamp_payload([paired_to_dict(r) for r in results], manifest),
+        indent=indent)
 
 
-def paired_to_csv(results: Sequence[PairedOverhead]) -> str:
-    """CSV with one row per (cpu, workload) comparison."""
+def paired_to_csv(results: Sequence[PairedOverhead],
+                  provenance: Optional[RunManifest] = None) -> str:
+    """CSV with one row per (cpu, workload) comparison.
+
+    The provenance manifest rides above the header as ``#`` comment
+    lines; readers should skip lines starting with ``#``.
+    """
+    manifest = provenance or _fallback_manifest(
+        [r.cpu for r in results], "export paired")
     out = io.StringIO()
+    for line in manifest_comment_lines(manifest):
+        out.write(line + "\n")
     writer = csv.writer(out)
     writer.writerow(["cpu", "workload", "overhead_percent", "significant",
                      "baseline_mean", "treated_mean"])
@@ -83,6 +120,7 @@ def paired_to_csv(results: Sequence[PairedOverhead]) -> str:
 def speculation_matrix_to_json(
     matrix: Dict[str, Optional[Dict[Scenario, bool]]],
     indent: int = 2,
+    provenance: Optional[RunManifest] = None,
 ) -> str:
     """Tables 9/10 as JSON: cpu -> scenario label -> bool (or null row)."""
     serializable = {
@@ -90,4 +128,6 @@ def speculation_matrix_to_json(
               else {scenario.label: row[scenario] for scenario in SCENARIOS})
         for cpu, row in matrix.items()
     }
-    return json.dumps(serializable, indent=indent)
+    manifest = provenance or _fallback_manifest(
+        list(matrix), "export speculation-matrix")
+    return json.dumps(stamp_payload(serializable, manifest), indent=indent)

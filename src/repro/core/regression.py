@@ -51,6 +51,10 @@ def _paired_values(payload: Sequence[dict]) -> Dict[Tuple[str, ...], float]:
 
 def _values_of(text: str) -> Dict[Tuple[str, ...], float]:
     payload = json.loads(text)
+    if isinstance(payload, dict) and "results" in payload:
+        # Provenance envelope ({"provenance": ..., "results": [...]});
+        # bare arrays from pre-provenance exports still parse below.
+        payload = payload["results"]
     if not isinstance(payload, list):
         raise ValueError("expected a JSON array of results")
     if not payload:

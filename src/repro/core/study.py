@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..cpu.machine import Machine
 from ..cpu.model import CPUModel, all_cpus
 from ..jsengine import octane
+from ..obs import spans as obs_spans
 from ..mitigations.base import (
     JS_KNOBS,
     KERNEL_KNOBS,
@@ -85,15 +86,18 @@ def figure2(
 ) -> List[AttributionResult]:
     """The paper's Figure 2: per-CPU LEBench overhead attribution."""
     settings = settings or Settings()
+    tracer = obs_spans.current_tracer()
     out: List[AttributionResult] = []
     for cpu in cpus or all_cpus():
         run_fn = lambda config, _cpu=cpu: lebench_geomean(_cpu, config, settings)
-        out.append(attribute_overhead(
-            run_fn, linux_default(cpu), FIGURE2_KNOBS,
-            cpu=cpu.key, workload="lebench", metric=CYCLES,
-            sigma=settings.sigma, rel_tol=settings.rel_tol,
-            max_samples=settings.max_samples, seed=settings.seed,
-        ))
+        with tracer.span(f"study.figure2.{cpu.key}", cpu=cpu.key,
+                         workload="lebench"):
+            out.append(attribute_overhead(
+                run_fn, linux_default(cpu), FIGURE2_KNOBS,
+                cpu=cpu.key, workload="lebench", metric=CYCLES,
+                sigma=settings.sigma, rel_tol=settings.rel_tol,
+                max_samples=settings.max_samples, seed=settings.seed,
+            ))
     return out
 
 
@@ -116,15 +120,18 @@ def figure3(
 ) -> List[AttributionResult]:
     """The paper's Figure 3: Octane 2 slowdown attribution per CPU."""
     settings = settings or Settings()
+    tracer = obs_spans.current_tracer()
     out: List[AttributionResult] = []
     for cpu in cpus or all_cpus():
         run_fn = lambda config, _cpu=cpu: octane_suite_score(_cpu, config, settings)
-        out.append(attribute_overhead(
-            run_fn, linux_default(cpu), FIGURE3_KNOBS,
-            cpu=cpu.key, workload="octane2", metric=SCORE,
-            sigma=settings.sigma, rel_tol=settings.rel_tol,
-            max_samples=settings.max_samples, seed=settings.seed,
-        ))
+        with tracer.span(f"study.figure3.{cpu.key}", cpu=cpu.key,
+                         workload="octane2"):
+            out.append(attribute_overhead(
+                run_fn, linux_default(cpu), FIGURE3_KNOBS,
+                cpu=cpu.key, workload="octane2", metric=SCORE,
+                sigma=settings.sigma, rel_tol=settings.rel_tol,
+                max_samples=settings.max_samples, seed=settings.seed,
+            ))
     return out
 
 
@@ -173,22 +180,25 @@ def figure5(
 ) -> List[PairedOverhead]:
     """The paper's Figure 5: SSBD slowdown on the PARSEC trio."""
     settings = settings or Settings()
+    tracer = obs_spans.current_tracer()
     out: List[PairedOverhead] = []
     for cpu in cpus or all_cpus():
         config = linux_default(cpu)
-        for workload in workloads or parsec.SUITE:
-            out.append(_paired(
-                cpu, workload.name,
-                lambda _c=cpu, _w=workload: parsec.run_workload(
-                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
-                    force_ssbd=False, iterations=settings.iterations,
-                    warmup=settings.warmup),
-                lambda _c=cpu, _w=workload: parsec.run_workload(
-                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
-                    force_ssbd=True, iterations=settings.iterations,
-                    warmup=settings.warmup),
-                settings,
-            ))
+        with tracer.span(f"study.figure5.{cpu.key}", cpu=cpu.key,
+                         workload="parsec"):
+            for workload in workloads or parsec.SUITE:
+                out.append(_paired(
+                    cpu, workload.name,
+                    lambda _c=cpu, _w=workload: parsec.run_workload(
+                        Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                        force_ssbd=False, iterations=settings.iterations,
+                        warmup=settings.warmup),
+                    lambda _c=cpu, _w=workload: parsec.run_workload(
+                        Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                        force_ssbd=True, iterations=settings.iterations,
+                        warmup=settings.warmup),
+                    settings,
+                ))
     return out
 
 
@@ -199,19 +209,22 @@ def parsec_default_overheads(
 ) -> List[PairedOverhead]:
     """Section 4.5: default mitigations on compute workloads (~0%)."""
     settings = settings or Settings()
+    tracer = obs_spans.current_tracer()
     out: List[PairedOverhead] = []
     for cpu in cpus or all_cpus():
-        for workload in workloads or parsec.SUITE:
-            out.append(_paired(
-                cpu, workload.name,
-                lambda _c=cpu, _w=workload: parsec.run_workload(
-                    Machine(_c, seed=settings.seed), MitigationConfig.all_off(),
-                    _w, iterations=settings.iterations, warmup=settings.warmup),
-                lambda _c=cpu, _w=workload: parsec.run_workload(
-                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
-                    iterations=settings.iterations, warmup=settings.warmup),
-                settings,
-            ))
+        with tracer.span(f"study.parsec.{cpu.key}", cpu=cpu.key,
+                         workload="parsec"):
+            for workload in workloads or parsec.SUITE:
+                out.append(_paired(
+                    cpu, workload.name,
+                    lambda _c=cpu, _w=workload: parsec.run_workload(
+                        Machine(_c, seed=settings.seed), MitigationConfig.all_off(),
+                        _w, iterations=settings.iterations, warmup=settings.warmup),
+                    lambda _c=cpu, _w=workload: parsec.run_workload(
+                        Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                        iterations=settings.iterations, warmup=settings.warmup),
+                    settings,
+                ))
     return out
 
 
@@ -232,14 +245,17 @@ def vm_lebench_overheads(
             iterations=settings.iterations, warmup=settings.warmup)
         return geometric_mean(results.values())
 
+    tracer = obs_spans.current_tracer()
     out: List[PairedOverhead] = []
     for cpu in cpus or all_cpus():
-        out.append(_paired(
-            cpu, "vm_lebench",
-            lambda _c=cpu: run(_c, MitigationConfig.all_off()),
-            lambda _c=cpu: run(_c, linux_default(_c)),
-            settings,
-        ))
+        with tracer.span(f"study.vm_lebench.{cpu.key}", cpu=cpu.key,
+                         workload="vm_lebench"):
+            out.append(_paired(
+                cpu, "vm_lebench",
+                lambda _c=cpu: run(_c, MitigationConfig.all_off()),
+                lambda _c=cpu: run(_c, linux_default(_c)),
+                settings,
+            ))
     return out
 
 
@@ -250,19 +266,22 @@ def lfs_overheads(
 ) -> List[PairedOverhead]:
     """LFS smallfile/largefile: host mitigations on vs off (<2% median)."""
     settings = settings or Settings()
+    tracer = obs_spans.current_tracer()
     iters = max(4, settings.iterations // 3)
     warm = max(1, settings.warmup // 3)
     out: List[PairedOverhead] = []
     for cpu in cpus or all_cpus():
-        for workload in workloads or lfs.SUITE:
-            out.append(_paired(
-                cpu, workload.name,
-                lambda _c=cpu, _w=workload: lfs.run_workload(
-                    Machine(_c, seed=settings.seed), MitigationConfig.all_off(),
-                    _w, iterations=iters, warmup=warm),
-                lambda _c=cpu, _w=workload: lfs.run_workload(
-                    Machine(_c, seed=settings.seed), linux_default(_c), _w,
-                    iterations=iters, warmup=warm),
-                settings,
-            ))
+        with tracer.span(f"study.lfs.{cpu.key}", cpu=cpu.key,
+                         workload="lfs"):
+            for workload in workloads or lfs.SUITE:
+                out.append(_paired(
+                    cpu, workload.name,
+                    lambda _c=cpu, _w=workload: lfs.run_workload(
+                        Machine(_c, seed=settings.seed), MitigationConfig.all_off(),
+                        _w, iterations=iters, warmup=warm),
+                    lambda _c=cpu, _w=workload: lfs.run_workload(
+                        Machine(_c, seed=settings.seed), linux_default(_c), _w,
+                        iterations=iters, warmup=warm),
+                    settings,
+                ))
     return out

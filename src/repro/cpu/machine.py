@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import SegmentationFault, UnsupportedFeatureError
+from ..obs import spans as obs_spans
 from . import counters as ctr
 from . import msr as msrdef
 from .btb import BranchHistoryBuffer, BranchTargetBuffer
@@ -98,9 +99,14 @@ class Machine:
         self.thread_id = 0
 
         # Optional instrumentation: called as tracer(instr, cycles,
-        # transient) after every executed instruction.  See
+        # transient, mode) after every executed instruction.  See
         # repro.cpu.trace.ExecutionTrace.
         self.tracer = None
+
+        # Observability: adopt the installed span tracer as this machine's
+        # trace clock.  The default NullTracer makes both calls no-ops.
+        self.obs = obs_spans.current_tracer()
+        self.obs.bind_machine(self)
 
         # eIBRS periodic BTB scrub state (paper section 6.2.2).
         self._rng = np.random.default_rng(seed)
@@ -241,7 +247,7 @@ class Machine:
         self.counters.add_cycles(cycles)
         self.counters.bump(ctr.INSTRUCTIONS_RETIRED)
         if self.tracer is not None:
-            self.tracer(instr, cycles, False)
+            self.tracer(instr, cycles, False, self.mode)
         return cycles
 
     # -- op helpers ----------------------------------------------------- #
@@ -471,6 +477,9 @@ class Machine:
             budget -= 1
             executed += 1
             self._execute_transient(instr)
+        if self.obs.enabled:
+            self.obs.instant("cpu.transient_window", origin="speculate",
+                             executed=executed, mode=str(self.mode))
         return executed
 
     def _transient_window(self, target: int) -> None:
@@ -483,45 +492,75 @@ class Machine:
         if not block:
             return
         budget = self.cpu.spec_window
+        executed = 0
         for instr in block:
             if budget <= 0:
                 break
             if instr.op in SERIALIZING_OPS:
                 break  # serializing instructions end the window
             budget -= 1
+            executed += 1
             self._execute_transient(instr)
+        if self.obs.enabled:
+            self.obs.instant("cpu.transient_window", origin="mispredict",
+                             target=target, executed=executed,
+                             mode=str(self.mode))
 
     def _execute_transient(self, instr: Instruction) -> None:
+        """One wrong-path instruction: side effects plus a *modeled* cycle
+        cost reported to the tracer (the cycles the wasted issue slots
+        would have taken — never charged to the committed TSC)."""
         op = instr.op
+        costs = self.costs
         self.counters.bump(ctr.TRANSIENT_INSTRUCTIONS)
-        if self.tracer is not None:
-            self.tracer(instr, 0, True)
+        cycles = 0
         if op is Op.DIV:
             # The probe signal: the divider is busy even on the wrong path.
-            self.counters.bump(ctr.DIVIDER_ACTIVE, self.costs.div)
+            self.counters.bump(ctr.DIVIDER_ACTIVE, costs.div)
+            cycles = costs.div
         elif op is Op.LOAD:
-            self._transient_load(instr)
+            cycles = self._transient_load(instr)
         elif op is Op.STORE:
             # Transient stores never reach memory but do leave store-buffer
             # residue visible to MDS sampling.
             self.mds_buffers.deposit_store(instr.value or instr.address, self.mode)
-        elif op is Op.CMOV and instr.value:
-            # A masking cmov with a poisoned (zeroed) index: downstream
-            # transient loads are redirected to a safe address.  Modelled by
-            # the JIT layer, which simply omits the dangerous load.
-            pass
-        # Other ops have no modelled transient side effects.
+            cycles = costs.store
+        elif op is Op.CMOV:
+            # With a poisoned (zeroed) index the masking cmov redirects
+            # downstream transient loads to a safe address — modelled by the
+            # JIT layer, which simply omits the dangerous load.
+            cycles = costs.cmov
+        elif op is Op.ALU:
+            cycles = costs.alu
+        elif op is Op.WORK:
+            cycles = instr.value
+        elif op is Op.NOP:
+            cycles = costs.nop
+        elif op is Op.MUL:
+            cycles = costs.mul
+        elif op is Op.PAUSE:
+            cycles = costs.pause
+        # Other ops have no modelled transient cost or side effects.
+        if self.tracer is not None:
+            self.tracer(instr, cycles, True, self.mode)
 
-    def _transient_load(self, instr: Instruction) -> None:
+    def _transient_load(self, instr: Instruction) -> int:
         if instr.kernel_address and not self.mode.is_kernel:
             # Meltdown predicate: the transient read succeeds only on a
             # vulnerable part with the kernel mapped into the user page
             # tables (i.e. KPTI off).
             if not (self.cpu.vulns.meltdown and self.kernel_mapped_in_user):
-                return
-        self.caches.access(instr.address)  # the cache side channel
+                return 0
+        level = self.caches.access(instr.address)  # the cache side channel
         self.transient_loads.append(instr.address)
         self.mds_buffers.deposit_load(instr.value or instr.address, self.mode)
+        # Modeled latency only — no miss-counter bumps: PMCs other than the
+        # divider only advance at retirement.
+        if level == 1:
+            return self.costs.load_l1
+        if level == 2:
+            return self.costs.load_l2
+        return self.costs.load_mem
 
     # ------------------------------------------------------------------ #
     # Measurement harness (the paper's rdtsc timed-loop methodology)

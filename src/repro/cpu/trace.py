@@ -6,6 +6,13 @@ debugging workload models ("why is this op so expensive?"), for
 verifying mitigation placement ("how many verw per op?"), and in tests
 that assert *what executed*, not just what it cost.
 
+Committed tallies carry real cycle costs; transient tallies carry the
+*modeled* cost of the wrong-path work (never charged to the TSC — the
+mispredict penalty already covers the wasted time, but the model cost
+shows how much issue bandwidth the wrong path burned).  Every tally is
+additionally split by the CPU mode the instruction retired in, so a
+report can separate "cycles in kernel entry" from "cycles in user code".
+
 Usage::
 
     trace = ExecutionTrace()
@@ -13,6 +20,7 @@ Usage::
         kernel.syscall(GETPID)
     print(trace.report())
     assert trace.count(Op.VERW) == 1
+    assert trace.mode_cycles(Mode.KERNEL) > trace.mode_cycles(Mode.USER)
 """
 
 from __future__ import annotations
@@ -23,27 +31,39 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from .isa import Instruction, Op
 from .machine import Machine
+from .modes import Mode
 
 
 @dataclass
 class ExecutionTrace:
-    """Per-op instruction and cycle tallies for one attachment window."""
+    """Per-op instruction/cycle tallies for one attachment window."""
 
     committed_counts: Dict[Op, int] = field(default_factory=dict)
     committed_cycles: Dict[Op, int] = field(default_factory=dict)
     transient_counts: Dict[Op, int] = field(default_factory=dict)
+    #: Modeled wrong-path cost per op (see module docstring).
+    transient_cycles: Dict[Op, int] = field(default_factory=dict)
+    #: Committed instructions/cycles split by retirement mode.
+    mode_counts: Dict[Mode, int] = field(default_factory=dict)
+    mode_cycle_totals: Dict[Mode, int] = field(default_factory=dict)
 
     # -- collection --------------------------------------------------------- #
 
     def __call__(self, instr: Instruction, cycles: int,
-                 transient: bool) -> None:
+                 transient: bool, mode: Optional[Mode] = None) -> None:
         op = instr.op
         if transient:
             self.transient_counts[op] = self.transient_counts.get(op, 0) + 1
+            self.transient_cycles[op] = \
+                self.transient_cycles.get(op, 0) + cycles
         else:
             self.committed_counts[op] = self.committed_counts.get(op, 0) + 1
             self.committed_cycles[op] = \
                 self.committed_cycles.get(op, 0) + cycles
+            if mode is not None:
+                self.mode_counts[mode] = self.mode_counts.get(mode, 0) + 1
+                self.mode_cycle_totals[mode] = \
+                    self.mode_cycle_totals.get(mode, 0) + cycles
 
     @contextmanager
     def attach(self, machine: Machine) -> Iterator["ExecutionTrace"]:
@@ -61,8 +81,16 @@ class ExecutionTrace:
         source = self.transient_counts if transient else self.committed_counts
         return source.get(op, 0)
 
-    def cycles(self, op: Op) -> int:
-        return self.committed_cycles.get(op, 0)
+    def cycles(self, op: Op, transient: bool = False) -> int:
+        source = self.transient_cycles if transient else self.committed_cycles
+        return source.get(op, 0)
+
+    def mode_cycles(self, mode: Mode) -> int:
+        """Committed cycles retired while the machine was in ``mode``."""
+        return self.mode_cycle_totals.get(mode, 0)
+
+    def mode_count(self, mode: Mode) -> int:
+        return self.mode_counts.get(mode, 0)
 
     @property
     def total_instructions(self) -> int:
@@ -71,6 +99,11 @@ class ExecutionTrace:
     @property
     def total_cycles(self) -> int:
         return sum(self.committed_cycles.values())
+
+    @property
+    def total_transient_cycles(self) -> int:
+        """Modeled cost of all wrong-path work in the window."""
+        return sum(self.transient_cycles.values())
 
     def top_costs(self, n: int = 5) -> List[Tuple[Op, int]]:
         """The ops where the cycles went, most expensive first."""
@@ -82,6 +115,9 @@ class ExecutionTrace:
         self.committed_counts.clear()
         self.committed_cycles.clear()
         self.transient_counts.clear()
+        self.transient_cycles.clear()
+        self.mode_counts.clear()
+        self.mode_cycle_totals.clear()
 
     def report(self) -> str:
         """Aligned text breakdown (committed ops by cycle share)."""
@@ -92,10 +128,17 @@ class ExecutionTrace:
                 else 0.0
             lines.append(f"  {op.value:16s} x{self.committed_counts[op]:<6d} "
                          f"{cycles:>9d} cycles ({share:4.1f}%)")
+        if self.mode_cycle_totals:
+            by_mode = ", ".join(
+                f"{mode.value} {cycles}"
+                for mode, cycles in sorted(self.mode_cycle_totals.items(),
+                                           key=lambda p: p[0].value))
+            lines.append(f"  by mode: {by_mode}")
         if self.transient_counts:
             transient = ", ".join(
                 f"{op.value} x{count}"
                 for op, count in sorted(self.transient_counts.items(),
                                         key=lambda p: p[0].value))
-            lines.append(f"  transient: {transient}")
+            lines.append(f"  transient: {transient} "
+                         f"({self.total_transient_cycles} modeled cycles)")
         return "\n".join(lines) + "\n"

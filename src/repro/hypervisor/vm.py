@@ -73,6 +73,15 @@ class Hypervisor:
         measurable L1TF cost (section 5.6).
         """
         machine = self.machine
+        obs = machine.obs
+        if not obs.enabled:
+            return self._vm_exit_body(handler_cycles, taints_l1)
+        with obs.span("hv.vm_exit", handler_cycles=handler_cycles,
+                      taints_l1=taints_l1):
+            return self._vm_exit_body(handler_cycles, taints_l1)
+
+    def _vm_exit_body(self, handler_cycles: int, taints_l1: bool) -> int:
+        machine = self.machine
         cycles = machine.execute(isa.vmexit())
         cycles += machine.execute(isa.work(EXIT_DISPATCH_CYCLES))
         if handler_cycles:
@@ -106,7 +115,12 @@ class GuestContext:
         machine = self.machine
         saved = machine.mode
         machine.mode = Mode.GUEST_USER
-        cycles = self.kernel.syscall(profile)
+        obs = machine.obs
+        if obs.enabled:
+            with obs.span("hv.guest.syscall", handler=profile.name):
+                cycles = self.kernel.syscall(profile)
+        else:
+            cycles = self.kernel.syscall(profile)
         self.hypervisor.stats.guest_cycles += cycles
         machine.mode = saved
         return cycles

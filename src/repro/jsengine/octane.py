@@ -99,6 +99,13 @@ class OctaneRunner:
 
     def run_iteration(self, workload: OctaneWorkload) -> int:
         """One benchmark iteration; returns cycles."""
+        obs = self.machine.obs
+        if not obs.enabled:
+            return self._iteration_body(workload)
+        with obs.span("js.iteration", workload=workload.name):
+            return self._iteration_body(workload)
+
+    def _iteration_body(self, workload: OctaneWorkload) -> int:
         block = self.jit.compile_iteration(
             workload.mix, heap_base=HEAP_BASE, cursor=self._iteration
         )
@@ -112,11 +119,13 @@ class OctaneRunner:
     def measure(self, workload: OctaneWorkload, iterations: int = 24,
                 warmup: int = 6) -> float:
         """Average cycles per iteration, steady state."""
-        for _ in range(warmup):
-            self.run_iteration(workload)
-        total = 0
-        for _ in range(iterations):
-            total += self.run_iteration(workload)
+        with self.machine.obs.span(f"js.octane.{workload.name}",
+                                   iterations=iterations, warmup=warmup):
+            for _ in range(warmup):
+                self.run_iteration(workload)
+            total = 0
+            for _ in range(iterations):
+                total += self.run_iteration(workload)
         return total / iterations
 
     def score(self, workload: OctaneWorkload, iterations: int = 24,
@@ -133,11 +142,12 @@ def run_suite(
     workloads: Optional[Tuple[OctaneWorkload, ...]] = None,
 ) -> Dict[str, float]:
     """Scores per workload under ``config``."""
-    runner = OctaneRunner(machine, config)
-    return {
-        w.name: runner.score(w, iterations, warmup)
-        for w in (workloads or SUITE)
-    }
+    with machine.obs.span("octane.suite", cpu=machine.cpu.key):
+        runner = OctaneRunner(machine, config)
+        return {
+            w.name: runner.score(w, iterations, warmup)
+            for w in (workloads or SUITE)
+        }
 
 
 def suite_score(scores: Dict[str, float]) -> float:

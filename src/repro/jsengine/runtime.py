@@ -19,6 +19,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import spans as obs_spans
+
 #: Each sandbox realm gets a 256 MiB heap slice.
 REALM_HEAP_BYTES = 256 << 20
 HEAP_BASE = 0x3000_0000_0000
@@ -78,6 +80,10 @@ class Realm:
         self.name = name or f"realm-{realm_id}"
         self.heap_base = HEAP_BASE + realm_id * REALM_HEAP_BYTES
         self._bump = 0x1000
+        # Sandbox lifecycle is visible on the trace timeline: realm
+        # creation marks where a new isolation boundary came into being.
+        obs_spans.current_tracer().instant(
+            "js.realm.create", realm=self.name, heap_base=self.heap_base)
 
     def _allocate(self, size: int) -> int:
         address = self.heap_base + self._bump

@@ -27,6 +27,11 @@ from ..mitigations.spectre_v1 import lfence_after_swapgs_sequence
 from ..mitigations.spectre_v2 import ibrs_entry_sequence, ibrs_exit_sequence
 from ..mitigations.mds import verw_sequence
 
+#: Span names the kernel attributes boundary-crossing work to (the paper's
+#: "extra work for each boundary crossing" shows up under these).
+ENTRY_SPAN = "kernel.entry"
+EXIT_SPAN = "kernel.exit"
+
 
 def build_entry_sequence(config: MitigationConfig,
                          interrupt: bool = False) -> List[Instruction]:

@@ -24,7 +24,7 @@ from ..cpu.isa import Instruction
 from ..cpu.machine import AMD_RETPOLINE, GENERIC_RETPOLINE, Machine
 from ..cpu.modes import Mode
 from ..mitigations.base import MitigationConfig, V2Strategy
-from .entry import build_entry_sequence, build_exit_sequence
+from .entry import ENTRY_SPAN, EXIT_SPAN, build_entry_sequence, build_exit_sequence
 from .process import Process
 from .scheduler import Scheduler
 from .syscalls import HandlerProfile
@@ -81,26 +81,57 @@ class Kernel:
 
         The machine must be in user mode (the normal state between calls);
         it is returned to user mode by the exit path.
+
+        When a span tracer is installed the crossing decomposes into
+        ``kernel.syscall`` > ``kernel.entry`` / ``kernel.handler.<name>`` /
+        ``kernel.exit``; untraced runs take the bare path below (one
+        attribute check of overhead).
         """
         machine = self.machine
-        cycles = machine.run(self._entry)
-        cycles += machine.run(self._compiled(profile))
-        cycles += machine.run(self._exit)
+        obs = machine.obs
+        if not obs.enabled:
+            cycles = machine.run(self._entry)
+            cycles += machine.run(self._compiled(profile))
+            cycles += machine.run(self._exit)
+            return cycles
+        with obs.span("kernel.syscall", handler=profile.name):
+            with obs.span(ENTRY_SPAN):
+                cycles = machine.run(self._entry)
+            with obs.span(profile.span_name):
+                cycles += machine.run(self._compiled(profile))
+            with obs.span(EXIT_SPAN):
+                cycles += machine.run(self._exit)
         return cycles
 
     def page_fault(self, profile: HandlerProfile) -> int:
         """A fault-driven crossing: same mitigation work, pricier entry."""
         machine = self.machine
-        machine.counters.add_cycles(EXCEPTION_EXTRA_CYCLES)
-        cycles = EXCEPTION_EXTRA_CYCLES
-        cycles += machine.run(self._entry)
-        cycles += machine.run(self._compiled(profile))
-        cycles += machine.run(self._exit)
+        obs = machine.obs
+        if not obs.enabled:
+            machine.counters.add_cycles(EXCEPTION_EXTRA_CYCLES)
+            cycles = EXCEPTION_EXTRA_CYCLES
+            cycles += machine.run(self._entry)
+            cycles += machine.run(self._compiled(profile))
+            cycles += machine.run(self._exit)
+            return cycles
+        with obs.span("kernel.page_fault", handler=profile.name):
+            machine.counters.add_cycles(EXCEPTION_EXTRA_CYCLES)
+            cycles = EXCEPTION_EXTRA_CYCLES
+            with obs.span(ENTRY_SPAN):
+                cycles += machine.run(self._entry)
+            with obs.span(profile.span_name):
+                cycles += machine.run(self._compiled(profile))
+            with obs.span(EXIT_SPAN):
+                cycles += machine.run(self._exit)
         return cycles
 
     def context_switch(self, new: Process) -> int:
         """Switch the CPU to ``new``; returns cycles."""
-        return self.scheduler.switch_to(new)
+        obs = self.machine.obs
+        if not obs.enabled:
+            return self.scheduler.switch_to(new)
+        with obs.span("kernel.context_switch", to=new.name):
+            return self.scheduler.switch_to(new)
 
     @property
     def current_process(self) -> Optional[Process]:

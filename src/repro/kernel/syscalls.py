@@ -48,6 +48,11 @@ class HandlerProfile:
     indirect_branches: int = 2
     copy_bytes: int = 0
 
+    @property
+    def span_name(self) -> str:
+        """Span this handler's cycles are attributed to when tracing."""
+        return f"kernel.handler.{self.name}"
+
     def compile(self, config: MitigationConfig, region_index: int) -> List[Instruction]:
         """Lower this profile to an instruction stream under ``config``.
 

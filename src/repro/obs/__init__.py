@@ -1,0 +1,66 @@
+"""Cross-layer observability: span tracing, metrics, exporters, provenance.
+
+The subsystem threads through every layer of the simulator:
+
+* :mod:`repro.obs.spans` — hierarchical span tracer on the simulated cycle
+  clock, with a zero-cost null tracer installed by default;
+* :mod:`repro.obs.metrics` — one registry of counters/gauges/histograms
+  bridging machine perf counters and study-level statistics;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
+  collapsed-stack flamegraph exporters;
+* :mod:`repro.obs.provenance` — run manifests stamped into exported
+  artifacts.
+
+See ``docs/observability.md`` for the span vocabulary and usage.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .spans import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    SpanTracer,
+    current_tracer,
+    install_tracer,
+    use_tracer,
+)
+from .export import (
+    to_chrome_trace,
+    to_chrome_trace_json,
+    to_collapsed_stacks,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from .provenance import (
+    RunManifest,
+    build_manifest,
+    config_to_dict,
+    manifest_comment_lines,
+    settings_to_dict,
+    stamp_payload,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "RunManifest",
+    "Span",
+    "SpanTracer",
+    "build_manifest",
+    "config_to_dict",
+    "current_tracer",
+    "install_tracer",
+    "manifest_comment_lines",
+    "settings_to_dict",
+    "stamp_payload",
+    "to_chrome_trace",
+    "to_chrome_trace_json",
+    "to_collapsed_stacks",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_flamegraph",
+]

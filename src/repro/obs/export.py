@@ -1,0 +1,116 @@
+"""Trace exporters: Chrome trace-event JSON and collapsed flamegraph stacks.
+
+Two interchange formats from one :class:`~repro.obs.spans.SpanTracer`:
+
+* :func:`to_chrome_trace` emits the Trace Event Format (the JSON object
+  form, ``{"traceEvents": [...]}``) that Perfetto and ``chrome://tracing``
+  load directly.  Span timestamps are simulated cycles written into the
+  microsecond fields, so one on-screen microsecond reads as one simulated
+  cycle.
+* :func:`to_collapsed_stacks` emits Brendan Gregg's collapsed-stack format
+  (``a;b;c <self-cycles>`` per line) consumable by ``flamegraph.pl`` and
+  speedscope.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .provenance import RunManifest
+from .spans import Span, SpanTracer
+
+__all__ = [
+    "to_chrome_trace",
+    "to_chrome_trace_json",
+    "write_chrome_trace",
+    "to_collapsed_stacks",
+    "write_flamegraph",
+]
+
+#: Synthetic process/thread ids for the single simulated timeline.
+TRACE_PID = 1
+TRACE_TID = 1
+
+
+def _span_event(span: Span) -> Dict[str, Any]:
+    args: Dict[str, Any] = {str(k): v for k, v in span.attrs.items()}
+    if span.counter_delta:
+        args["counters"] = dict(span.counter_delta)
+    args["self_cycles"] = span.self_cycles
+    end = span.end if span.end is not None else span.start
+    return {
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ph": "X",                      # complete event: begin + duration
+        "ts": span.start,
+        "dur": max(0, end - span.start),
+        "pid": TRACE_PID,
+        "tid": TRACE_TID,
+        "args": args,
+    }
+
+
+def to_chrome_trace(tracer: SpanTracer,
+                    provenance: Optional[RunManifest] = None) -> Dict[str, Any]:
+    """The tracer's spans and instants as a Trace Event Format object."""
+    events: List[Dict[str, Any]] = [
+        {"name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": TRACE_TID,
+         "args": {"name": "spectresim"}},
+        {"name": "thread_name", "ph": "M", "pid": TRACE_PID, "tid": TRACE_TID,
+         "args": {"name": "simulated-cycles"}},
+    ]
+    events.extend(_span_event(span) for span in tracer.spans)
+    events.extend(
+        {"name": name, "cat": name.split(".", 1)[0], "ph": "i", "s": "g",
+         "ts": ts, "pid": TRACE_PID, "tid": TRACE_TID,
+         "args": {str(k): v for k, v in attrs.items()}}
+        for ts, name, attrs in tracer.instants
+    )
+    other: Dict[str, Any] = {
+        "total_cycles": tracer.total_cycles(),
+        "attributed_cycles": tracer.attributed_cycles(),
+        "coverage": tracer.coverage(),
+        "metrics": tracer.metrics.collect(),
+    }
+    if provenance is not None:
+        other["provenance"] = provenance.to_dict()
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": other,
+    }
+
+
+def to_chrome_trace_json(tracer: SpanTracer,
+                         provenance: Optional[RunManifest] = None,
+                         indent: Optional[int] = None) -> str:
+    return json.dumps(to_chrome_trace(tracer, provenance), indent=indent)
+
+
+def write_chrome_trace(path: str, tracer: SpanTracer,
+                       provenance: Optional[RunManifest] = None) -> None:
+    with open(path, "w") as f:
+        f.write(to_chrome_trace_json(tracer, provenance))
+
+
+def to_collapsed_stacks(tracer: SpanTracer) -> str:
+    """Collapsed-stack flamegraph text: ``root;child;leaf self_cycles``.
+
+    Identical stacks are merged (their self-cycles summed), matching what
+    ``stackcollapse-*`` scripts produce from sampled profiles.
+    """
+    weights: Dict[str, int] = {}
+    for span in tracer.spans:
+        self_cycles = span.self_cycles
+        if self_cycles <= 0:
+            continue
+        stack = ";".join(span.path())
+        weights[stack] = weights.get(stack, 0) + self_cycles
+    lines = [f"{stack} {weight}" for stack, weight in sorted(weights.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_flamegraph(path: str, tracer: SpanTracer) -> None:
+    with open(path, "w") as f:
+        f.write(to_collapsed_stacks(tracer))

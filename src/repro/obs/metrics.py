@@ -1,0 +1,230 @@
+"""A unified metrics registry: counters, gauges, histograms.
+
+The simulator already produces numbers in three disconnected places — the
+per-machine :class:`~repro.cpu.counters.PerfCounters` bag, study-level
+:class:`~repro.core.stats.Measurement` results, and ad-hoc tallies inside
+workload runners.  The :class:`MetricsRegistry` gives them one queryable
+namespace with Prometheus-style instrument types, so exporters (and tests)
+can ask "what did this run record?" without knowing which layer produced
+each number.
+
+Naming convention: dot-separated lowercase paths, layer first —
+``cpu.<counter>`` for bridged perf counters, ``span.<name>.cycles`` for
+tracer histograms, ``study.<metric>`` for measurement statistics.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+#: Default histogram bucket upper bounds: exponential, covering one cycle
+#: up to a billion (a full slow Octane part), plus the +Inf overflow.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    float(10 ** exp) * mult for exp in range(0, 9) for mult in (1, 3)
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def collect(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A value that goes up and down, or is computed on read."""
+
+    __slots__ = ("name", "help", "_value", "_fn")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value: float = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = value
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Compute the gauge lazily at collection time."""
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        return self._fn() if self._fn is not None else self._value
+
+    def collect(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Bucketed distribution of observed values.
+
+    Buckets are cumulative-style upper bounds (Prometheus ``le``); every
+    observation also feeds ``sum``/``count``/``min``/``max`` so cheap
+    summary statistics survive even when the bucketing is coarse.
+    """
+
+    __slots__ = ("name", "help", "bounds", "bucket_counts", "count", "sum",
+                 "min", "max")
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 bounds: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.help = help
+        self.bounds: Tuple[float, ...] = tuple(sorted(bounds or DEFAULT_BUCKETS))
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation); exact min/max at the extremes."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return float(self.min)  # type: ignore[arg-type]
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            seen += bucket_count
+            if seen >= target:
+                if index >= len(self.bounds):
+                    return float(self.max)  # type: ignore[arg-type]
+                return self.bounds[index]
+        return float(self.max)  # type: ignore[arg-type]
+
+    def collect(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """One namespace for every instrument a run creates.
+
+    ``counter``/``gauge``/``histogram`` create-or-return by name;
+    requesting an existing name as a different instrument type is an
+    error (the namespace is flat and typed).
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Any] = {}
+
+    def _get_or_create(self, cls: type, name: str, **kwargs: Any) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, **kwargs)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{instrument.kind}, not {cls.kind}"  # type: ignore[attr-defined]
+            )
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help=help)
+
+    def histogram(self, name: str, help: str = "",
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        return self._get_or_create(Histogram, name, help=help, bounds=bounds)
+
+    # -- namespace queries ----------------------------------------------- #
+
+    def names(self, prefix: str = "") -> List[str]:
+        return sorted(n for n in self._instruments if n.startswith(prefix))
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._instruments.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def collect(self, prefix: str = "") -> Dict[str, Any]:
+        """Flat ``name -> value`` mapping (histograms collect to dicts)."""
+        return {name: self._instruments[name].collect()
+                for name in self.names(prefix)}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.collect(), indent=indent, sort_keys=True)
+
+    # -- bridges from the existing layers --------------------------------- #
+
+    def merge_perf_counters(self, counters: Any, prefix: str = "cpu") -> None:
+        """Fold a :class:`PerfCounters` bag into the namespace as gauges.
+
+        Gauges (not counters) because machines come and go within a run:
+        merging the same machine twice must not double-count, so each
+        merge accumulates into ``<prefix>.<event>`` against the snapshot
+        semantics the caller chooses.
+        """
+        for event, value in counters.snapshot().items():
+            gauge = self.gauge(f"{prefix}.{event}")
+            gauge.set(gauge.value + value)
+        tsc = self.gauge(f"{prefix}.tsc")
+        tsc.set(tsc.value + counters.tsc)
+
+    def record_measurement(self, name: str, measurement: Any) -> None:
+        """Expose a study-level :class:`Measurement` as gauges."""
+        self.gauge(f"{name}.mean").set(measurement.mean)
+        self.gauge(f"{name}.ci_half_width").set(measurement.ci_half_width)
+        self.gauge(f"{name}.samples").set(measurement.samples)

@@ -1,0 +1,139 @@
+"""Run provenance: the manifest stamped into every exported artifact.
+
+A result file that cannot say which seed, CPU models, mitigation
+configuration and package version produced it is a liability — the
+paper's own methodology section exists because "what exactly was running"
+is most of the reproduction problem.  :class:`RunManifest` captures that
+context once, and the exporters embed it next to the results.
+
+JSON artifacts become envelopes::
+
+    {"provenance": {...}, "results": [...]}
+
+CSV artifacts carry the manifest as ``#``-prefixed comment lines above
+the header row, so naive parsers that skip comments keep working.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import platform
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = [
+    "RunManifest",
+    "build_manifest",
+    "config_to_dict",
+    "settings_to_dict",
+    "stamp_payload",
+    "manifest_comment_lines",
+]
+
+#: Version of the manifest schema itself, so downstream tooling can detect
+#: layout changes without sniffing fields.
+SCHEMA_VERSION = 1
+
+
+def _package_version() -> str:
+    # Imported lazily: this module is loaded while ``repro.__init__`` is
+    # still executing (machine -> obs), so a top-level import would see a
+    # partially initialised package.
+    from .. import __version__
+    return __version__
+
+
+def config_to_dict(config: Any) -> Dict[str, Any]:
+    """A :class:`MitigationConfig` as plain JSON types (enums -> values)."""
+    out: Dict[str, Any] = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        out[f.name] = value.value if hasattr(value, "value") else value
+    return out
+
+
+def settings_to_dict(settings: Any) -> Dict[str, Any]:
+    """A :class:`~repro.core.study.Settings` as plain JSON types."""
+    return dict(dataclasses.asdict(settings))
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Everything needed to re-run (or distrust) one exported artifact."""
+
+    command: str                           # e.g. "export figure2 --fast"
+    seed: Optional[int]
+    cpus: List[str]
+    config: Optional[Dict[str, Any]]       # per-cpu or single config dict
+    settings: Optional[Dict[str, Any]]
+    version: str
+    schema_version: int = SCHEMA_VERSION
+    created_at: str = ""
+    python: str = ""
+    platform: str = ""
+    wall_time_s: Optional[float] = None
+    sim_cycles: Optional[int] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        extra = out.pop("extra")
+        out.update(extra)
+        return out
+
+
+def build_manifest(
+    command: str,
+    seed: Optional[int] = None,
+    cpus: Optional[Sequence[str]] = None,
+    config: Optional[Dict[str, Any]] = None,
+    settings: Optional[Any] = None,
+    wall_time_s: Optional[float] = None,
+    sim_cycles: Optional[int] = None,
+    **extra: Any,
+) -> RunManifest:
+    """Assemble a manifest, filling in environment fields automatically.
+
+    ``settings`` may be a :class:`~repro.core.study.Settings` (converted,
+    and its seed adopted when ``seed`` is not given) or a plain dict.
+    """
+    settings_dict: Optional[Dict[str, Any]]
+    if settings is None:
+        settings_dict = None
+    elif isinstance(settings, dict):
+        settings_dict = dict(settings)
+    else:
+        settings_dict = settings_to_dict(settings)
+    if seed is None and settings_dict is not None:
+        seed = settings_dict.get("seed")
+    return RunManifest(
+        command=command,
+        seed=seed,
+        cpus=list(cpus or []),
+        config=config,
+        settings=settings_dict,
+        version=_package_version(),
+        created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        python=platform.python_version(),
+        platform=platform.platform(),
+        wall_time_s=wall_time_s,
+        sim_cycles=sim_cycles,
+        extra=dict(extra),
+    )
+
+
+def stamp_payload(results: Any, manifest: RunManifest) -> Dict[str, Any]:
+    """Wrap ``results`` in the provenance envelope used by JSON exports."""
+    return {"provenance": manifest.to_dict(), "results": results}
+
+
+def manifest_comment_lines(manifest: RunManifest) -> List[str]:
+    """The manifest as ``# key: value`` lines for CSV headers."""
+    lines = [f"# provenance schema v{manifest.schema_version}"]
+    data = manifest.to_dict()
+    for key in ("command", "seed", "cpus", "version", "created_at"):
+        lines.append(f"# {key}: {data[key]}")
+    if manifest.config is not None:
+        lines.append(f"# config: {manifest.config}")
+    return lines

@@ -138,11 +138,14 @@ class LEBenchRunner:
     def measure_case(self, case: LEBenchCase, iterations: int = 24,
                      warmup: int = 6) -> float:
         """Average cycles per operation in the steady state."""
-        for _ in range(warmup):
-            self.run_op(case)
-        total = 0
-        for _ in range(iterations):
-            total += self.run_op(case)
+        with self.machine.obs.span(f"lebench.case.{case.name}",
+                                   kind=case.kind, iterations=iterations,
+                                   warmup=warmup):
+            for _ in range(warmup):
+                self.run_op(case)
+            total = 0
+            for _ in range(iterations):
+                total += self.run_op(case)
         return total / iterations
 
 
@@ -154,9 +157,10 @@ def run_suite(
     cases: Optional[Tuple[LEBenchCase, ...]] = None,
 ) -> Dict[str, float]:
     """Run the (sub)suite under ``config``; returns cycles/op per case."""
-    kernel = Kernel(machine, config)
-    runner = LEBenchRunner(kernel)
-    results: Dict[str, float] = {}
-    for case in cases or SUITE:
-        results[case.name] = runner.measure_case(case, iterations, warmup)
+    with machine.obs.span("lebench.suite", cpu=machine.cpu.key):
+        kernel = Kernel(machine, config)
+        runner = LEBenchRunner(kernel)
+        results: Dict[str, float] = {}
+        for case in cases or SUITE:
+            results[case.name] = runner.measure_case(case, iterations, warmup)
     return results

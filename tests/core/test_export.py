@@ -15,8 +15,9 @@ from repro.core.export import (
 )
 from repro.core.probe import SCENARIOS, speculation_matrix
 from repro.core.stats import Measurement
-from repro.core.study import PairedOverhead
+from repro.core.study import PairedOverhead, Settings
 from repro.cpu import get_cpu
+from repro.obs.provenance import build_manifest
 
 
 def fake_attribution():
@@ -43,7 +44,7 @@ def fake_paired():
 
 def test_attribution_json_roundtrip():
     payload = json.loads(attributions_to_json([fake_attribution()]))
-    (entry,) = payload
+    (entry,) = payload["results"]
     assert entry["cpu"] == "broadwell"
     assert entry["total_overhead_percent"] == pytest.approx(40.0)
     (contribution,) = entry["contributions"]
@@ -52,17 +53,45 @@ def test_attribution_json_roundtrip():
     assert entry["baseline"]["samples"] == 12
 
 
+def test_attribution_json_has_provenance():
+    payload = json.loads(attributions_to_json([fake_attribution()]))
+    prov = payload["provenance"]
+    for key in ("seed", "cpus", "config", "version", "created_at"):
+        assert key in prov
+    assert prov["cpus"] == ["broadwell"]
+    assert prov["schema_version"] == 1
+
+
+def test_export_uses_caller_manifest():
+    manifest = build_manifest(
+        command="export figure2 --fast", cpus=["broadwell"],
+        settings=Settings.fast())
+    payload = json.loads(
+        attributions_to_json([fake_attribution()], provenance=manifest))
+    prov = payload["provenance"]
+    assert prov["command"] == "export figure2 --fast"
+    assert prov["seed"] == Settings.fast().seed
+    assert prov["settings"]["iterations"] == Settings.fast().iterations
+
+
 def test_paired_json():
     payload = json.loads(paired_to_json([fake_paired()]))
-    (entry,) = payload
+    (entry,) = payload["results"]
     assert entry["workload"] == "swaptions"
     assert entry["overhead_percent"] == pytest.approx(34.0)
     assert entry["significant"] is True
+    assert payload["provenance"]["cpus"] == ["zen3"]
 
 
 def test_paired_csv_parses_back():
     text = paired_to_csv([fake_paired(), fake_paired()])
-    rows = list(csv.DictReader(io.StringIO(text)))
+    comments = [ln for ln in text.splitlines() if ln.startswith("#")]
+    assert any("zen3" in ln for ln in comments)          # cpus line
+    assert any(ln.startswith("# seed:") for ln in comments)
+    assert any(ln.startswith("# version:") for ln in comments)
+    data = "\n".join(ln for ln in text.splitlines()
+                     if not ln.startswith("#"))
+    rows = list(csv.DictReader(io.StringIO(data)))
     assert len(rows) == 2
     assert rows[0]["cpu"] == "zen3"
     assert float(rows[0]["overhead_percent"]) == pytest.approx(34.0)
@@ -73,6 +102,8 @@ def test_speculation_matrix_json():
     matrix = speculation_matrix((get_cpu("zen"), get_cpu("broadwell")),
                                 ibrs=True)
     payload = json.loads(speculation_matrix_to_json(matrix))
-    assert payload["zen"] is None  # the N/A row
-    assert set(payload["broadwell"]) == {s.label for s in SCENARIOS}
-    assert all(v is False for v in payload["broadwell"].values())
+    results = payload["results"]
+    assert results["zen"] is None  # the N/A row
+    assert set(results["broadwell"]) == {s.label for s in SCENARIOS}
+    assert all(v is False for v in results["broadwell"].values())
+    assert sorted(payload["provenance"]["cpus"]) == ["broadwell", "zen"]

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cpu import Machine, get_cpu
+from repro.cpu import Machine, Mode, get_cpu
 from repro.cpu import isa
 from repro.cpu.isa import Op
 from repro.cpu.trace import ExecutionTrace
@@ -82,6 +82,81 @@ def test_report_shape(m):
     out = trace.report()
     assert "work" in out
     assert "transient: div x1" in out
+
+
+def test_transient_cycles_recorded(m):
+    """Wrong-path work carries its modeled cost, not cycles=0."""
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.speculate([isa.div(), isa.load(0x1000), isa.mul()])
+    assert trace.cycles(Op.DIV, transient=True) == m.costs.div
+    assert trace.cycles(Op.LOAD, transient=True) > 0
+    assert trace.cycles(Op.MUL, transient=True) == m.costs.mul
+    assert trace.total_transient_cycles == (
+        trace.cycles(Op.DIV, transient=True)
+        + trace.cycles(Op.LOAD, transient=True)
+        + trace.cycles(Op.MUL, transient=True))
+    # Transient cycles are modeled, never charged to the committed total.
+    assert trace.total_cycles == 0
+
+
+def test_transient_cycles_do_not_mix_with_committed(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.mul())
+        m.speculate([isa.mul()])
+    assert trace.cycles(Op.MUL) == m.costs.mul
+    assert trace.cycles(Op.MUL, transient=True) == m.costs.mul
+    assert trace.total_cycles == m.costs.mul
+
+
+def test_mode_tagging(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.work(10))
+        m.mode = Mode.KERNEL
+        m.execute(isa.work(25))
+        m.execute(isa.nop())
+        m.mode = Mode.USER
+    assert trace.mode_count(Mode.USER) == 1
+    assert trace.mode_count(Mode.KERNEL) == 2
+    assert trace.mode_cycles(Mode.USER) == 10
+    assert trace.mode_cycles(Mode.KERNEL) == 25 + m.costs.nop
+
+
+def test_mode_split_of_a_syscall():
+    """A syscall's committed work lands in KERNEL mode, not USER."""
+    cpu = get_cpu("broadwell")
+    kernel = Kernel(Machine(cpu), linux_default(cpu))
+    trace = ExecutionTrace()
+    with trace.attach(kernel.machine):
+        kernel.syscall(GETPID)
+    assert trace.mode_cycles(Mode.KERNEL) > 0
+    assert trace.mode_cycles(Mode.KERNEL) > trace.mode_cycles(Mode.USER)
+
+
+def test_report_includes_transient_and_mode_lines(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.mode = Mode.KERNEL
+        m.execute(isa.work(10))
+        m.mode = Mode.USER
+        m.speculate([isa.div()])
+    out = trace.report()
+    assert "by mode:" in out
+    assert "kernel" in out
+    assert "modeled cycles" in out
+
+
+def test_reset_clears_transient_and_mode_tallies(m):
+    trace = ExecutionTrace()
+    with trace.attach(m):
+        m.execute(isa.nop())
+        m.speculate([isa.div()])
+    trace.reset()
+    assert trace.total_transient_cycles == 0
+    assert trace.mode_count(Mode.USER) == 0
+    assert trace.mode_cycles(Mode.USER) == 0
 
 
 def test_trace_shows_where_mitigation_cycles_go():

@@ -1,0 +1,88 @@
+"""Metrics registry: instrument semantics and the layer bridges."""
+
+import json
+
+import pytest
+
+from repro.core.stats import Measurement
+from repro.cpu import Machine, get_cpu
+from repro.cpu import isa
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_monotonic():
+    c = Counter("requests")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_set_and_function():
+    g = Gauge("depth")
+    g.set(3.5)
+    assert g.value == 3.5
+    g.set_function(lambda: 9.0)
+    assert g.value == 9.0
+    g.set(1.0)  # a plain set clears the function
+    assert g.value == 1.0
+
+
+def test_histogram_summary_stats():
+    h = Histogram("lat")
+    for v in (1, 10, 100, 1000):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == 1111
+    assert h.mean == pytest.approx(277.75)
+    assert h.min == 1 and h.max == 1000
+    assert h.quantile(0.0) == 1
+    assert h.quantile(1.0) >= 1000
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_collect_shape():
+    h = Histogram("lat")
+    h.observe(50)
+    data = h.collect()
+    assert set(data) == {"count", "sum", "mean", "min", "max", "p50", "p99"}
+
+
+def test_registry_get_or_create_and_type_conflict():
+    reg = MetricsRegistry()
+    a = reg.counter("x")
+    assert reg.counter("x") is a
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+    assert "x" in reg
+    assert len(reg) == 1
+
+
+def test_registry_names_and_collect_prefix():
+    reg = MetricsRegistry()
+    reg.counter("cpu.a").inc()
+    reg.gauge("study.b").set(2)
+    assert reg.names("cpu") == ["cpu.a"]
+    assert reg.collect("cpu") == {"cpu.a": 1}
+    parsed = json.loads(reg.to_json())
+    assert parsed["study.b"] == 2
+
+
+def test_merge_perf_counters_accumulates():
+    reg = MetricsRegistry()
+    m = Machine(get_cpu("broadwell"))
+    m.execute(isa.work(10))
+    reg.merge_perf_counters(m.counters)
+    reg.merge_perf_counters(m.counters)
+    assert reg.gauge("cpu.tsc").value == 2 * m.counters.tsc
+    assert reg.gauge("cpu.inst_retired.any").value == 2
+
+
+def test_record_measurement():
+    reg = MetricsRegistry()
+    reg.record_measurement("study.lebench", Measurement(12.0, 0.5, 30))
+    assert reg.gauge("study.lebench.mean").value == 12.0
+    assert reg.gauge("study.lebench.ci_half_width").value == 0.5
+    assert reg.gauge("study.lebench.samples").value == 30

@@ -1,0 +1,101 @@
+"""Exporters: Chrome trace-event JSON schema and collapsed stacks."""
+
+import json
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import isa
+from repro.obs.export import (
+    to_chrome_trace,
+    to_chrome_trace_json,
+    to_collapsed_stacks,
+    write_chrome_trace,
+    write_flamegraph,
+)
+from repro.obs.provenance import build_manifest
+from repro.obs.spans import SpanTracer, use_tracer
+
+
+def traced_run():
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        m = Machine(get_cpu("broadwell"))
+        with tracer.span("outer", cpu="broadwell"):
+            m.execute(isa.work(100))
+            with tracer.span("inner"):
+                m.execute(isa.work(30))
+            tracer.instant("tick", n=1)
+    return tracer
+
+
+def test_chrome_trace_schema():
+    trace = to_chrome_trace(traced_run())
+    assert set(trace) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = trace["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {m["name"] for m in metadata} == {"process_name", "thread_name"}
+    assert len(spans) == 2 and len(instants) == 1
+    for e in spans:
+        assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid",
+                          "args"}
+        assert e["ts"] >= 0 and e["dur"] >= 0
+    outer = next(e for e in spans if e["name"] == "outer")
+    assert outer["dur"] == 130
+    assert outer["args"]["cpu"] == "broadwell"
+    assert outer["args"]["self_cycles"] == 100
+    inner = next(e for e in spans if e["name"] == "inner")
+    assert inner["ts"] == 100 and inner["dur"] == 30
+    (instant,) = instants
+    assert instant["s"] == "g" and instant["args"] == {"n": 1}
+
+
+def test_chrome_trace_other_data():
+    trace = to_chrome_trace(traced_run())
+    other = trace["otherData"]
+    assert other["total_cycles"] == 130
+    assert other["attributed_cycles"] == 130
+    assert other["coverage"] == 1.0
+    assert "span.outer.cycles" in other["metrics"]
+
+
+def test_chrome_trace_embeds_provenance():
+    manifest = build_manifest(command="test", cpus=["broadwell"], seed=3)
+    trace = to_chrome_trace(traced_run(), provenance=manifest)
+    prov = trace["otherData"]["provenance"]
+    assert prov["seed"] == 3
+    assert prov["cpus"] == ["broadwell"]
+    assert prov["version"]
+
+
+def test_chrome_trace_json_round_trips():
+    text = to_chrome_trace_json(traced_run())
+    assert json.loads(text)["traceEvents"]
+
+
+def test_write_chrome_trace_and_flamegraph(tmp_path):
+    tracer = traced_run()
+    trace_path = tmp_path / "t.json"
+    flame_path = tmp_path / "t.folded"
+    write_chrome_trace(str(trace_path), tracer)
+    write_flamegraph(str(flame_path), tracer)
+    assert json.loads(trace_path.read_text())["traceEvents"]
+    assert "outer;inner 30" in flame_path.read_text()
+
+
+def test_collapsed_stacks_merge_and_weight():
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        m = Machine(get_cpu("broadwell"))
+        for _ in range(2):
+            with tracer.span("a"):
+                m.execute(isa.work(10))
+                with tracer.span("b"):
+                    m.execute(isa.work(5))
+    lines = to_collapsed_stacks(tracer).splitlines()
+    assert "a 20" in lines        # two identical stacks merged
+    assert "a;b 10" in lines
+
+
+def test_collapsed_stacks_empty_tracer():
+    assert to_collapsed_stacks(SpanTracer()) == ""

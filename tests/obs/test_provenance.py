@@ -1,0 +1,77 @@
+"""Run manifests: what every exported artifact must carry."""
+
+import json
+
+from repro import __version__
+from repro.core.study import Settings
+from repro.cpu import get_cpu
+from repro.mitigations import linux_default
+from repro.obs.provenance import (
+    SCHEMA_VERSION,
+    build_manifest,
+    config_to_dict,
+    manifest_comment_lines,
+    settings_to_dict,
+    stamp_payload,
+)
+
+
+def test_build_manifest_fills_environment():
+    manifest = build_manifest(command="export figure2", cpus=["zen3"])
+    assert manifest.version == __version__
+    assert manifest.schema_version == SCHEMA_VERSION
+    assert manifest.created_at  # ISO timestamp
+    assert manifest.python and manifest.platform
+    assert manifest.cpus == ["zen3"]
+    assert manifest.seed is None  # unknown context is explicit null
+
+
+def test_seed_adopted_from_settings():
+    manifest = build_manifest(command="c", settings=Settings(seed=99))
+    assert manifest.seed == 99
+    assert manifest.settings["iterations"] == Settings().iterations
+    # An explicit seed wins over the settings seed.
+    manifest = build_manifest(command="c", seed=5, settings=Settings(seed=99))
+    assert manifest.seed == 5
+
+
+def test_config_to_dict_serializes_enums():
+    config = config_to_dict(linux_default(get_cpu("cascade_lake")))
+    assert config["pti"] in (True, False)
+    for value in config.values():  # everything must be JSON-ready
+        json.dumps(value)
+
+
+def test_settings_to_dict():
+    d = settings_to_dict(Settings.fast())
+    assert d["iterations"] == Settings.fast().iterations
+    assert d["seed"] == Settings.fast().seed
+
+
+def test_extra_fields_flatten_into_dict():
+    manifest = build_manifest(command="c", note="hello", runs=3)
+    data = manifest.to_dict()
+    assert data["note"] == "hello"
+    assert data["runs"] == 3
+    assert "extra" not in data
+
+
+def test_stamp_payload_envelope():
+    manifest = build_manifest(command="c", cpus=["zen"])
+    envelope = stamp_payload([{"x": 1}], manifest)
+    assert set(envelope) == {"provenance", "results"}
+    assert envelope["results"] == [{"x": 1}]
+    json.dumps(envelope)  # must be fully serializable
+
+
+def test_manifest_comment_lines():
+    manifest = build_manifest(
+        command="export", cpus=["zen"], seed=4,
+        config={"pti": True})
+    lines = manifest_comment_lines(manifest)
+    assert all(line.startswith("#") for line in lines)
+    joined = "\n".join(lines)
+    assert "# seed: 4" in joined
+    assert "# command: export" in joined
+    assert "# config:" in joined
+    assert f"# version: {__version__}" in joined

@@ -1,0 +1,188 @@
+"""Span tracer: clock, nesting, attribution, and the null fast path."""
+
+import pytest
+
+from repro.cpu import Machine, get_cpu
+from repro.cpu import isa
+from repro.kernel import GETPID, Kernel
+from repro.mitigations import linux_default
+from repro.obs.spans import (
+    NULL_TRACER,
+    NullTracer,
+    SpanTracer,
+    current_tracer,
+    install_tracer,
+    use_tracer,
+)
+
+
+@pytest.fixture
+def tracer():
+    with use_tracer(SpanTracer()) as t:
+        yield t
+
+
+def test_null_tracer_is_default():
+    assert current_tracer() is NULL_TRACER
+    assert not NULL_TRACER.enabled
+
+
+def test_null_tracer_span_is_shared_noop():
+    a = NULL_TRACER.span("anything", key="value")
+    b = NULL_TRACER.span("else")
+    assert a is b  # one shared object, nothing allocates
+    with a as span:
+        assert span.set(more=1) is span
+    NULL_TRACER.instant("nothing")
+    NULL_TRACER.bind_machine(object())
+
+
+def test_use_tracer_installs_and_restores():
+    t = SpanTracer()
+    with use_tracer(t):
+        assert current_tracer() is t
+        assert current_tracer().enabled
+    assert current_tracer() is NULL_TRACER
+
+
+def test_install_tracer_returns_previous():
+    t = SpanTracer()
+    previous = install_tracer(t)
+    try:
+        assert previous is NULL_TRACER
+        assert current_tracer() is t
+    finally:
+        install_tracer(previous)
+
+
+def test_clock_follows_machine_tsc(tracer):
+    m = Machine(get_cpu("broadwell"))  # binds itself on construction
+    before = tracer.now()
+    m.execute(isa.work(123))
+    assert tracer.now() - before == 123
+
+
+def test_clock_monotonic_across_machines(tracer):
+    m1 = Machine(get_cpu("broadwell"))
+    m1.execute(isa.work(100))
+    assert tracer.now() == 100
+    m2 = Machine(get_cpu("zen3"))  # fresh TSC; clock must not jump back
+    assert tracer.now() == 100
+    m2.execute(isa.work(50))
+    assert tracer.now() == 150
+
+
+def test_span_nesting_and_cycle_attribution(tracer):
+    m = Machine(get_cpu("broadwell"))
+    with tracer.span("outer") as outer:
+        m.execute(isa.work(100))
+        with tracer.span("inner") as inner:
+            m.execute(isa.work(40))
+        m.execute(isa.work(10))
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert inner.cycles == 40
+    assert outer.cycles == 150
+    assert outer.self_cycles == 110
+    assert inner.path() == ("outer", "inner")
+    assert outer.depth == 0 and inner.depth == 1
+
+
+def test_span_counter_delta(tracer):
+    m = Machine(get_cpu("broadwell"))
+    with tracer.span("loads") as span:
+        m.execute(isa.load(0x1000))
+    assert span.counter_delta is not None
+    assert span.counter_delta.get("inst_retired.any") == 1
+
+
+def test_span_attrs_and_set(tracer):
+    with tracer.span("s", cpu="zen") as span:
+        span.set(extra=7)
+    assert span.attrs == {"cpu": "zen", "extra": 7}
+
+
+def test_coverage_and_find(tracer):
+    m = Machine(get_cpu("broadwell"))
+    with tracer.span("covered"):
+        m.execute(isa.work(90))
+    m.execute(isa.work(10))  # outside any span
+    assert tracer.total_cycles() == 100
+    assert tracer.attributed_cycles() == 90
+    assert tracer.coverage() == pytest.approx(0.9)
+    (span,) = tracer.find("covered")
+    assert span.cycles == 90
+    assert tracer.find("missing") == []
+
+
+def test_finish_feeds_metrics_histogram(tracer):
+    m = Machine(get_cpu("broadwell"))
+    with tracer.span("timed"):
+        m.execute(isa.work(42))
+    hist = tracer.metrics.histogram("span.timed.cycles")
+    assert hist.count == 1
+    assert hist.sum == 42
+
+
+def test_instants_recorded_with_timestamps(tracer):
+    m = Machine(get_cpu("broadwell"))
+    m.execute(isa.work(10))
+    tracer.instant("event", detail="x")
+    assert tracer.instants == [(10, "event", {"detail": "x"})]
+
+
+def test_transient_window_emits_instant(tracer):
+    m = Machine(get_cpu("broadwell"))
+    m.speculate([isa.div()])
+    names = [name for _, name, _ in tracer.instants]
+    assert "cpu.transient_window" in names
+
+
+def test_syscall_produces_nested_spans(tracer):
+    cpu = get_cpu("broadwell")
+    kernel = Kernel(Machine(cpu), linux_default(cpu))
+    kernel.syscall(GETPID)
+    (syscall,) = tracer.find("kernel.syscall")
+    child_names = [child.name for child in syscall.children]
+    assert child_names == ["kernel.entry", "kernel.handler.getpid",
+                           "kernel.exit"]
+    assert syscall.cycles == sum(c.cycles for c in syscall.children)
+
+
+def test_syscall_attribution_covers_all_cycles(tracer):
+    """The acceptance bar: >=95% of committed cycles in named spans."""
+    cpu = get_cpu("broadwell")
+    kernel = Kernel(Machine(cpu), linux_default(cpu))
+    with tracer.span("run"):
+        for _ in range(10):
+            kernel.syscall(GETPID)
+    assert tracer.coverage() >= 0.95
+
+
+def test_report_mentions_spans_and_coverage(tracer):
+    m = Machine(get_cpu("broadwell"))
+    with tracer.span("alpha"):
+        m.execute(isa.work(10))
+    out = tracer.report()
+    assert "alpha" in out
+    assert "% attributed" in out
+
+
+def test_untraced_machine_behaves_identically():
+    """Null path and traced path must agree on simulated cycle counts."""
+    cpu = get_cpu("broadwell")
+
+    def run():
+        kernel = Kernel(Machine(cpu), linux_default(cpu))
+        return sum(kernel.syscall(GETPID) for _ in range(5))
+
+    baseline = run()
+    with use_tracer(SpanTracer()):
+        traced = run()
+    assert traced == baseline
+
+
+def test_null_tracer_type_is_reusable():
+    t = NullTracer()
+    assert t.span("x") is t.span("y")
+    assert not t.enabled

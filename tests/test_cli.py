@@ -119,15 +119,21 @@ def test_export_table9_is_valid_json(capsys):
     import json
     out = run_cli(capsys, "export", "table9", "--cpus", "zen3")
     payload = json.loads(out)
-    assert payload["zen3"]["user->user (direct)"] is False
+    assert payload["results"]["zen3"]["user->user (direct)"] is False
+    assert payload["provenance"]["cpus"] == ["zen3"]
 
 
 def test_export_figure5_is_valid_json(capsys):
     import json
     out = run_cli(capsys, "export", "figure5", "--fast", "--cpus", "zen")
     payload = json.loads(out)
-    assert {entry["workload"] for entry in payload} == \
+    assert {entry["workload"] for entry in payload["results"]} == \
         {"swaptions", "facesim", "bodytrack"}
+    prov = payload["provenance"]
+    assert prov["command"] == "export figure5"
+    assert prov["seed"] is not None
+    assert "zen" in prov["config"]
+    assert prov["version"]
 
 
 def test_regress_command(capsys, tmp_path):
@@ -155,3 +161,56 @@ def test_summary_command(capsys):
     out = run_cli(capsys, "summary")
     assert "Q1:" in out and "Q2:" in out and "Q3:" in out
     assert "IBPB" in out
+
+
+def test_profile_figure_writes_trace_artifacts(capsys, tmp_path):
+    import json
+    trace_path = tmp_path / "t.json"
+    flame_path = tmp_path / "t.folded"
+    metrics_path = tmp_path / "m.json"
+    out = run_cli(capsys, "profile", "figure", "2", "--fast",
+                  "--cpus", "broadwell",
+                  "--trace-out", str(trace_path),
+                  "--flame-out", str(flame_path),
+                  "--metrics-out", str(metrics_path))
+    assert "coverage:" in out and "Figure 2" in out
+    trace = json.loads(trace_path.read_text())
+    events = trace["traceEvents"]
+    assert any(e.get("ph") == "X" for e in events)
+    names = {e["name"] for e in events}
+    assert "study.figure2.broadwell" in names
+    assert "kernel.syscall" in names
+    # The acceptance bar: >=95% of simulated cycles in named spans.
+    assert trace["otherData"]["coverage"] >= 0.95
+    prov = trace["otherData"]["provenance"]
+    assert prov["seed"] is not None and prov["cpus"] == ["broadwell"]
+    assert "kernel.syscall" in flame_path.read_text()
+    assert json.loads(metrics_path.read_text())
+
+
+def test_profile_table(capsys, tmp_path):
+    import json
+    trace_path = tmp_path / "t.json"
+    out = run_cli(capsys, "profile", "table", "3", "--iterations", "50",
+                  "--trace-out", str(trace_path))
+    assert "table.3" in out
+    trace = json.loads(trace_path.read_text())
+    assert any(e["name"] == "table.3" for e in trace["traceEvents"])
+
+
+def test_global_trace_flag(capsys, tmp_path):
+    import json
+    trace_path = tmp_path / "t.json"
+    out = run_cli(capsys, "--trace", str(trace_path),
+                  "figure", "5", "--fast", "--cpus", "broadwell")
+    assert "[trace]" in out
+    trace = json.loads(trace_path.read_text())
+    names = {e["name"] for e in trace["traceEvents"]}
+    assert "study.figure5.broadwell" in names
+
+
+def test_profile_leaves_null_tracer_installed(capsys, tmp_path):
+    from repro.obs import NULL_TRACER, current_tracer
+    run_cli(capsys, "profile", "table", "1",
+            "--trace-out", str(tmp_path / "t.json"))
+    assert current_tracer() is NULL_TRACER
