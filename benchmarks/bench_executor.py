@@ -1,0 +1,69 @@
+"""Executor harness bench: parallel speedup and warm-cache behaviour.
+
+Unlike the paper-artifact benches, this one measures the *harness*
+itself: a fixed 8-cell Figure 2 grid run serially, then through the
+process pool, then again against a warm cache.  It asserts the two
+hard engine guarantees — parallel results identical to serial, warm
+cache executes zero cells — and records the measured speedups as an
+artifact.  The parallel speedup itself is reported but not asserted:
+on a loaded single-core CI box the pool can legitimately lose to the
+inline path (fork + pickle overhead), and that is not a correctness
+bug.
+"""
+
+import os
+import time
+
+from repro.core import study
+from repro.core.executor import StudyExecutor
+
+JOBS = 4
+CPUS = None  # all eight catalog CPUs -> 8 cells
+
+
+def _timed_run(fast_settings, **executor_kwargs):
+    executor = StudyExecutor(**executor_kwargs)
+    start = time.perf_counter()
+    results = study.figure2(CPUS, fast_settings, executor=executor)
+    return results, time.perf_counter() - start, executor.stats
+
+
+def test_parallel_speedup_and_warm_cache(save_artifact, fast_settings,
+                                         tmp_path):
+    cache_dir = str(tmp_path / "cache")
+
+    serial, t_serial, _ = _timed_run(fast_settings, jobs=1)
+    parallel, t_parallel, _ = _timed_run(fast_settings, jobs=JOBS)
+    assert parallel == serial, "parallel run diverged from serial run"
+
+    # Populate, then re-run against the warm cache.
+    _timed_run(fast_settings, jobs=1, cache_dir=cache_dir)
+    cached, t_cached, stats = _timed_run(fast_settings, jobs=1,
+                                         cache_dir=cache_dir)
+    assert cached == serial
+    assert stats.executed == 0, "warm-cache run simulated cells"
+    assert stats.cache_hits == stats.total
+
+    lines = [
+        "Executor harness: fast Figure 2, "
+        f"{stats.total} cells (all catalog CPUs)",
+        "",
+        f"serial   (--jobs 1)     : {t_serial:7.3f} s",
+        f"parallel (--jobs {JOBS})     : {t_parallel:7.3f} s   "
+        f"speedup {t_serial / t_parallel:5.2f}x over serial",
+        f"warm cache              : {t_cached:7.3f} s   "
+        f"speedup {t_serial / t_cached:5.2f}x over serial "
+        f"({stats.cache_hits}/{stats.total} hits, 0 executed)",
+        "",
+        f"host CPUs: {os.cpu_count()}",
+    ]
+    save_artifact("executor_speedup.txt", "\n".join(lines) + "\n")
+
+
+def bench_warm_cache_lookup(benchmark, fast_settings, tmp_path):
+    """pytest-benchmark view of a fully-cached 8-cell study."""
+    cache_dir = str(tmp_path / "cache")
+    _timed_run(fast_settings, jobs=1, cache_dir=cache_dir)  # populate
+    benchmark.pedantic(
+        lambda: _timed_run(fast_settings, jobs=1, cache_dir=cache_dir),
+        rounds=5, iterations=1)

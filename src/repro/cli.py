@@ -16,6 +16,14 @@ Observability::
 
     spectresim profile figure 2 --fast --trace-out t.json --flame-out t.folded
     spectresim --trace t.json figure 3 --fast    # trace any command
+
+Parallelism and caching (see ``docs/parallelism.md``)::
+
+    spectresim figure 2 --jobs 8                 # fan cells over 8 processes
+    spectresim figure 2 --jobs 8                 # rerun: 100% cache hits
+    spectresim figure 3 --no-cache               # force fresh simulation
+    spectresim export figure2 --jobs 4 --resume  # pick up an interrupted run
+    spectresim all --outdir results --jobs 8 --cache-dir /tmp/sscache
 """
 
 from __future__ import annotations
@@ -41,6 +49,29 @@ from .mitigations.ssb import attempt_store_bypass
 
 def _settings(args: argparse.Namespace) -> Settings:
     return Settings.fast() if getattr(args, "fast", False) else Settings()
+
+
+def _study_executor(args: argparse.Namespace) -> "StudyExecutor":
+    """Build the execution engine from the command's ``--jobs``/cache
+    flags; commands without those flags get the inline serial default."""
+    from .core.executor import StudyExecutor, default_cache_dir
+    if getattr(args, "no_cache", False):
+        cache_dir = None
+    else:
+        cache_dir = getattr(args, "cache_dir", None)
+        if cache_dir is None and hasattr(args, "jobs"):
+            cache_dir = default_cache_dir()
+    return StudyExecutor(
+        jobs=getattr(args, "jobs", 1),
+        cache_dir=cache_dir,
+        resume=getattr(args, "resume", False),
+    )
+
+
+def _report_executor(label: str, executor: "StudyExecutor") -> None:
+    """One status line per driver run, on stderr so artifact output on
+    stdout stays byte-identical across serial/parallel/cached runs."""
+    sys.stderr.write(f"[executor] {label}: {executor.stats.summary()}\n")
 
 
 def _selected_cpus(args: argparse.Namespace):
@@ -89,33 +120,48 @@ def cmd_table(args: argparse.Namespace) -> str:
 def cmd_figure(args: argparse.Namespace) -> str:
     settings = _settings(args)
     cpus = _selected_cpus(args)
-    if args.number == 2:
-        return reporting.render_figure2(study.figure2(cpus, settings))
-    if args.number == 3:
-        return reporting.render_figure3(study.figure3(cpus, settings))
-    if args.number == 5:
-        return reporting.render_figure5(study.figure5(cpus, settings=settings))
+    executor = _study_executor(args)
+    try:
+        if args.number == 2:
+            return reporting.render_figure2(
+                study.figure2(cpus, settings, executor=executor))
+        if args.number == 3:
+            return reporting.render_figure3(
+                study.figure3(cpus, settings, executor=executor))
+        if args.number == 5:
+            return reporting.render_figure5(
+                study.figure5(cpus, settings=settings, executor=executor))
+    finally:
+        if executor.stats.total:
+            _report_executor(f"figure{args.number}", executor)
     raise SystemExit(f"no figure {args.number} to regenerate")
 
 
 def cmd_vm(args: argparse.Namespace) -> str:
     settings = _settings(args)
     cpus = _selected_cpus(args)
+    executor = _study_executor(args)
     out = reporting.render_paired(
-        study.vm_lebench_overheads(cpus, settings),
+        study.vm_lebench_overheads(cpus, settings, executor=executor),
         "Section 4.4: LEBench in a VM, host mitigations on vs off")
+    _report_executor("vm_lebench", executor)
     out += reporting.render_paired(
-        study.lfs_overheads(cpus, settings=settings),
+        study.lfs_overheads(cpus, settings=settings, executor=executor),
         "Section 4.4: LFS against an emulated disk, host mitigations on vs off")
+    _report_executor("lfs", executor)
     return out
 
 
 def cmd_parsec(args: argparse.Namespace) -> str:
     settings = _settings(args)
     cpus = _selected_cpus(args)
-    return reporting.render_paired(
-        study.parsec_default_overheads(cpus, settings=settings),
+    executor = _study_executor(args)
+    out = reporting.render_paired(
+        study.parsec_default_overheads(cpus, settings=settings,
+                                       executor=executor),
         "Section 4.5: PARSEC with default mitigations vs none")
+    _report_executor("parsec_default", executor)
+    return out
 
 
 def cmd_bimodal(args: argparse.Namespace) -> str:
@@ -238,16 +284,26 @@ def cmd_export(args: argparse.Namespace) -> str:
     from .core import export
     settings = _settings(args)
     cpus = _selected_cpus(args)
+    executor = _study_executor(args)
     manifest = _run_manifest(f"export {args.experiment}", settings, cpus)
     if args.experiment == "figure2":
-        return export.attributions_to_json(
-            study.figure2(cpus, settings), provenance=manifest) + "\n"
+        out = export.attributions_to_json(
+            study.figure2(cpus, settings, executor=executor),
+            provenance=manifest) + "\n"
+        _report_executor("figure2", executor)
+        return out
     if args.experiment == "figure3":
-        return export.attributions_to_json(
-            study.figure3(cpus, settings), provenance=manifest) + "\n"
+        out = export.attributions_to_json(
+            study.figure3(cpus, settings, executor=executor),
+            provenance=manifest) + "\n"
+        _report_executor("figure3", executor)
+        return out
     if args.experiment == "figure5":
-        return export.paired_to_json(
-            study.figure5(cpus, settings=settings), provenance=manifest) + "\n"
+        out = export.paired_to_json(
+            study.figure5(cpus, settings=settings, executor=executor),
+            provenance=manifest) + "\n"
+        _report_executor("figure5", executor)
+        return out
     if args.experiment == "table9":
         return export.speculation_matrix_to_json(
             speculation_matrix(tuple(cpus), ibrs=False),
@@ -319,6 +375,13 @@ def cmd_all(args: argparse.Namespace) -> str:
     os.makedirs(args.outdir, exist_ok=True)
     settings = _settings(args)
     cpus = list(all_cpus())
+
+    def run_driver(label, fn, **kwargs):
+        executor = _study_executor(args)
+        results = fn(executor=executor, **kwargs)
+        _report_executor(label, executor)
+        return results
+
     artifacts = {
         "table1.txt": reporting.render_table1(),
         "table2.txt": reporting.render_table2(),
@@ -338,10 +401,15 @@ def cmd_all(args: argparse.Namespace) -> str:
             speculation_matrix(tuple(cpus), ibrs=False), ibrs=False),
         "table10.txt": reporting.render_speculation_matrix(
             speculation_matrix(tuple(cpus), ibrs=True), ibrs=True),
-        "figure2.txt": reporting.render_figure2(study.figure2(cpus, settings)),
-        "figure3.txt": reporting.render_figure3(study.figure3(cpus, settings)),
+        "figure2.txt": reporting.render_figure2(
+            run_driver("figure2", study.figure2, cpus=cpus,
+                       settings=settings)),
+        "figure3.txt": reporting.render_figure3(
+            run_driver("figure3", study.figure3, cpus=cpus,
+                       settings=settings)),
         "figure5.txt": reporting.render_figure5(
-            study.figure5(cpus, settings=settings)),
+            run_driver("figure5", study.figure5, cpus=cpus,
+                       settings=settings)),
         "vm.txt": cmd_vm(args),
         "parsec.txt": cmd_parsec(args),
         "bimodal.txt": reporting.render_entry_distribution(
@@ -354,6 +422,21 @@ def cmd_all(args: argparse.Namespace) -> str:
         with open(path, "w") as f:
             f.write(content)
     return f"wrote {len(artifacts)} artifacts to {args.outdir}\n"
+
+
+def _add_executor_flags(p: argparse.ArgumentParser) -> None:
+    """Execution-engine knobs shared by every study-driving subcommand."""
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="fan sweep cells out over N worker processes "
+                        "(results are bit-identical to --jobs 1)")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="persistent result cache location (default: "
+                        "$SPECTRESIM_CACHE_DIR or ~/.cache/spectresim)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="skip the persistent cell cache and checkpoints")
+    p.add_argument("--resume", action="store_true",
+                   help="resume an interrupted identical run from its "
+                        "checkpoint before consulting the cache")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -377,14 +460,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int)
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_executor_flags(p)
 
     p = sub.add_parser("vm", help="section 4.4 VM experiments")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_executor_flags(p)
 
     p = sub.add_parser("parsec", help="section 4.5 compute experiment")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_executor_flags(p)
 
     p = sub.add_parser("bimodal", help="section 6.2.2 eIBRS entry latency")
     p.add_argument("--cpu", default="cascade_lake")
@@ -404,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "table9", "table10"])
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_executor_flags(p)
 
     p = sub.add_parser("summary",
                        help="recompute the paper's section-8 answers")
@@ -435,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--outdir", default="results")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_executor_flags(p)
 
     return parser
 

@@ -15,6 +15,13 @@ from .attribution import (
     Contribution,
     attribute_overhead,
 )
+from .executor import (
+    CellSpec,
+    ResultCache,
+    RunStats,
+    StudyExecutor,
+    default_cache_dir,
+)
 from .export import (
     attributions_to_json,
     paired_to_csv,
@@ -34,9 +41,11 @@ from .stats import (
     NoisySampler,
     adaptive_measure,
     confidence_interval,
+    derive_seed,
     geometric_mean,
     overhead_percent,
     score_slowdown_percent,
+    suite_geometric_mean,
 )
 from .sweeps import (
     SweepResult,
@@ -63,6 +72,7 @@ from .study import (
 __all__ = [
     "AttributionResult",
     "CYCLES",
+    "CellSpec",
     "Contribution",
     "FIGURE2_KNOBS",
     "FIGURE3_KNOBS",
@@ -70,15 +80,20 @@ __all__ = [
     "Measurement",
     "NoisySampler",
     "PairedOverhead",
+    "ResultCache",
+    "RunStats",
     "SCENARIOS",
     "SCORE",
     "Scenario",
     "Settings",
     "SpeculationProbe",
+    "StudyExecutor",
     "SweepResult",
     "adaptive_measure",
     "attribute_overhead",
     "attributions_to_json",
+    "default_cache_dir",
+    "derive_seed",
     "find_crossover",
     "overhead_vs_operation_size",
     "paired_to_csv",
@@ -99,5 +114,6 @@ __all__ = [
     "score_slowdown_percent",
     "speculation_matrix",
     "speculation_row",
+    "suite_geometric_mean",
     "vm_lebench_overheads",
 ]

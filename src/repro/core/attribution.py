@@ -14,7 +14,6 @@ residual the paper plots as the unlabelled remainder.
 
 from __future__ import annotations
 
-import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -24,6 +23,7 @@ from .stats import (
     Measurement,
     NoisySampler,
     adaptive_measure,
+    derive_seed,
 )
 
 #: Signature of a deterministic experiment: config -> metric value.
@@ -125,10 +125,8 @@ def attribute_overhead(
         raise ValueError(f"unknown metric {metric!r}")
 
     # Decorrelate run-to-run noise across CPUs/workloads: real machines
-    # don't share their jitter, and reusing one seed everywhere would turn
-    # noise into a systematic-looking bias in the attribution stacks.
-    # (zlib.crc32 rather than hash(): stable across interpreter runs.)
-    seed = (seed + zlib.crc32(f"{cpu}/{workload}".encode())) & 0x7FFF_FFFF
+    # don't share their jitter (see stats.derive_seed).
+    seed = derive_seed(seed, cpu, workload)
 
     baseline = _measure_config(run_fn, MitigationConfig.all_off(), sigma,
                                seed ^ 0x5A5A, rel_tol, max_samples)

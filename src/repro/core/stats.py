@@ -13,8 +13,9 @@ simulator so the convergence machinery has real work to do.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 from scipy import stats as scipy_stats
@@ -23,6 +24,20 @@ from ..errors import StatisticsError
 
 #: Default run-to-run relative noise (sigma): "a couple percent".
 DEFAULT_NOISE_SIGMA = 0.015
+
+
+def derive_seed(base: int, *parts: str) -> int:
+    """A stable per-cell seed: ``base`` mixed with a hash of ``parts``.
+
+    Every sweep cell — one (driver, cpu, config, workload) point of a
+    study grid — must consume its *own* noise stream: real machines do
+    not share their jitter, and reusing one seed across cells correlates
+    their errors, turning noise into a systematic-looking bias in the
+    attribution stacks.  ``zlib.crc32`` rather than ``hash()`` keeps the
+    derivation stable across interpreter runs and worker processes, so
+    parallel and serial executions of the same cell are bit-identical.
+    """
+    return (base + zlib.crc32("/".join(parts).encode())) & 0x7FFF_FFFF
 
 
 @dataclass(frozen=True)
@@ -100,6 +115,26 @@ def geometric_mean(values: Iterable[float]) -> float:
     if np.any(arr <= 0):
         raise StatisticsError("geometric mean requires positive values")
     return float(np.exp(np.mean(np.log(arr))))
+
+
+def suite_geometric_mean(per_case: Mapping[str, float], context: str = "") -> float:
+    """Geometric mean of a ``case name -> value`` suite mapping.
+
+    Unlike :func:`geometric_mean`, a zero/negative (or non-finite) value
+    raises a :class:`StatisticsError` that *names the offending case* and
+    carries the caller's context (cpu/config), so a broken LEBench or
+    Octane case is diagnosable from the exception alone instead of a bare
+    "requires positive values".
+    """
+    suffix = f" [{context}]" if context else ""
+    if not per_case:
+        raise StatisticsError(f"geometric mean of an empty suite{suffix}")
+    for name, value in per_case.items():
+        if not math.isfinite(value) or value <= 0:
+            raise StatisticsError(
+                f"geometric mean requires positive values: "
+                f"case {name!r} = {value!r}{suffix}")
+    return geometric_mean(per_case.values())
 
 
 def overhead_percent(mitigated: float, baseline: float) -> float:

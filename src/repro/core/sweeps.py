@@ -47,17 +47,32 @@ class SweepResult:
         return ys[-1]  # pragma: no cover - unreachable
 
     def first_below(self, threshold: float) -> Optional[float]:
-        """Smallest swept x whose y (linearly interpolated) drops below
-        ``threshold``; None if the curve never does."""
+        """x of the leftmost crossing where the curve drops below
+        ``threshold``; None if no swept y is below it.
+
+        Scanning left to right for the first y strictly below the
+        threshold:
+
+        * if that is the *first* point, the curve is never observed above
+          the threshold, so the crossing is reported as ``xs[0]`` (flat
+          already-below curves included) — there is no earlier segment to
+          interpolate into;
+        * otherwise the crossing is linearly interpolated inside the
+          segment ending at that point, i.e. the returned x satisfies
+          ``interpolate(x) == threshold`` up to float rounding.  The left
+          endpoint of that segment has ``y >= threshold`` (it did not
+          match first), so the interpolation denominator ``y0 - y1`` is
+          strictly positive and no equality guard is needed; a segment
+          whose left endpoint sits exactly *at* the threshold reports its
+          left x.
+        """
         for i, y in enumerate(self.ys):
             if y < threshold:
                 if i == 0:
                     return self.xs[0]
                 x0, x1 = self.xs[i - 1], self.xs[i]
-                y0, y1 = self.ys[i - 1], self.ys[i]
-                if y0 == y1:
-                    return x1
-                t = (y0 - threshold) / (y0 - y1)
+                y0 = self.ys[i - 1]
+                t = (y0 - threshold) / (y0 - y)
                 return x0 + t * (x1 - x0)
         return None
 

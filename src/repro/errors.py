@@ -50,6 +50,16 @@ class WorkloadError(SpectreSimError):
     """Raised when a workload definition is malformed or cannot run."""
 
 
+class ExecutorError(SpectreSimError):
+    """Raised when a study execution cell fails, naming the cell.
+
+    Wraps the underlying exception so a crash in one (cpu, config,
+    workload) cell of a parallel sweep is attributable without digging
+    through worker-process tracebacks; the original exception rides along
+    as ``__cause__``.
+    """
+
+
 class StatisticsError(SpectreSimError):
     """Raised when a measurement cannot produce a valid statistic.
 

@@ -34,6 +34,7 @@ from .export import (
 from .provenance import (
     RunManifest,
     build_manifest,
+    code_fingerprint,
     config_to_dict,
     manifest_comment_lines,
     settings_to_dict,
@@ -51,6 +52,7 @@ __all__ = [
     "Span",
     "SpanTracer",
     "build_manifest",
+    "code_fingerprint",
     "config_to_dict",
     "current_tracer",
     "install_tracer",

@@ -207,6 +207,63 @@ class MetricsRegistry:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.collect(), indent=indent, sort_keys=True)
 
+    # -- cross-process transport ------------------------------------------ #
+
+    def state(self) -> Dict[str, Dict[str, Any]]:
+        """Full lossless dump of every instrument, for transport between
+        processes (unlike :meth:`collect`, which summarizes histograms).
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, inst in self._instruments.items():
+            if inst.kind == "histogram":
+                out[name] = {
+                    "kind": "histogram",
+                    "bounds": list(inst.bounds),
+                    "bucket_counts": list(inst.bucket_counts),
+                    "count": inst.count,
+                    "sum": inst.sum,
+                    "min": inst.min,
+                    "max": inst.max,
+                }
+            else:
+                out[name] = {"kind": inst.kind, "value": inst.value}
+        return out
+
+    def merge_state(self, state: Dict[str, Dict[str, Any]]) -> None:
+        """Fold another registry's :meth:`state` into this one.
+
+        Counters and gauges accumulate additively (matching the
+        :meth:`merge_perf_counters` semantics for machines that come and
+        go); histograms merge bucket-by-bucket and therefore require
+        matching bucket bounds.  This is how worker-process tracers from
+        the parallel study executor report back to the parent registry.
+        """
+        for name, dump in state.items():
+            kind = dump["kind"]
+            if kind == "counter":
+                self.counter(name).inc(dump["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(gauge.value + dump["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name, bounds=dump["bounds"])
+                if list(hist.bounds) != list(dump["bounds"]):
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ; "
+                        f"cannot merge")
+                for index, bucket_count in enumerate(dump["bucket_counts"]):
+                    hist.bucket_counts[index] += bucket_count
+                hist.count += dump["count"]
+                hist.sum += dump["sum"]
+                if dump["min"] is not None and (hist.min is None
+                                                or dump["min"] < hist.min):
+                    hist.min = dump["min"]
+                if dump["max"] is not None and (hist.max is None
+                                                or dump["max"] > hist.max):
+                    hist.max = dump["max"]
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+
     # -- bridges from the existing layers --------------------------------- #
 
     def merge_perf_counters(self, counters: Any, prefix: str = "cpu") -> None:

@@ -17,6 +17,9 @@ the header row, so naive parsers that skip comments keep working.
 from __future__ import annotations
 
 import dataclasses
+import functools
+import hashlib
+import os
 import platform
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -25,6 +28,7 @@ from typing import Any, Dict, List, Optional, Sequence
 __all__ = [
     "RunManifest",
     "build_manifest",
+    "code_fingerprint",
     "config_to_dict",
     "settings_to_dict",
     "stamp_payload",
@@ -42,6 +46,30 @@ def _package_version() -> str:
     # partially initialised package.
     from .. import __version__
     return __version__
+
+
+@functools.lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Content hash of the installed ``repro`` package source.
+
+    The release version alone cannot key a persistent result cache: two
+    development checkouts of the same version can simulate differently.
+    Hashing every ``.py`` file of the package (path + bytes, in sorted
+    order) gives a fingerprint that changes whenever the code that
+    produced a cached result changes.  Computed once per process.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, package_root).encode())
+            with open(path, "rb") as f:
+                digest.update(f.read())
+    return digest.hexdigest()[:16]
 
 
 def config_to_dict(config: Any) -> Dict[str, Any]:

@@ -241,6 +241,74 @@ class SpanTracer:
     def _finish(self, span: Span) -> None:
         self.metrics.histogram(f"span.{span.name}.cycles").observe(span.cycles)
 
+    def advance(self, cycles: int) -> None:
+        """Retire ``cycles`` simulated elsewhere into the trace clock.
+
+        Used when absorbing a child tracer: the worker's machines never
+        bound to this tracer, so their cycles are folded in wholesale to
+        keep :meth:`total_cycles` (and coverage) honest.
+        """
+        if cycles < 0:
+            raise ValueError("cannot retire negative cycles")
+        self._clock_base += cycles
+
+    # -- cross-process transport ------------------------------------------ #
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Serialize the complete timeline as plain JSON types.
+
+        The inverse is :meth:`absorb`; together they carry a worker
+        process's spans, instants and metrics back to the parent tracer.
+        Open spans are closed at the current clock reading first.
+        """
+        index = {id(span): i for i, span in enumerate(self.spans)}
+        spans = []
+        for span in self.spans:
+            spans.append({
+                "name": span.name,
+                "attrs": dict(span.attrs),
+                "start": span.start,
+                "end": span.end if span.end is not None else self.now(),
+                "parent": index.get(id(span.parent)),
+                "counter_delta": span.counter_delta,
+            })
+        return {
+            "spans": spans,
+            "instants": [[ts, name, dict(attrs)]
+                         for ts, name, attrs in self.instants],
+            "total_cycles": self.total_cycles(),
+            "metrics": self.metrics.state(),
+        }
+
+    def absorb(self, payload: Dict[str, Any]) -> None:
+        """Merge a child tracer's :meth:`to_payload` into this timeline.
+
+        The child's spans are re-based at the current clock reading (its
+        cycles happened "elsewhere", concurrently in wall time but on an
+        independent simulated clock), its metrics fold into this
+        registry, and the clock advances past its total so successive
+        absorptions stay monotonic and coverage accounting holds.
+        """
+        base = self.now()
+        rebuilt: List[Span] = []
+        for record in payload["spans"]:
+            span = Span(self, record["name"], dict(record["attrs"]))
+            span.start = base + record["start"]
+            span.end = base + record["end"]
+            span.counter_delta = record["counter_delta"]
+            parent_index = record["parent"]
+            if parent_index is not None:
+                span.parent = rebuilt[parent_index]
+                span.parent.children.append(span)
+            else:
+                self.roots.append(span)
+            rebuilt.append(span)
+            self.spans.append(span)
+        for ts, name, attrs in payload["instants"]:
+            self.instants.append((base + ts, name, attrs))
+        self.advance(payload["total_cycles"])
+        self.metrics.merge_state(payload["metrics"])
+
     # -- queries --------------------------------------------------------- #
 
     def total_cycles(self) -> int:

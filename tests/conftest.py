@@ -9,6 +9,14 @@ from repro.core.study import Settings
 from repro.mitigations import MitigationConfig, linux_default
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_cache_dir(tmp_path, monkeypatch):
+    """Point the study executor's default persistent cache at a per-test
+    directory so tests never read or write the user's real cache."""
+    monkeypatch.setenv("SPECTRESIM_CACHE_DIR",
+                       str(tmp_path / "spectresim-cache"))
+
+
 @pytest.fixture
 def broadwell():
     return get_cpu("broadwell")

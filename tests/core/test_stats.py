@@ -10,9 +10,11 @@ from repro.core.stats import (
     NoisySampler,
     adaptive_measure,
     confidence_interval,
+    derive_seed,
     geometric_mean,
     overhead_percent,
     score_slowdown_percent,
+    suite_geometric_mean,
 )
 from repro.errors import StatisticsError
 
@@ -94,6 +96,52 @@ def test_geometric_mean_rejects_bad_input():
         geometric_mean([])
     with pytest.raises(StatisticsError):
         geometric_mean([1.0, -2.0])
+
+
+def test_suite_geometric_mean_matches_plain_geomean():
+    suite = {"getpid": 2.0, "fork": 8.0}
+    assert suite_geometric_mean(suite) == pytest.approx(4.0)
+
+
+def test_suite_geometric_mean_names_the_offending_case():
+    suite = {"getpid": 2.0, "mmap": -1.0}
+    with pytest.raises(StatisticsError, match=r"case 'mmap' = -1\.0"):
+        suite_geometric_mean(suite)
+
+
+def test_suite_geometric_mean_carries_caller_context():
+    with pytest.raises(StatisticsError,
+                       match=r"case 'send' .* \[lebench on zen2\]"):
+        suite_geometric_mean({"send": 0.0}, context="lebench on zen2")
+    with pytest.raises(StatisticsError, match=r"empty suite \[octane\]"):
+        suite_geometric_mean({}, context="octane")
+
+
+def test_suite_geometric_mean_rejects_non_finite():
+    with pytest.raises(StatisticsError, match="'bad'"):
+        suite_geometric_mean({"ok": 1.0, "bad": math.nan})
+
+
+def test_derive_seed_is_stable():
+    assert derive_seed(7, "figure2", "zen2") == derive_seed(7, "figure2",
+                                                            "zen2")
+
+
+def test_derive_seed_distinguishes_parts_and_base():
+    seeds = {
+        derive_seed(base, driver, cpu)
+        for base in (7, 8)
+        for driver in ("figure2", "figure5")
+        for cpu in ("zen2", "zen3")
+    }
+    assert len(seeds) == 8
+
+
+def test_derive_seed_is_a_valid_rng_seed():
+    for base in (0, 7, 2**31 - 1, 2**40):
+        seed = derive_seed(base, "a", "b")
+        assert 0 <= seed < 2**31
+        np.random.default_rng(seed)  # accepted by numpy
 
 
 def test_overhead_percent():

@@ -48,6 +48,35 @@ class TestInterpolation:
         assert low.first_below(5.0) == 0.0
 
 
+class TestFirstBelowRegressions:
+    """``first_below`` on degenerate curves: flat segments used to hit a
+    dead ``y0 == y1`` branch that reported the *right* edge of a flat
+    run instead of the true crossing."""
+
+    def test_flat_curve_entirely_below_reports_first_x(self):
+        flat = SweepResult("x", (3.0, 7.0, 11.0), (2.0, 2.0, 2.0))
+        assert flat.first_below(5.0) == 3.0
+
+    def test_flat_curve_entirely_above_never_crosses(self):
+        flat = SweepResult("x", (0.0, 10.0), (8.0, 8.0))
+        assert flat.first_below(5.0) is None
+
+    def test_flat_at_threshold_then_drop(self):
+        """Points sitting exactly at the threshold are not "below"; the
+        crossing is where the curve finally dips under it."""
+        curve = SweepResult("x", (0.0, 10.0, 20.0), (5.0, 5.0, 3.0))
+        x = curve.first_below(5.0)
+        assert x == 10.0  # left endpoint of the crossing segment
+
+    def test_interpolated_crossing_is_exact(self):
+        curve = SweepResult("x", (0.0, 10.0), (100.0, 0.0))
+        assert curve.first_below(25.0) == pytest.approx(7.5)
+
+    def test_single_point_curves(self):
+        assert SweepResult("x", (4.0,), (1.0,)).first_below(2.0) == 4.0
+        assert SweepResult("x", (4.0,), (9.0,)).first_below(2.0) is None
+
+
 class TestCrossover:
     def test_crossing_curves(self):
         a = SweepResult("x", (0.0, 1.0, 2.0), (10.0, 5.0, 0.0))
