@@ -333,11 +333,15 @@ def cmd_regress(args: argparse.Namespace) -> str:
 
 def cmd_profile(args: argparse.Namespace) -> str:
     """Run one artifact under the span tracer; write trace/flame files."""
+    import contextlib
     settings = _settings(args)
     cpus = _selected_cpus(args)
     tracer = obs.SpanTracer()
+    ledger = obs.CycleLedger() if args.ledger_out else None
+    ledger_cm = (obs.use_ledger(ledger) if ledger is not None
+                 else contextlib.nullcontext())
     started = time.perf_counter()
-    with obs.use_tracer(tracer):
+    with obs.use_tracer(tracer), ledger_cm:
         if args.kind == "figure":
             rendered = cmd_figure(args)
         else:
@@ -352,12 +356,19 @@ def cmd_profile(args: argparse.Namespace) -> str:
 
     lines = [rendered.rstrip("\n"), ""]
     if args.trace_out:
-        obs.write_chrome_trace(args.trace_out, tracer, provenance=manifest)
+        obs.write_chrome_trace(args.trace_out, tracer, provenance=manifest,
+                               ledger=ledger)
         lines.append(f"trace: wrote {len(tracer.spans)} spans to "
                      f"{args.trace_out}")
     if args.flame_out:
         obs.write_flamegraph(args.flame_out, tracer)
         lines.append(f"flame: wrote collapsed stacks to {args.flame_out}")
+    if ledger is not None:
+        ledger.verify()
+        with open(args.ledger_out, "w") as f:
+            f.write(ledger.report())
+        lines.append(f"ledger: {ledger.total():,} cycles attributed, "
+                     f"invariant verified -> {args.ledger_out}")
     if args.metrics_out:
         with open(args.metrics_out, "w") as f:
             f.write(tracer.metrics.to_json())
@@ -368,6 +379,39 @@ def cmd_profile(args: argparse.Namespace) -> str:
     lines.append("")
     lines.append(tracer.report().rstrip("\n"))
     return "\n".join(lines) + "\n"
+
+
+def cmd_bench(args: argparse.Namespace) -> str:
+    """Snapshot the pinned study grid into a versioned BENCH_<n>.json."""
+    from .obs import baseline
+    executor = _study_executor(args)
+    settings = _settings(args)
+    cpus = args.cpus or list(baseline.DEFAULT_BENCH_CPUS)
+    payload = baseline.collect(
+        cpus=cpus, settings=settings,
+        drivers=args.drivers or None, executor=executor, command="bench",
+        report=lambda driver: _report_executor(f"bench {driver}", executor))
+    path = args.out or baseline.next_bench_path(args.dir)
+    baseline.write_bench(payload, path)
+    ledger_total = sum(roll["total"] for roll in payload["ledger"].values())
+    return (f"bench: {len(payload['values'])} values, "
+            f"{ledger_total:,} attributed ledger cycles across "
+            f"{len(payload['ledger'])} CPUs -> {path}\n")
+
+
+def cmd_check(args: argparse.Namespace) -> str:
+    """Re-run a baseline's grid and gate on noise-aware regressions."""
+    from .obs import baseline
+    executor = _study_executor(args)
+    diff, report = baseline.check_against(
+        args.against, executor=executor,
+        report=lambda driver: _report_executor(f"check {driver}", executor))
+    if diff.failed:
+        # Print before exiting nonzero: main() only writes the returned
+        # string on the success path.
+        sys.stdout.write(report)
+        raise SystemExit(1)
+    return report
 
 
 def cmd_all(args: argparse.Namespace) -> str:
@@ -517,6 +561,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write collapsed-stack flamegraph format here")
     p.add_argument("--metrics-out", metavar="PATH", default=None,
                    help="write the metrics registry as JSON here")
+    p.add_argument("--ledger-out", metavar="PATH", default=None,
+                   help="attribute every cycle with the ledger and write "
+                        "the (layer, mitigation, primitive) report here")
+
+    p = sub.add_parser(
+        "bench",
+        help="snapshot the study grid into a versioned BENCH_<n>.json "
+             "(values + ledger rollups + provenance)")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--cpus", nargs="*",
+                   help="CPU keys to bench (default: pinned bench set)")
+    p.add_argument("--drivers", nargs="*",
+                   help="study drivers to snapshot (default: figure2 "
+                        "figure3 figure5)")
+    p.add_argument("--dir", default=os.path.join("benchmarks", "baselines"),
+                   help="directory whose next free BENCH_<n>.json is used")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="explicit output path (overrides --dir numbering)")
+    _add_executor_flags(p)
+
+    p = sub.add_parser(
+        "check",
+        help="re-run a baseline's grid and fail on noise-aware "
+             "regressions, with per-mitigation ledger blame")
+    p.add_argument("--against", metavar="BENCH.json", required=True,
+                   help="baseline produced by 'spectresim bench'")
+    _add_executor_flags(p)
 
     p = sub.add_parser("all", help="run everything, write artifacts")
     p.add_argument("--outdir", default="results")
@@ -540,6 +611,8 @@ _COMMANDS = {
     "summary": cmd_summary,
     "regress": cmd_regress,
     "profile": cmd_profile,
+    "bench": cmd_bench,
+    "check": cmd_check,
     "all": cmd_all,
 }
 

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import ExecutorError
+from ..obs import ledger as obs_ledger
 from ..obs import spans as obs_spans
 from ..obs.metrics import MetricsRegistry
 from ..obs.provenance import code_fingerprint
@@ -236,19 +237,33 @@ class ResultCache:
     def __init__(self, root: str) -> None:
         self.root = root
 
+    #: Lookup outcomes (cache effectiveness telemetry).
+    HIT = "hit"
+    MISS = "miss"
+    STALE = "stale"
+
     def _path(self, digest: str) -> str:
         return os.path.join(self.root, "cells", digest[:2], digest + ".json")
 
-    def get(self, spec: CellSpec, kind: str) -> Optional[Any]:
+    def lookup(self, spec: CellSpec, kind: str) -> Tuple[Optional[Any], str]:
+        """(result, outcome): outcome distinguishes a plain miss (no entry
+        on disk) from a *stale* entry — a blob that exists at the cell's
+        address but fails key/kind verification (hash collision, result
+        kind change, or a hand-edited file)."""
         path = self._path(spec.digest())
         try:
             with open(path) as f:
                 record = json.load(f)
-        except (OSError, ValueError):
-            return None
+        except OSError:
+            return None, self.MISS
+        except ValueError:
+            return None, self.STALE
         if record.get("key") != spec.key() or record.get("kind") != kind:
-            return None
-        return decode_result(kind, record["result"])
+            return None, self.STALE
+        return decode_result(kind, record["result"]), self.HIT
+
+    def get(self, spec: CellSpec, kind: str) -> Optional[Any]:
+        return self.lookup(spec, kind)[0]
 
     def put(self, spec: CellSpec, kind: str, result: Any) -> None:
         _atomic_write_json(self._path(spec.digest()), {
@@ -312,6 +327,8 @@ class RunStats:
 
     total: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stale: int = 0
     resumed: int = 0
     executed: int = 0
     jobs: int = 1
@@ -320,31 +337,43 @@ class RunStats:
     def summary(self) -> str:
         return (f"{self.total} cells: {self.cache_hits} cache hits, "
                 f"{self.resumed} resumed, {self.executed} executed "
-                f"(jobs={self.jobs}, {self.wall_s:.2f}s)")
+                f"(jobs={self.jobs}, {self.cache_misses} misses, "
+                f"{self.cache_stale} stale, {self.wall_s:.2f}s)")
 
 
-def _worker_run_cell(spec_dict: Dict[str, Any],
-                     collect_obs: bool) -> Dict[str, Any]:
+def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
+                     collect_ledger: bool = False) -> Dict[str, Any]:
     """Process-pool entry point: run one cell, return result + telemetry.
 
     Top-level (picklable) and import-light: the heavy imports happen in
     the worker.  When the parent is tracing, the worker runs under its
     own :class:`~repro.obs.spans.SpanTracer` and ships the serialized
-    timeline home for :meth:`~repro.obs.spans.SpanTracer.absorb`.
+    timeline home for :meth:`~repro.obs.spans.SpanTracer.absorb`; when
+    the parent has a cycle ledger installed, the worker likewise runs
+    under its own :class:`~repro.obs.ledger.CycleLedger`, verifies the
+    sum-to-TSC invariant for the cell, and ships the entries home for
+    :meth:`~repro.obs.ledger.CycleLedger.merge_state`.
     """
     from . import study
     spec = CellSpec.from_dict(spec_dict)
     runner = study.CELL_RUNNERS[spec.driver]
     kind = study.DRIVER_KINDS[spec.driver]
     obs_payload = None
-    if collect_obs:
-        tracer = obs_spans.SpanTracer()
-        with obs_spans.use_tracer(tracer):
+    ledger_payload = None
+    ledger = obs_ledger.CycleLedger() if collect_ledger else None
+    with obs_ledger.use_ledger(ledger):
+        if collect_obs:
+            tracer = obs_spans.SpanTracer()
+            with obs_spans.use_tracer(tracer):
+                result = runner(spec)
+            obs_payload = tracer.to_payload()
+        else:
             result = runner(spec)
-        obs_payload = tracer.to_payload()
-    else:
-        result = runner(spec)
-    return {"result": encode_result(kind, result), "obs": obs_payload}
+    if ledger is not None:
+        ledger.verify()  # per-cell invariant, enforced worker-side
+        ledger_payload = ledger.state()
+    return {"result": encode_result(kind, result), "obs": obs_payload,
+            "ledger": ledger_payload}
 
 
 class StudyExecutor:
@@ -422,14 +451,20 @@ class StudyExecutor:
                 self._count("resumed")
                 continue
             if cache is not None:
-                hit = cache.get(spec, kind)
-                if hit is not None:
+                hit, outcome = cache.lookup(spec, kind)
+                if outcome == ResultCache.HIT:
                     results[index] = hit
                     self.stats.cache_hits += 1
                     self._count("cache_hit")
                     if checkpoint is not None:
                         checkpoint.record(spec, kind, hit)
                     continue
+                if outcome == ResultCache.STALE:
+                    self.stats.cache_stale += 1
+                    self._count("cache_stale")
+                else:
+                    self.stats.cache_misses += 1
+                    self._count("cache_miss")
             pending.append((index, spec))
 
         def record_completion(index: int, spec: CellSpec, result: Any) -> None:
@@ -466,10 +501,12 @@ class StudyExecutor:
                   record_completion: Any) -> None:
         tracer = obs_spans.current_tracer()
         collect_obs = bool(getattr(tracer, "enabled", False))
+        ledger = obs_ledger.current_ledger()
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
-                pool.submit(_worker_run_cell, spec.to_dict(), collect_obs):
+                pool.submit(_worker_run_cell, spec.to_dict(), collect_obs,
+                            ledger is not None):
                     (index, spec)
                 for index, spec in pending
             }
@@ -484,5 +521,7 @@ class StudyExecutor:
                 kind = study.DRIVER_KINDS[spec.driver]
                 if collect_obs and payload["obs"] is not None:
                     tracer.absorb(payload["obs"])
+                if ledger is not None and payload.get("ledger") is not None:
+                    ledger.merge_state(payload["ledger"])
                 record_completion(index, spec,
                                   decode_result(kind, payload["result"]))

@@ -12,15 +12,23 @@ The simulated timestamp counter advances with every cycle the machine
 accounts, so ``rdtsc``-bracketed timing loops behave like the paper's
 microbenchmarks (section 5: "we rely on the timestamp counter ... and
 average over one million runs").
+
+Counter names are canonical: every name the simulator charges is defined
+here and collected in :data:`ALL_COUNTERS`.  A typo in a ``bump`` call
+would otherwise create a fresh counter and silently drop events; strict
+counter files (``PerfCounters(strict=True)``) reject unknown names with
+:class:`~repro.errors.UnknownCounterError`, and a lint-style test keeps
+the rest of the tree free of string literals.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
+from ..errors import UnknownCounterError
 
-#: Counter names.  Kept as strings for ergonomic use in tests and benches.
+#: Canonical counter names.  Use these constants, never string literals.
 DIVIDER_ACTIVE = "arith.divider_active"
 MISPREDICTED_INDIRECT = "br_misp_retired.indirect"
 INSTRUCTIONS_RETIRED = "inst_retired.any"
@@ -39,6 +47,57 @@ BTB_FLUSH_ON_ENTRY = "btb.flush_on_entry"
 VM_EXITS = "vm.exits"
 CONTEXT_SWITCHES = "sched.context_switches"
 
+#: Every canonical counter name the simulator may charge.
+ALL_COUNTERS = frozenset({
+    DIVIDER_ACTIVE,
+    MISPREDICTED_INDIRECT,
+    INSTRUCTIONS_RETIRED,
+    TRANSIENT_INSTRUCTIONS,
+    BTB_HITS,
+    BTB_MISSES,
+    L1_MISSES,
+    TLB_MISSES,
+    STLF_HITS,
+    STLF_BLOCKED,
+    VERW_CLEARS,
+    IBPB_COUNT,
+    L1D_FLUSHES,
+    KERNEL_ENTRIES,
+    BTB_FLUSH_ON_ENTRY,
+    VM_EXITS,
+    CONTEXT_SWITCHES,
+})
+
+__all__ = [
+    "DIVIDER_ACTIVE",
+    "MISPREDICTED_INDIRECT",
+    "INSTRUCTIONS_RETIRED",
+    "TRANSIENT_INSTRUCTIONS",
+    "BTB_HITS",
+    "BTB_MISSES",
+    "L1_MISSES",
+    "TLB_MISSES",
+    "STLF_HITS",
+    "STLF_BLOCKED",
+    "VERW_CLEARS",
+    "IBPB_COUNT",
+    "L1D_FLUSHES",
+    "KERNEL_ENTRIES",
+    "BTB_FLUSH_ON_ENTRY",
+    "VM_EXITS",
+    "CONTEXT_SWITCHES",
+    "ALL_COUNTERS",
+    "PerfCounters",
+    "require_known",
+]
+
+
+def require_known(name: str) -> str:
+    """Validate *name* against the canonical set; returns it unchanged."""
+    if name not in ALL_COUNTERS:
+        raise UnknownCounterError(name)
+    return name
+
 
 @dataclass
 class PerfCounters:
@@ -47,21 +106,36 @@ class PerfCounters:
     ``tsc`` counts simulated cycles.  Event counters are stored sparsely in
     a dict; reading an untouched counter returns zero, like a freshly
     programmed PMC.
+
+    When a cycle ledger is attached (``ledger`` field), every TSC advance
+    is simultaneously filed under the ledger's current attribution tag —
+    ``add_cycles`` is the *only* place the TSC moves, which is what makes
+    the ledger's sum-to-TSC invariant hold by construction.
+
+    ``strict=True`` rejects counter names outside :data:`ALL_COUNTERS`.
     """
 
     tsc: int = 0
     events: Dict[str, int] = field(default_factory=dict)
+    ledger: Optional[object] = field(default=None, repr=False, compare=False)
+    strict: bool = field(default=False, repr=False, compare=False)
 
     def add_cycles(self, cycles: int) -> None:
-        """Advance the timestamp counter."""
+        """Advance the timestamp counter (and the attached ledger, if any)."""
         self.tsc += cycles
+        if self.ledger is not None:
+            self.ledger.charge(cycles)
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Increment an event counter."""
+        if self.strict and name not in ALL_COUNTERS:
+            raise UnknownCounterError(name)
         self.events[name] = self.events.get(name, 0) + amount
 
     def read(self, name: str) -> int:
         """Read an event counter (``rdpmc`` analogue)."""
+        if self.strict and name not in ALL_COUNTERS:
+            raise UnknownCounterError(name)
         return self.events.get(name, 0)
 
     def snapshot(self) -> Dict[str, int]:

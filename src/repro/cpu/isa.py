@@ -125,6 +125,13 @@ class Instruction:
     kernel_address:
         For memory ops, marks the target as kernel memory (used by the
         Meltdown model: user-mode architectural access faults).
+    mitigation / primitive:
+        Optional cycle-attribution tag.  Sequence builders in
+        ``repro.mitigations`` stamp the instructions they emit (e.g. the
+        KPTI entry ``mov cr3`` carries ``("pti", "mov_cr3")``) so the
+        cycle ledger can file their cost under the responsible
+        mitigation.  Untagged instructions fall back to per-op defaults
+        in the machine, or to base work.
     """
 
     __slots__ = (
@@ -137,6 +144,8 @@ class Instruction:
         "msr",
         "value",
         "kernel_address",
+        "mitigation",
+        "primitive",
     )
 
     def __init__(
@@ -150,6 +159,8 @@ class Instruction:
         msr: int = 0,
         value: int = 0,
         kernel_address: bool = False,
+        mitigation: Optional[str] = None,
+        primitive: Optional[str] = None,
     ) -> None:
         self.op = op
         self.address = address
@@ -160,6 +171,8 @@ class Instruction:
         self.msr = msr
         self.value = value
         self.kernel_address = kernel_address
+        self.mitigation = mitigation
+        self.primitive = primitive
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [self.op.value]
@@ -181,9 +194,11 @@ def nop() -> Instruction:
     return Instruction(Op.NOP)
 
 
-def work(cycles: int) -> Instruction:
+def work(cycles: int, mitigation: Optional[str] = None,
+         primitive: Optional[str] = None) -> Instruction:
     """A compressed block of straight-line work costing ``cycles``."""
-    return Instruction(Op.WORK, value=cycles)
+    return Instruction(Op.WORK, value=cycles,
+                       mitigation=mitigation, primitive=primitive)
 
 
 def alu(n: int = 1) -> Tuple[Instruction, ...]:
@@ -200,8 +215,9 @@ def div() -> Instruction:
     return Instruction(Op.DIV)
 
 
-def cmov() -> Instruction:
-    return Instruction(Op.CMOV)
+def cmov(mitigation: Optional[str] = None,
+         primitive: Optional[str] = None) -> Instruction:
+    return Instruction(Op.CMOV, mitigation=mitigation, primitive=primitive)
 
 
 def load(address: int, size: int = 8, kernel: bool = False) -> Instruction:
@@ -243,17 +259,20 @@ def ret(pc: int = 0, target: int = 0) -> Instruction:
     return Instruction(Op.RET, pc=pc, target=target)
 
 
-def lfence() -> Instruction:
-    return Instruction(Op.LFENCE)
+def lfence(mitigation: Optional[str] = None,
+           primitive: Optional[str] = None) -> Instruction:
+    return Instruction(Op.LFENCE, mitigation=mitigation, primitive=primitive)
 
 
-def verw() -> Instruction:
-    return Instruction(Op.VERW)
+def verw(mitigation: Optional[str] = None,
+         primitive: Optional[str] = None) -> Instruction:
+    return Instruction(Op.VERW, mitigation=mitigation, primitive=primitive)
 
 
-def rsb_fill() -> Instruction:
+def rsb_fill(mitigation: Optional[str] = None,
+             primitive: Optional[str] = None) -> Instruction:
     """The 32-entry RSB stuffing sequence, modelled as one macro-op."""
-    return Instruction(Op.RSB_FILL)
+    return Instruction(Op.RSB_FILL, mitigation=mitigation, primitive=primitive)
 
 
 def syscall_instr() -> Instruction:
@@ -268,29 +287,36 @@ def swapgs() -> Instruction:
     return Instruction(Op.SWAPGS)
 
 
-def mov_cr3(pcid: int = 0) -> Instruction:
+def mov_cr3(pcid: int = 0, mitigation: Optional[str] = None,
+            primitive: Optional[str] = None) -> Instruction:
     """Write the page table root; ``pcid`` tags the target context."""
-    return Instruction(Op.MOV_CR3, value=pcid)
+    return Instruction(Op.MOV_CR3, value=pcid,
+                       mitigation=mitigation, primitive=primitive)
 
 
-def wrmsr(msr: int, value: int) -> Instruction:
-    return Instruction(Op.WRMSR, msr=msr, value=value)
+def wrmsr(msr: int, value: int, mitigation: Optional[str] = None,
+          primitive: Optional[str] = None) -> Instruction:
+    return Instruction(Op.WRMSR, msr=msr, value=value,
+                       mitigation=mitigation, primitive=primitive)
 
 
 def rdmsr(msr: int) -> Instruction:
     return Instruction(Op.RDMSR, msr=msr)
 
 
-def xsave() -> Instruction:
-    return Instruction(Op.XSAVE)
+def xsave(mitigation: Optional[str] = None,
+          primitive: Optional[str] = None) -> Instruction:
+    return Instruction(Op.XSAVE, mitigation=mitigation, primitive=primitive)
 
 
-def xrstor() -> Instruction:
-    return Instruction(Op.XRSTOR)
+def xrstor(mitigation: Optional[str] = None,
+           primitive: Optional[str] = None) -> Instruction:
+    return Instruction(Op.XRSTOR, mitigation=mitigation, primitive=primitive)
 
 
-def l1d_flush() -> Instruction:
-    return Instruction(Op.L1D_FLUSH)
+def l1d_flush(mitigation: Optional[str] = None,
+              primitive: Optional[str] = None) -> Instruction:
+    return Instruction(Op.L1D_FLUSH, mitigation=mitigation, primitive=primitive)
 
 
 def vmenter() -> Instruction:

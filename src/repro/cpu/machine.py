@@ -26,6 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import SegmentationFault, UnsupportedFeatureError
+from ..obs import ledger as obs_ledger
 from ..obs import spans as obs_spans
 from . import counters as ctr
 from . import msr as msrdef
@@ -45,6 +46,15 @@ from .tlb import TLB
 #: Retpoline flavors (paper Figure 4).
 GENERIC_RETPOLINE = "generic"
 AMD_RETPOLINE = "amd"
+
+#: Default (mitigation, primitive) attribution for ops that *are* a
+#: mitigation primitive even when the emitting site forgot to tag them.
+#: Explicit Instruction.mitigation tags always win.
+_OP_DEFAULT_TAGS = {
+    Op.VERW: ("mds", "verw"),
+    Op.RSB_FILL: ("spectre_v2", "rsb_fill"),
+    Op.L1D_FLUSH: ("l1tf", "l1d_flush"),
+}
 
 
 class Machine:
@@ -107,6 +117,15 @@ class Machine:
         # trace clock.  The default NullTracer makes both calls no-ops.
         self.obs = obs_spans.current_tracer()
         self.obs.bind_machine(self)
+
+        # Cycle-attribution ledger: when one is installed, every TSC
+        # advance is filed under (layer, mitigation, primitive) via the
+        # counter-file hook; attach() registers us for the sum-to-TSC
+        # invariant check.
+        self.ledger = obs_ledger.current_ledger()
+        if self.ledger is not None:
+            self.counters.ledger = self.ledger
+            self.ledger.attach(self.counters)
 
         # eIBRS periodic BTB scrub state (paper section 6.2.2).
         self._rng = np.random.default_rng(seed)
@@ -244,10 +263,57 @@ class Machine:
         else:  # pragma: no cover - exhaustive over Op
             raise UnsupportedFeatureError(f"unhandled op {op}")
 
-        self.counters.add_cycles(cycles)
+        ledger = self.ledger
+        if ledger is None:
+            self.counters.add_cycles(cycles)
+        else:
+            mitigation, primitive = self._attribution_tag(instr)
+            ledger.set_tag(mitigation, primitive)
+            self.counters.add_cycles(cycles)
+            ledger.clear_tag()
         self.counters.bump(ctr.INSTRUCTIONS_RETIRED)
         if self.tracer is not None:
             self.tracer(instr, cycles, False, self.mode)
+        return cycles
+
+    def _attribution_tag(self, instr: Instruction):
+        """(mitigation, primitive) the ledger files this instruction under.
+
+        Explicit tags stamped by sequence builders win; otherwise ops that
+        only exist as mitigation primitives get a sensible default, WRMSR
+        is dispatched on the MSR index, and everything else is base work
+        keyed by its op name.
+        """
+        if instr.mitigation is not None:
+            return instr.mitigation, instr.primitive or instr.op.value
+        op = instr.op
+        tag = _OP_DEFAULT_TAGS.get(op)
+        if tag is not None:
+            return tag
+        if op is Op.WRMSR:
+            if instr.msr == msrdef.IA32_PRED_CMD and instr.value & msrdef.PRED_CMD_IBPB:
+                return "spectre_v2", "ibpb"
+            if instr.msr == msrdef.IA32_FLUSH_CMD and instr.value & msrdef.L1D_FLUSH_BIT:
+                return "l1tf", "l1d_flush"
+            if instr.msr == msrdef.IA32_SPEC_CTRL:
+                return "spectre_v2", "wrmsr_spec_ctrl"
+        return None, op.value
+
+    def charge(self, cycles: int, mitigation: Optional[str] = None,
+               primitive: Optional[str] = None) -> int:
+        """Charge raw cycles (no instruction) with ledger attribution.
+
+        For cost sites that advance the TSC directly — exception-vector
+        overhead, lazy-FPU traps, TLB shootdown drag — so their cycles
+        stay attributed instead of landing in base/other.
+        """
+        ledger = self.ledger
+        if ledger is None:
+            self.counters.add_cycles(cycles)
+        else:
+            ledger.set_tag(mitigation, primitive)
+            self.counters.add_cycles(cycles)
+            ledger.clear_tag()
         return cycles
 
     # -- op helpers ----------------------------------------------------- #
@@ -267,7 +333,10 @@ class Machine:
                 # SSBD: the load must wait for older store addresses.
                 self.counters.bump(ctr.STLF_BLOCKED)
                 level = self.caches.access(instr.address)
-                cycles += self._load_latency(level) + self.cpu.ssbd_load_penalty
+                penalty = self.cpu.ssbd_load_penalty
+                cycles += self._load_latency(level) + penalty
+                if self.ledger is not None:
+                    self.ledger.add_split(penalty, "ssbd", "stlf_block")
             else:
                 self.counters.bump(ctr.STLF_HITS)
                 self.caches.access(instr.address)  # line still warms
@@ -344,11 +413,15 @@ class Machine:
             # Retpolines never consult or train the BTB; they simply cost
             # more (Table 5) and are unpoisonable by construction.
             extra = self._retpoline_extra()
+            if self.ledger is not None:
+                self.ledger.add_split(extra, "spectre_v2", "retpoline")
             return costs.indirect_base + extra
 
         if not self._indirect_prediction_allowed():
             # IBRS is suppressing prediction: pay the Table 5 IBRS delta.
             extra = costs.ibrs_extra if costs.ibrs_extra is not None else 0
+            if self.ledger is not None:
+                self.ledger.add_split(extra, "spectre_v2", "ibrs_no_predict")
             self.btb.train(instr.pc, instr.target, self.mode,
                            thread=self.thread_id)
             return costs.indirect_base + extra
@@ -359,6 +432,8 @@ class Machine:
         cycles = costs.indirect_base
         if self.msr.eibrs_active and costs.ibrs_extra:
             cycles += costs.ibrs_extra
+            if self.ledger is not None:
+                self.ledger.add_split(costs.ibrs_extra, "spectre_v2", "eibrs")
         if predicted is None:
             self.counters.bump(ctr.BTB_MISSES)
             cycles += costs.mispredict_penalty
@@ -446,6 +521,9 @@ class Machine:
                 self.btb.flush()
                 self.counters.bump(ctr.BTB_FLUSH_ON_ENTRY)
                 cycles += behavior.eibrs_scrub_extra_cycles
+                if self.ledger is not None:
+                    self.ledger.add_split(behavior.eibrs_scrub_extra_cycles,
+                                          "spectre_v2", "eibrs_scrub")
         return cycles
 
     # ------------------------------------------------------------------ #

@@ -65,3 +65,30 @@ class StatisticsError(SpectreSimError):
 
     For example requesting a confidence interval from zero samples.
     """
+
+
+class LedgerInvariantError(SpectreSimError):
+    """Raised when cycle-attribution accounting does not balance.
+
+    The cycle ledger must sum exactly to the TSC delta of the machines
+    it is attached to; any drift means a charge site bypassed
+    ``PerfCounters.add_cycles`` and its cycles are unattributed.
+    """
+
+
+class UnknownCounterError(SpectreSimError, KeyError):
+    """Raised when a performance counter name is not in the canonical set.
+
+    Counter names drift silently otherwise: a typo in a ``bump`` call
+    creates a fresh counter instead of incrementing the intended one.
+    """
+
+    def __init__(self, name: str) -> None:
+        super().__init__(
+            f"unknown counter {name!r}; canonical names are defined in "
+            f"repro.cpu.counters")
+        self.name = name
+
+
+class BaselineError(SpectreSimError):
+    """Raised for malformed, missing, or incompatible bench baselines."""

@@ -23,7 +23,9 @@ from ..cpu.modes import Mode
 from ..kernel import HandlerProfile, Kernel
 from ..mitigations.base import MitigationConfig
 from ..mitigations.l1tf import l1d_flush_sequence
+from ..mitigations.mds import verw_sequence
 from ..mitigations.spectre_v2 import ibpb_sequence
+from ..obs.ledger import ledger_scope
 
 #: Host-side work to decode and dispatch one exit (VMCS read, reason
 #: decode, KVM handler dispatch) — before any emulation work.
@@ -82,16 +84,17 @@ class Hypervisor:
 
     def _vm_exit_body(self, handler_cycles: int, taints_l1: bool) -> int:
         machine = self.machine
-        cycles = machine.execute(isa.vmexit())
-        cycles += machine.execute(isa.work(EXIT_DISPATCH_CYCLES))
-        if handler_cycles:
-            cycles += machine.execute(isa.work(handler_cycles))
-        if self.host_config.mds_verw:
-            # MDS: clear buffers before handing the core back to the guest.
-            cycles += machine.run([isa.verw()])
-        if self.host_config.l1d_flush_on_vmentry and taints_l1:
-            cycles += machine.run(l1d_flush_sequence())
-        cycles += machine.execute(isa.vmenter())
+        with ledger_scope(machine.ledger, "hv.exit"):
+            cycles = machine.execute(isa.vmexit())
+            cycles += machine.execute(isa.work(EXIT_DISPATCH_CYCLES))
+            if handler_cycles:
+                cycles += machine.execute(isa.work(handler_cycles))
+            if self.host_config.mds_verw:
+                # MDS: clear buffers before handing the core back to the guest.
+                cycles += machine.run(verw_sequence())
+            if self.host_config.l1d_flush_on_vmentry and taints_l1:
+                cycles += machine.run(l1d_flush_sequence())
+            cycles += machine.execute(isa.vmenter())
         self.stats.exits += 1
         self.stats.host_cycles += cycles
         return cycles

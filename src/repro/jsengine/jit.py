@@ -88,18 +88,28 @@ class JITCompiler:
         config = self.config
         cycles = mix.arith_cycles
         cycles += mix.array_accesses * ARRAY_ACCESS_CYCLES
-        if config.js_index_masking:
-            cycles += mix.array_accesses * self.mask_extra_per_access()
         cycles += mix.object_accesses * OBJECT_ACCESS_CYCLES
-        if config.js_object_guards:
-            cycles += mix.object_accesses * self.guard_extra_per_access()
         cycles += mix.pointer_derefs * POINTER_DEREF_CYCLES
         cycles += mix.calls * CALL_CYCLES
-        if config.js_other:
-            cycles += mix.pointer_derefs * self.poison_extra_per_deref()
-            cycles += mix.calls * self.machine.costs.alu  # call hardening
 
+        # Hardening cost is emitted as separately tagged WORK so the cycle
+        # ledger can attribute it (jsengine/spectre_v1/index_mask etc.);
+        # the total charged per iteration is unchanged.
         block: List[Instruction] = [isa.work(cycles)]
+        if config.js_index_masking and mix.array_accesses:
+            block.append(isa.work(
+                mix.array_accesses * self.mask_extra_per_access(),
+                mitigation="spectre_v1", primitive="index_mask"))
+        if config.js_object_guards and mix.object_accesses:
+            block.append(isa.work(
+                mix.object_accesses * self.guard_extra_per_access(),
+                mitigation="spectre_v1", primitive="object_guard"))
+        if config.js_other:
+            extra = mix.pointer_derefs * self.poison_extra_per_deref()
+            extra += mix.calls * self.machine.costs.alu  # call hardening
+            if extra:
+                block.append(isa.work(extra, mitigation="spectre_v1",
+                                      primitive="pointer_poison"))
         for i in range(mix.store_load_pairs):
             address = heap_base + 64 * ((cursor + i) % 512)
             block.append(isa.store(address))

@@ -23,6 +23,7 @@ from ..cpu import isa
 from ..cpu.machine import Machine
 from ..kernel import HandlerProfile, Kernel, Process
 from ..mitigations.base import MitigationConfig
+from ..obs.ledger import ledger_scope
 from .jit import JITCompiler, OpMix
 from .runtime import HEAP_BASE
 
@@ -109,7 +110,8 @@ class OctaneRunner:
         block = self.jit.compile_iteration(
             workload.mix, heap_base=HEAP_BASE, cursor=self._iteration
         )
-        cycles = self.machine.run(block)
+        with ledger_scope(self.machine.ledger, "jsengine"):
+            cycles = self.machine.run(block)
         self._iteration += 1
         if self._iteration % SYSCALL_PERIOD == 0:
             cycles += self.kernel.syscall(GC_PROFILE)

@@ -24,6 +24,7 @@ from ..cpu.isa import Instruction
 from ..cpu.machine import AMD_RETPOLINE, GENERIC_RETPOLINE, Machine
 from ..cpu.modes import Mode
 from ..mitigations.base import MitigationConfig, V2Strategy
+from ..obs.ledger import ledger_scope
 from .entry import ENTRY_SPAN, EXIT_SPAN, build_entry_sequence, build_exit_sequence
 from .process import Process
 from .scheduler import Scheduler
@@ -89,17 +90,19 @@ class Kernel:
         """
         machine = self.machine
         obs = machine.obs
-        if not obs.enabled:
+        ledger = machine.ledger
+        if not obs.enabled and ledger is None:
             cycles = machine.run(self._entry)
             cycles += machine.run(self._compiled(profile))
             cycles += machine.run(self._exit)
             return cycles
         with obs.span("kernel.syscall", handler=profile.name):
-            with obs.span(ENTRY_SPAN):
+            with obs.span(ENTRY_SPAN), ledger_scope(ledger, ENTRY_SPAN):
                 cycles = machine.run(self._entry)
-            with obs.span(profile.span_name):
+            with obs.span(profile.span_name), \
+                    ledger_scope(ledger, "kernel.handler"):
                 cycles += machine.run(self._compiled(profile))
-            with obs.span(EXIT_SPAN):
+            with obs.span(EXIT_SPAN), ledger_scope(ledger, EXIT_SPAN):
                 cycles += machine.run(self._exit)
         return cycles
 
@@ -107,7 +110,8 @@ class Kernel:
         """A fault-driven crossing: same mitigation work, pricier entry."""
         machine = self.machine
         obs = machine.obs
-        if not obs.enabled:
+        ledger = machine.ledger
+        if not obs.enabled and ledger is None:
             machine.counters.add_cycles(EXCEPTION_EXTRA_CYCLES)
             cycles = EXCEPTION_EXTRA_CYCLES
             cycles += machine.run(self._entry)
@@ -115,13 +119,16 @@ class Kernel:
             cycles += machine.run(self._exit)
             return cycles
         with obs.span("kernel.page_fault", handler=profile.name):
-            machine.counters.add_cycles(EXCEPTION_EXTRA_CYCLES)
+            with ledger_scope(ledger, ENTRY_SPAN):
+                machine.charge(EXCEPTION_EXTRA_CYCLES,
+                               primitive="exception_vector")
             cycles = EXCEPTION_EXTRA_CYCLES
-            with obs.span(ENTRY_SPAN):
+            with obs.span(ENTRY_SPAN), ledger_scope(ledger, ENTRY_SPAN):
                 cycles += machine.run(self._entry)
-            with obs.span(profile.span_name):
+            with obs.span(profile.span_name), \
+                    ledger_scope(ledger, "kernel.handler"):
                 cycles += machine.run(self._compiled(profile))
-            with obs.span(EXIT_SPAN):
+            with obs.span(EXIT_SPAN), ledger_scope(ledger, EXIT_SPAN):
                 cycles += machine.run(self._exit)
         return cycles
 

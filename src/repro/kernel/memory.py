@@ -198,7 +198,7 @@ class MemoryManager:
         # Range invalidation: one shootdown regardless of PCIDs (this mm's
         # translations must go everywhere).
         invalidated = self.machine.tlb.flush_all()
-        self.machine.counters.add_cycles(invalidated // 4)
+        self.machine.charge(invalidated // 4, primitive="tlb_shootdown")
         cycles += invalidated // 4
         return cycles
 

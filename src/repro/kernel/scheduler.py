@@ -25,6 +25,7 @@ from ..mitigations import lazyfp
 from ..mitigations.base import MitigationConfig
 from ..mitigations.spectre_v2 import ibpb_sequence, rsb_stuffing_sequence
 from ..mitigations.ssb import process_wants_ssbd
+from ..obs.ledger import ledger_scope
 from .process import Process
 
 #: Baseline scheduler work per switch: runqueue manipulation, task state,
@@ -49,20 +50,21 @@ class Scheduler:
         old = self.current
         saved_mode = machine.mode
         machine.mode = Mode.KERNEL
-        cycles = machine.execute(isa.work(SCHEDULER_WORK_CYCLES))
-        machine.counters.bump(ctr.CONTEXT_SWITCHES)
+        with ledger_scope(machine.ledger, "kernel.sched"):
+            cycles = machine.execute(isa.work(SCHEDULER_WORK_CYCLES))
+            machine.counters.bump(ctr.CONTEXT_SWITCHES)
 
-        same_mm = old is not None and old.mm is new.mm
-        if not same_mm:
-            # Address space switch: one cr3 write regardless of mitigations.
-            cycles += machine.execute(isa.mov_cr3(pcid=new.mm.kernel_pcid))
-            if self._ibpb_needed(old, new):
-                cycles += machine.run(ibpb_sequence())
-        if self.config.v2_rsb_stuffing:
-            cycles += machine.run(rsb_stuffing_sequence())
+            same_mm = old is not None and old.mm is new.mm
+            if not same_mm:
+                # Address space switch: one cr3 write regardless of mitigations.
+                cycles += machine.execute(isa.mov_cr3(pcid=new.mm.kernel_pcid))
+                if self._ibpb_needed(old, new):
+                    cycles += machine.run(ibpb_sequence())
+            if self.config.v2_rsb_stuffing:
+                cycles += machine.run(rsb_stuffing_sequence())
 
-        cycles += self._switch_fpu(old, new)
-        cycles += self._switch_ssbd(new)
+            cycles += self._switch_fpu(old, new)
+            cycles += self._switch_ssbd(new)
 
         self.current = new
         machine.mode = saved_mode
@@ -94,7 +96,7 @@ class Scheduler:
         lazyfp.lazy_switch(self.fpu, new.pid)
         if new.uses_fpu:
             cost = lazyfp.lazy_switch_cost(machine, True)
-            machine.counters.add_cycles(cost)
+            machine.charge(cost, primitive="fpu_lazy_restore")
             lazyfp.eager_switch(self.fpu, new.pid, new.fpu_secret)
             return cost
         return 0
@@ -110,5 +112,5 @@ class Scheduler:
         self.machine.msr.set_ssbd(want)
         self._ssbd_active = want
         cost = self.machine.costs.wrmsr
-        self.machine.counters.add_cycles(cost)
+        self.machine.charge(cost, mitigation="ssbd", primitive="wrmsr_ssbd")
         return cost

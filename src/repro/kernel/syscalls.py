@@ -79,7 +79,9 @@ class HandlerProfile:
         lines, remainder = divmod(self.copy_bytes, 64)
         lines += 1 if remainder else 0
         if lines and config.v1_usercopy_masking:
-            block.append(isa.cmov())  # mask the user-supplied bound once
+            # mask the user-supplied bound once
+            block.append(isa.cmov(mitigation="spectre_v1",
+                                  primitive="usercopy_mask"))
         for i in range(lines):
             block.append(isa.load(base + 65536 + 64 * i, kernel=True))
             block.append(isa.store(base + 131072 + 64 * i, kernel=True))

@@ -52,7 +52,7 @@ def invert_pte(pte: PageTableEntry) -> PageTableEntry:
 
 def l1d_flush_sequence() -> List[Instruction]:
     """Hypervisor mitigation: flush L1D immediately before VM entry."""
-    return [isa.l1d_flush()]
+    return [isa.l1d_flush(mitigation="l1tf", primitive="l1d_flush")]
 
 
 def attempt_l1tf(

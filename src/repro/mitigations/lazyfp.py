@@ -34,7 +34,8 @@ class FPUState:
 
 def eager_switch_sequence() -> List[Instruction]:
     """Mitigated context switch: always xsave old + xrstor new."""
-    return [isa.xsave(), isa.xrstor()]
+    return [isa.xsave(mitigation="lazyfp", primitive="xsave"),
+            isa.xrstor(mitigation="lazyfp", primitive="xrstor")]
 
 
 def eager_switch_cost(machine: Machine) -> int:

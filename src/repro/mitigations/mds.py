@@ -24,7 +24,7 @@ from ..cpu.modes import Mode
 
 def verw_sequence() -> List[Instruction]:
     """The kernel-exit buffer clear (a single extended ``verw``)."""
-    return [isa.verw()]
+    return [isa.verw(mitigation="mds", primitive="verw")]
 
 
 def smt_effective_threads(cores: int, smt_enabled: bool, smt_yield: float = 1.25) -> float:

@@ -32,12 +32,14 @@ USER_PCID = 0x80
 def kpti_entry_sequence() -> List[Instruction]:
     """Instructions added to kernel entry when PTI is on: switch to the
     kernel page table root."""
-    return [isa.mov_cr3(pcid=KERNEL_PCID)]
+    return [isa.mov_cr3(pcid=KERNEL_PCID, mitigation="pti",
+                        primitive="mov_cr3")]
 
 
 def kpti_exit_sequence() -> List[Instruction]:
     """Instructions added to kernel exit: switch back to the user table."""
-    return [isa.mov_cr3(pcid=USER_PCID)]
+    return [isa.mov_cr3(pcid=USER_PCID, mitigation="pti",
+                        primitive="mov_cr3")]
 
 
 def attempt_meltdown(machine: Machine, secret_byte: int) -> Optional[int]:

@@ -35,7 +35,7 @@ PROBE_STRIDE = 4096
 def lfence_after_swapgs_sequence() -> List[Instruction]:
     """The kernel-entry V1 hardening: swapgs is followed by an lfence so
     speculation cannot run kernel code with a user GS base."""
-    return [isa.lfence()]
+    return [isa.lfence(mitigation="spectre_v1", primitive="lfence_swapgs")]
 
 
 def build_gadget(

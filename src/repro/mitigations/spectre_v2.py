@@ -56,22 +56,25 @@ def indirect_branch(target: int, pc: int, config: MitigationConfig) -> Instructi
 
 def ibpb_sequence() -> List[Instruction]:
     """Indirect Branch Prediction Barrier: write IA32_PRED_CMD bit 0."""
-    return [isa.wrmsr(IA32_PRED_CMD, PRED_CMD_IBPB)]
+    return [isa.wrmsr(IA32_PRED_CMD, PRED_CMD_IBPB,
+                      mitigation="spectre_v2", primitive="ibpb")]
 
 
 def rsb_stuffing_sequence() -> List[Instruction]:
     """The 32-entry RSB fill loop, as one macro instruction (Table 7)."""
-    return [isa.rsb_fill()]
+    return [isa.rsb_fill(mitigation="spectre_v2", primitive="rsb_fill")]
 
 
 def ibrs_entry_sequence() -> List[Instruction]:
     """Legacy IBRS: set SPEC_CTRL.IBRS on kernel entry."""
-    return [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_IBRS)]
+    return [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_IBRS,
+                      mitigation="spectre_v2", primitive="wrmsr_spec_ctrl")]
 
 
 def ibrs_exit_sequence() -> List[Instruction]:
     """Legacy IBRS: clear SPEC_CTRL.IBRS before returning to user mode."""
-    return [isa.wrmsr(IA32_SPEC_CTRL, 0)]
+    return [isa.wrmsr(IA32_SPEC_CTRL, 0,
+                      mitigation="spectre_v2", primitive="wrmsr_spec_ctrl")]
 
 
 def install_gadget(machine: Machine) -> None:

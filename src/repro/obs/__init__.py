@@ -8,12 +8,26 @@ The subsystem threads through every layer of the simulator:
   bridging machine perf counters and study-level statistics;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto) and
   collapsed-stack flamegraph exporters;
+* :mod:`repro.obs.ledger` — hierarchical cycle-attribution ledger: every
+  charged cycle is tagged ``(layer, mitigation, primitive)`` and the
+  entries sum exactly to the machine TSC delta;
+* :mod:`repro.obs.baseline` — bench snapshots (``BENCH_<n>.json``) and
+  the noise-aware regression gate behind ``spectresim check``
+  (imported directly, not re-exported: it pulls in the CPU catalog,
+  which this package must not do at import time);
 * :mod:`repro.obs.provenance` — run manifests stamped into exported
   artifacts.
 
 See ``docs/observability.md`` for the span vocabulary and usage.
 """
 
+from .ledger import (
+    CycleLedger,
+    current_ledger,
+    install_ledger,
+    ledger_scope,
+    use_ledger,
+)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import (
     NULL_TRACER,
@@ -43,6 +57,7 @@ from .provenance import (
 
 __all__ = [
     "Counter",
+    "CycleLedger",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -54,14 +69,18 @@ __all__ = [
     "build_manifest",
     "code_fingerprint",
     "config_to_dict",
+    "current_ledger",
     "current_tracer",
+    "install_ledger",
     "install_tracer",
+    "ledger_scope",
     "manifest_comment_lines",
     "settings_to_dict",
     "stamp_payload",
     "to_chrome_trace",
     "to_chrome_trace_json",
     "to_collapsed_stacks",
+    "use_ledger",
     "use_tracer",
     "write_chrome_trace",
     "write_flamegraph",

@@ -1,0 +1,495 @@
+"""Bench snapshots and the noise-aware regression gate.
+
+``spectresim bench`` runs the pinned study grid and freezes everything a
+future run can be compared against into a versioned ``BENCH_<n>.json``:
+
+* **values** — every attributed overhead percentage the study drivers
+  produce (per cell, per mitigation knob), each with a propagated
+  measurement uncertainty derived from the stored
+  :class:`~repro.core.stats.Measurement` confidence intervals;
+* **ledger rollups** — deterministic per-CPU cycle-attribution ledgers
+  (see :mod:`repro.obs.ledger`) from an instrumented reference run, so a
+  drifted cost is *localized* to its ``(layer, mitigation, primitive)``
+  path, not just detected;
+* **provenance** — the usual manifest (seed, versions, fingerprint).
+
+``spectresim check --against BENCH_1.json`` re-runs the same grid (the
+baseline records its own cpus/settings, so the comparison is apples to
+apples) and diffs.  Tolerances are noise-aware: a value regresses only
+when it moves by more than ``sigma_multiplier × hypot(u_old, u_new)``
+plus an absolute floor — i.e. beyond what the recorded measurement
+dispersion can explain.  Ledger entries are deterministic integers and
+compared with a plain relative tolerance (zero by default).  On any
+regression the report blames the drifted ledger paths that belong to
+the regressed knob, and the CLI exits nonzero.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import BaselineError
+from .ledger import CycleLedger, use_ledger
+from .provenance import build_manifest
+
+#: Bench schema version (bump on incompatible payload changes).
+SCHEMA_VERSION = 1
+
+#: Payload kind marker.
+BENCH_KIND = "spectresim-bench"
+
+#: Default pinned CPUs: one Meltdown-vulnerable part (PTI/KPTI active in
+#: the default config) and one with hardware fixes, so both mitigation
+#: families appear in the baseline.
+DEFAULT_BENCH_CPUS: Tuple[str, ...] = ("broadwell", "cascade_lake")
+
+#: Default study drivers snapshotted by ``bench``.
+DEFAULT_BENCH_DRIVERS: Tuple[str, ...] = ("figure2", "figure3", "figure5")
+
+#: Noise tolerance: a value regresses when it worsens by more than
+#: multiplier × hypot(u_old, u_new) + floor percentage points.
+DEFAULT_SIGMA_MULTIPLIER = 3.0
+DEFAULT_MIN_PERCENT_POINTS = 0.25
+
+#: Ledger entries are deterministic; any relative drift beyond this is
+#: reported (0.0 = exact match required).
+DEFAULT_LEDGER_REL_TOL = 0.0
+
+#: Iteration counts for the deterministic instrumented ledger reference
+#: run (not noise-sampled; exact integers, reproducible across hosts).
+LEDGER_ITERATIONS = 4
+LEDGER_WARMUP = 1
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: JS knobs do not share a name with their ledger mitigation tag (the
+#: taxonomy files them under spectre_v1 primitives, per the paper's
+#: section 4.3); map knob -> ledger primitive for blame matching.
+_JS_KNOB_PRIMITIVES = {
+    "js_index_masking": "index_mask",
+    "js_object_guards": "object_guard",
+    "js_other": "pointer_poison",
+}
+
+
+def get_cpu(key: str):
+    """Resolve a CPU key (lazy import; monkeypatchable seam for tests)."""
+    from ..cpu.model import get_cpu as _get_cpu
+    return _get_cpu(key)
+
+
+# --------------------------------------------------------------------------- #
+# Uncertainty propagation from stored Measurement CIs
+# --------------------------------------------------------------------------- #
+
+def _rel(measurement) -> float:
+    if measurement.mean == 0:
+        return 0.0
+    return abs(measurement.ci_half_width / measurement.mean)
+
+
+def _ratio_uncertainty(numer, denom) -> float:
+    """Half-width of 100·(numer/denom) given both Measurements' CIs."""
+    if denom.mean == 0:
+        return 0.0
+    ratio = abs(numer.mean / denom.mean)
+    return 100.0 * ratio * math.hypot(_rel(numer), _rel(denom))
+
+
+def _attribution_values(driver: str, result) -> Dict[str, Dict[str, float]]:
+    prefix = f"{driver}/{result.cpu}/{result.workload}"
+    total_u = _ratio_uncertainty(result.default, result.baseline)
+    values = {
+        f"{prefix}:total": {
+            "value": result.total_overhead_percent,
+            "uncertainty": total_u,
+        },
+        f"{prefix}:other": {
+            "value": result.other_percent,
+            "uncertainty": total_u,
+        },
+    }
+    base_mean = result.baseline.mean
+    for c in result.contributions:
+        if base_mean:
+            u = 100.0 * math.hypot(c.with_knob.ci_half_width,
+                                   c.without_knob.ci_half_width) / abs(base_mean)
+        else:
+            u = 0.0
+        values[f"{prefix}:{c.knob}"] = {"value": c.percent, "uncertainty": u}
+    return values
+
+
+def _paired_values(driver: str, result) -> Dict[str, Dict[str, float]]:
+    prefix = f"{driver}/{result.cpu}/{result.workload}"
+    return {
+        f"{prefix}:overhead": {
+            "value": result.overhead_percent,
+            "uncertainty": _ratio_uncertainty(result.treated, result.baseline),
+        },
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Collection
+# --------------------------------------------------------------------------- #
+
+def ledger_snapshot(cpu_key: str) -> CycleLedger:
+    """Deterministic instrumented reference run for one CPU.
+
+    Exercises every ledger layer — syscall entry/handler/exit, scheduler,
+    JS engine, VM exits — under the CPU's Linux-default config with fixed
+    iteration counts and seed 0.  No noise sampling is involved, so the
+    resulting entries are exact integers, reproducible anywhere the code
+    is identical; :meth:`~repro.obs.ledger.CycleLedger.verify` enforces
+    the sum-to-TSC invariant before the snapshot is trusted.
+    """
+    from ..cpu.machine import Machine
+    from ..hypervisor.vm import Hypervisor
+    from ..jsengine import octane
+    from ..mitigations.policy import linux_default
+    from ..workloads import lebench
+
+    cpu = get_cpu(cpu_key)
+    config = linux_default(cpu)
+    ledger = CycleLedger()
+    with use_ledger(ledger):
+        machine = Machine(cpu, seed=0)
+        lebench.run_suite(machine, config,
+                          iterations=LEDGER_ITERATIONS, warmup=LEDGER_WARMUP)
+        js_machine = Machine(cpu, seed=0)
+        octane.run_suite(js_machine, config,
+                         iterations=LEDGER_ITERATIONS, warmup=LEDGER_WARMUP)
+        hv_machine = Machine(cpu, seed=0)
+        hypervisor = Hypervisor(hv_machine, host_config=config)
+        guest = hypervisor.create_guest()
+        for i in range(LEDGER_ITERATIONS):
+            guest.hypercall(2000, taints_l1=(i % 2 == 0))
+    ledger.verify()
+    return ledger
+
+
+def collect(
+    cpus: Optional[Sequence[str]] = None,
+    settings: Optional[Any] = None,
+    drivers: Optional[Sequence[str]] = None,
+    executor: Optional[Any] = None,
+    command: str = "bench",
+    report: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run the pinned grid and assemble a bench payload.
+
+    ``report``, when given, is called with each driver's name right after
+    that driver runs (the executor resets its stats per driver, so this
+    is the only point where per-driver cache/jobs numbers are visible).
+    """
+    from ..core import study
+
+    started = time.perf_counter()
+    cpu_keys = list(cpus or DEFAULT_BENCH_CPUS)
+    settings = settings or study.Settings()
+    driver_names = list(drivers or DEFAULT_BENCH_DRIVERS)
+    models = [get_cpu(key) for key in cpu_keys]
+
+    values: Dict[str, Dict[str, float]] = {}
+    for driver in driver_names:
+        if driver == "figure2":
+            for result in study.figure2(models, settings, executor=executor):
+                values.update(_attribution_values(driver, result))
+        elif driver == "figure3":
+            for result in study.figure3(models, settings, executor=executor):
+                values.update(_attribution_values(driver, result))
+        elif driver == "figure5":
+            for result in study.figure5(models, settings=settings,
+                                        executor=executor):
+                values.update(_paired_values(driver, result))
+        elif driver == "parsec_default":
+            for result in study.parsec_default_overheads(
+                    models, settings=settings, executor=executor):
+                values.update(_paired_values(driver, result))
+        elif driver == "vm_lebench":
+            for result in study.vm_lebench_overheads(
+                    models, settings=settings, executor=executor):
+                values.update(_paired_values(driver, result))
+        else:
+            raise BaselineError(f"unknown bench driver {driver!r}")
+        if report is not None:
+            report(driver)
+
+    ledgers: Dict[str, Any] = {}
+    sim_cycles = 0
+    for key in cpu_keys:
+        ledger = ledger_snapshot(key)
+        sim_cycles += ledger.total()
+        ledgers[key] = {"entries": ledger.paths(), "total": ledger.total()}
+
+    manifest = build_manifest(
+        command=command,
+        seed=settings.seed,
+        cpus=cpu_keys,
+        settings=settings,
+        wall_time_s=time.perf_counter() - started,
+        sim_cycles=sim_cycles,
+    )
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": BENCH_KIND,
+        "cpus": cpu_keys,
+        "drivers": driver_names,
+        "settings": dict(dataclasses.asdict(settings)),
+        "tolerance": {
+            "sigma_multiplier": DEFAULT_SIGMA_MULTIPLIER,
+            "min_percent_points": DEFAULT_MIN_PERCENT_POINTS,
+            "ledger_rel_tol": DEFAULT_LEDGER_REL_TOL,
+        },
+        "values": values,
+        "ledger": ledgers,
+        "provenance": manifest.to_dict(),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# Persistence
+# --------------------------------------------------------------------------- #
+
+def next_bench_path(directory: str) -> str:
+    """The next free ``BENCH_<n>.json`` in ``directory`` (starting at 1)."""
+    highest = 0
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        names = []
+    for name in names:
+        match = _BENCH_NAME.match(name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return os.path.join(directory, f"BENCH_{highest + 1}.json")
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> str:
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_bench(path: str) -> Dict[str, Any]:
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path!r} is not JSON: {exc}") from exc
+    if payload.get("kind") != BENCH_KIND:
+        raise BaselineError(f"{path!r} is not a spectresim bench payload")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path!r} has schema v{payload.get('schema')}, "
+            f"this build reads v{SCHEMA_VERSION}")
+    return payload
+
+
+# --------------------------------------------------------------------------- #
+# Comparison
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class ValueDelta:
+    """One compared cell value."""
+
+    key: str
+    old: float
+    new: float
+    allowed: float
+    blame: List[str] = field(default_factory=list)
+
+    @property
+    def delta(self) -> float:
+        return self.new - self.old
+
+
+@dataclass
+class LedgerDrift:
+    """One drifted ledger path on one CPU."""
+
+    cpu: str
+    path: str
+    old: int
+    new: int
+
+    @property
+    def delta(self) -> int:
+        return self.new - self.old
+
+    def describe(self) -> str:
+        pct = (100.0 * self.delta / self.old) if self.old else float("inf")
+        return (f"{self.cpu}:{self.path} {self.old:,} -> {self.new:,} cycles "
+                f"({self.delta:+,}, {pct:+.1f}%)")
+
+
+@dataclass
+class BaselineDiff:
+    """Everything ``check`` found; regressions drive the exit status."""
+
+    regressions: List[ValueDelta] = field(default_factory=list)
+    improvements: List[ValueDelta] = field(default_factory=list)
+    ledger_regressions: List[LedgerDrift] = field(default_factory=list)
+    ledger_improvements: List[LedgerDrift] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    new_keys: List[str] = field(default_factory=list)
+    compared: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return bool(self.regressions or self.ledger_regressions
+                    or self.missing)
+
+
+def _knob_of(key: str) -> str:
+    return key.rsplit(":", 1)[1] if ":" in key else key
+
+
+def _blame_paths(key: str, drifts: Sequence[LedgerDrift]) -> List[str]:
+    """Ledger drift paths that plausibly explain a regressed value.
+
+    The value key's knob suffix names a mitigation; drifted paths tagged
+    with that mitigation (or, for the JS knobs, the matching primitive)
+    are the blame.  Aggregate keys (total/other/overhead) blame every
+    drifted path.
+    """
+    knob = _knob_of(key)
+    selected: List[LedgerDrift] = []
+    for drift in drifts:
+        _layer, mitigation, primitive = drift.path.split("/")
+        if knob in ("total", "other", "overhead"):
+            selected.append(drift)
+        elif mitigation == knob:
+            selected.append(drift)
+        elif _JS_KNOB_PRIMITIVES.get(knob) == primitive:
+            selected.append(drift)
+    selected.sort(key=lambda d: -abs(d.delta))
+    return [d.describe() for d in selected]
+
+
+def compare(baseline: Dict[str, Any],
+            current: Dict[str, Any]) -> BaselineDiff:
+    """Diff ``current`` against ``baseline`` with the baseline's tolerances."""
+    tolerance = baseline.get("tolerance", {})
+    multiplier = tolerance.get("sigma_multiplier", DEFAULT_SIGMA_MULTIPLIER)
+    floor = tolerance.get("min_percent_points", DEFAULT_MIN_PERCENT_POINTS)
+    ledger_rel_tol = tolerance.get("ledger_rel_tol", DEFAULT_LEDGER_REL_TOL)
+
+    diff = BaselineDiff()
+
+    # Ledger drifts first: they feed the blame report for value deltas.
+    drifts: List[LedgerDrift] = []
+    old_ledgers = baseline.get("ledger", {})
+    new_ledgers = current.get("ledger", {})
+    for cpu, old_roll in sorted(old_ledgers.items()):
+        new_roll = new_ledgers.get(cpu, {})
+        old_entries = old_roll.get("entries", {})
+        new_entries = new_roll.get("entries", {})
+        for path in sorted(set(old_entries) | set(new_entries)):
+            old_v = int(old_entries.get(path, 0))
+            new_v = int(new_entries.get(path, 0))
+            if old_v == new_v:
+                continue
+            scale = max(abs(old_v), 1)
+            if abs(new_v - old_v) / scale <= ledger_rel_tol:
+                continue
+            drifts.append(LedgerDrift(cpu=cpu, path=path, old=old_v, new=new_v))
+    for drift in drifts:
+        if drift.delta > 0:
+            diff.ledger_regressions.append(drift)
+        else:
+            diff.ledger_improvements.append(drift)
+
+    old_values = baseline.get("values", {})
+    new_values = current.get("values", {})
+    diff.new_keys = sorted(set(new_values) - set(old_values))
+    for key in sorted(old_values):
+        record = new_values.get(key)
+        if record is None:
+            diff.missing.append(key)
+            continue
+        diff.compared += 1
+        old_v = float(old_values[key]["value"])
+        old_u = float(old_values[key].get("uncertainty", 0.0))
+        new_v = float(record["value"])
+        new_u = float(record.get("uncertainty", 0.0))
+        allowed = multiplier * math.hypot(old_u, new_u) + floor
+        delta = ValueDelta(key=key, old=old_v, new=new_v, allowed=allowed)
+        if new_v - old_v > allowed:
+            delta.blame = _blame_paths(key, drifts)
+            diff.regressions.append(delta)
+        elif old_v - new_v > allowed:
+            diff.improvements.append(delta)
+    diff.regressions.sort(key=lambda d: -(d.delta - d.allowed))
+    return diff
+
+
+def render_report(diff: BaselineDiff) -> str:
+    """The per-cell, per-mitigation blame report ``check`` prints."""
+    lines: List[str] = []
+    for delta in diff.regressions:
+        lines.append(
+            f"REGRESSION {delta.key}: {delta.old:+.2f}% -> {delta.new:+.2f}% "
+            f"({delta.delta:+.2f}pp, allowed +/-{delta.allowed:.2f}pp)")
+        for blame in delta.blame:
+            lines.append(f"  blame: {blame}")
+        if not delta.blame:
+            lines.append("  blame: no matching ledger drift "
+                         "(measurement-level change)")
+    for drift in diff.ledger_regressions:
+        lines.append(f"LEDGER REGRESSION {drift.describe()}")
+    for key in diff.missing:
+        lines.append(f"MISSING {key}: present in baseline, absent in this run")
+    for delta in diff.improvements:
+        lines.append(
+            f"improvement {delta.key}: {delta.old:+.2f}% -> {delta.new:+.2f}% "
+            f"({delta.delta:+.2f}pp)")
+    for drift in diff.ledger_improvements:
+        lines.append(f"ledger improvement {drift.describe()}")
+    for key in diff.new_keys:
+        lines.append(f"new {key}: not in baseline (re-bench to track it)")
+    verdict = "FAIL" if diff.failed else "OK"
+    lines.append(
+        f"{diff.compared} values compared: {len(diff.regressions)} "
+        f"regressions, {len(diff.improvements)} improvements, "
+        f"{len(diff.ledger_regressions)} ledger regressions, "
+        f"{len(diff.missing)} missing -> {verdict}")
+    return "\n".join(lines) + "\n"
+
+
+def check_against(baseline_path: str,
+                  executor: Optional[Any] = None,
+                  command: str = "check",
+                  report: Optional[Any] = None) -> Tuple[BaselineDiff, str]:
+    """Re-run the baseline's own grid and diff: (diff, report).
+
+    The fresh run reuses the cpus, settings, and drivers recorded in the
+    baseline, so the comparison never mixes grids.
+    """
+    from ..core import study
+
+    payload = load_bench(baseline_path)
+    settings = study.Settings(**payload["settings"])
+    current = collect(
+        cpus=payload["cpus"],
+        settings=settings,
+        drivers=payload.get("drivers"),
+        executor=executor,
+        command=command,
+        report=report,
+    )
+    diff = compare(payload, current)
+    return diff, render_report(diff)

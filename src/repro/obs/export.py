@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from .ledger import CycleLedger
 from .provenance import RunManifest
 from .spans import Span, SpanTracer
 
@@ -51,8 +52,25 @@ def _span_event(span: Span) -> Dict[str, Any]:
     }
 
 
+def _ledger_counter_events(ledger: CycleLedger) -> List[Dict[str, Any]]:
+    """Perfetto counter tracks from the cycle ledger.
+
+    One ``ph: "C"`` sample per mitigation at the end of the timeline (the
+    ledger is cumulative, not time-resolved), so Perfetto renders a
+    per-mitigation cycle track next to the span timeline.
+    """
+    ts = ledger.total()
+    return [
+        {"name": f"cycles.{mitigation}", "ph": "C", "ts": ts,
+         "pid": TRACE_PID, "tid": TRACE_TID,
+         "args": {"cycles": cycles}}
+        for mitigation, cycles in sorted(ledger.rollup("mitigation").items())
+    ]
+
+
 def to_chrome_trace(tracer: SpanTracer,
-                    provenance: Optional[RunManifest] = None) -> Dict[str, Any]:
+                    provenance: Optional[RunManifest] = None,
+                    ledger: Optional[CycleLedger] = None) -> Dict[str, Any]:
     """The tracer's spans and instants as a Trace Event Format object."""
     events: List[Dict[str, Any]] = [
         {"name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": TRACE_TID,
@@ -73,6 +91,9 @@ def to_chrome_trace(tracer: SpanTracer,
         "coverage": tracer.coverage(),
         "metrics": tracer.metrics.collect(),
     }
+    if ledger is not None:
+        events.extend(_ledger_counter_events(ledger))
+        other["ledger"] = ledger.state()
     if provenance is not None:
         other["provenance"] = provenance.to_dict()
     return {
@@ -84,14 +105,17 @@ def to_chrome_trace(tracer: SpanTracer,
 
 def to_chrome_trace_json(tracer: SpanTracer,
                          provenance: Optional[RunManifest] = None,
-                         indent: Optional[int] = None) -> str:
-    return json.dumps(to_chrome_trace(tracer, provenance), indent=indent)
+                         indent: Optional[int] = None,
+                         ledger: Optional[CycleLedger] = None) -> str:
+    return json.dumps(to_chrome_trace(tracer, provenance, ledger=ledger),
+                      indent=indent)
 
 
 def write_chrome_trace(path: str, tracer: SpanTracer,
-                       provenance: Optional[RunManifest] = None) -> None:
+                       provenance: Optional[RunManifest] = None,
+                       ledger: Optional[CycleLedger] = None) -> None:
     with open(path, "w") as f:
-        f.write(to_chrome_trace_json(tracer, provenance))
+        f.write(to_chrome_trace_json(tracer, provenance, ledger=ledger))
 
 
 def to_collapsed_stacks(tracer: SpanTracer) -> str:

@@ -305,3 +305,63 @@ class TestWorkerObservability:
         ex = StudyExecutor(jobs=2)
         study.figure5([get_cpu("zen3")], settings=SETTINGS, executor=ex)
         assert "span.study.figure5.zen3.cycles" not in ex.metrics
+
+
+# --------------------------------------------------------------------------- #
+# Cache outcome accounting: hit / miss / stale
+# --------------------------------------------------------------------------- #
+
+class TestCacheOutcomes:
+    def test_cold_run_counts_every_cell_as_a_miss(self, tmp_path):
+        ex = StudyExecutor(cache_dir=str(tmp_path / "cache"),
+                           metrics=MetricsRegistry())
+        study.figure5([get_cpu("zen3")], settings=SETTINGS, executor=ex)
+        assert ex.stats.cache_misses == 3
+        assert ex.stats.cache_stale == 0
+        assert ex.metrics.counter("executor.cells.cache_miss").value == 3
+
+    def test_warm_run_counts_neither_miss_nor_stale(self, tmp_path):
+        cache = str(tmp_path / "cache")
+        study.figure5([get_cpu("zen3")], settings=SETTINGS,
+                      executor=StudyExecutor(cache_dir=cache))
+        warm = StudyExecutor(cache_dir=cache, metrics=MetricsRegistry())
+        study.figure5([get_cpu("zen3")], settings=SETTINGS, executor=warm)
+        assert warm.stats.cache_hits == 3
+        assert warm.stats.cache_misses == 0 and warm.stats.cache_stale == 0
+        assert "executor.cells.cache_miss" not in warm.metrics
+
+    def test_corrupt_entry_is_stale_not_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        study.vm_lebench_overheads([get_cpu("zen")], SETTINGS,
+                                   executor=StudyExecutor(cache_dir=cache_dir))
+        spec = CellSpec("vm_lebench", "zen", "vm_lebench", SETTINGS)
+        cache = ResultCache(cache_dir)
+        with open(cache._path(spec.digest()), "w") as f:
+            f.write("{ not json")
+        again = StudyExecutor(cache_dir=cache_dir, metrics=MetricsRegistry())
+        study.vm_lebench_overheads([get_cpu("zen")], SETTINGS, executor=again)
+        assert again.stats.cache_stale == 1
+        assert again.stats.cache_misses == 0
+        assert again.metrics.counter("executor.cells.cache_stale").value == 1
+
+    def test_lookup_classifies_hit_miss_stale(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        spec = CellSpec("vm_lebench", "zen", "vm_lebench", SETTINGS)
+        result, outcome = cache.lookup(spec, "paired")
+        assert result is None and outcome == ResultCache.MISS
+        study.vm_lebench_overheads(
+            [get_cpu("zen")], SETTINGS,
+            executor=StudyExecutor(cache_dir=cache.root))
+        result, outcome = cache.lookup(spec, "paired")
+        assert result is not None and outcome == ResultCache.HIT
+        # A kind mismatch means the record cannot satisfy the request.
+        result, outcome = cache.lookup(spec, "attribution")
+        assert result is None and outcome == ResultCache.STALE
+
+    def test_summary_breaks_out_misses_and_stale(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        ex = StudyExecutor(cache_dir=cache_dir)
+        study.figure5([get_cpu("zen3")], settings=SETTINGS, executor=ex)
+        summary = ex.stats.summary()
+        assert "3 cells: 0 cache hits, 0 resumed, 3 executed" in summary
+        assert "3 misses" in summary and "0 stale" in summary

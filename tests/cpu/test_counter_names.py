@@ -1,0 +1,97 @@
+"""Canonical counter names: the lint-style contract of repro.cpu.counters.
+
+A typo'd counter name creates a fresh counter and silently drops events,
+so the simulator treats the name set as closed: every chargeable name is
+a module constant, ``ALL_COUNTERS`` collects them, strict counter files
+reject strangers, and no source file outside the registry spells a
+counter name as a string literal.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.cpu import counters as ctr
+from repro.cpu.counters import ALL_COUNTERS, PerfCounters, require_known
+from repro.errors import UnknownCounterError
+
+SRC_ROOT = pathlib.Path(ctr.__file__).resolve().parents[2]
+
+
+def _constant_names():
+    """The module's UPPER_CASE string constants (the canonical names)."""
+    return {name: value for name, value in vars(ctr).items()
+            if name.isupper() and isinstance(value, str)
+            and name not in ("ALL_COUNTERS",)}
+
+
+def test_every_constant_is_registered_and_unique():
+    constants = _constant_names()
+    values = list(constants.values())
+    assert len(values) == len(set(values)), "duplicate counter name"
+    assert set(values) == set(ALL_COUNTERS), (
+        "ALL_COUNTERS out of sync with the module constants")
+
+
+def test_constants_are_exported_via_all():
+    for name in _constant_names():
+        assert name in ctr.__all__, f"{name} missing from __all__"
+    assert "ALL_COUNTERS" in ctr.__all__
+
+
+def test_require_known_accepts_canonical_rejects_unknown():
+    assert require_known(ctr.DIVIDER_ACTIVE) == ctr.DIVIDER_ACTIVE
+    with pytest.raises(UnknownCounterError) as exc:
+        require_known("inst_retired.anyy")
+    assert exc.value.name == "inst_retired.anyy"
+
+
+def test_strict_counters_reject_unknown_names():
+    counters = PerfCounters(strict=True)
+    counters.bump(ctr.VERW_CLEARS)
+    assert counters.read(ctr.VERW_CLEARS) == 1
+    with pytest.raises(UnknownCounterError):
+        counters.bump("vrew.clears")
+    with pytest.raises(UnknownCounterError):
+        counters.read("vrew.clears")
+
+
+def test_lax_counters_still_accept_anything():
+    # The default stays permissive: scratch counters in demos/tests are
+    # allowed, only opted-in files enforce the registry.
+    counters = PerfCounters()
+    counters.bump("scratch.counter")
+    assert counters.read("scratch.counter") == 1
+
+
+_LITERAL_CALL = re.compile(
+    r"\.(?:bump|read)\(\s*f?[\"']([^\"']+)[\"']")
+
+
+def test_no_string_literal_counter_names_in_src():
+    """Lint: every ``bump()``/``read()`` in the package goes through the
+    constants; a literal means a name the registry cannot vouch for."""
+    offenders = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path.name == "counters.py":
+            continue  # the registry itself
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            match = _LITERAL_CALL.search(line)
+            if match:
+                offenders.append(f"{path}:{lineno}: {match.group(1)!r}")
+    assert not offenders, (
+        "string-literal counter names (use repro.cpu.counters constants):\n"
+        + "\n".join(offenders))
+
+
+def test_machine_only_charges_canonical_counters(machine):
+    """Dynamic check backing the static lint: a kernel-heavy run on a
+    strict counter file never trips UnknownCounterError."""
+    from repro.kernel import HandlerProfile, Kernel
+    from repro.mitigations.policy import linux_default
+    machine.counters.strict = True
+    kernel = Kernel(machine, linux_default(machine.cpu))
+    kernel.syscall(HandlerProfile("lint_probe", work_cycles=300, loads=4,
+                                  stores=2, indirect_branches=2))
+    assert set(machine.counters.snapshot()) <= set(ALL_COUNTERS)

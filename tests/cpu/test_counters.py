@@ -1,6 +1,12 @@
 """Performance counter bag and TSC."""
 
-from repro.cpu.counters import DIVIDER_ACTIVE, PerfCounters
+from repro.cpu.counters import (
+    BTB_HITS,
+    BTB_MISSES,
+    DIVIDER_ACTIVE,
+    L1_MISSES,
+    PerfCounters,
+)
 
 
 def test_tsc_accumulates():
@@ -11,7 +17,7 @@ def test_tsc_accumulates():
 
 
 def test_untouched_counter_reads_zero():
-    assert PerfCounters().read("nonexistent.event") == 0
+    assert PerfCounters().read(L1_MISSES) == 0
 
 
 def test_bump_default_and_amount():
@@ -23,27 +29,27 @@ def test_bump_default_and_amount():
 
 def test_snapshot_is_a_copy():
     counters = PerfCounters()
-    counters.bump("a")
+    counters.bump(BTB_HITS)
     snap = counters.snapshot()
-    counters.bump("a")
-    assert snap["a"] == 1
-    assert counters.read("a") == 2
+    counters.bump(BTB_HITS)
+    assert snap[BTB_HITS] == 1
+    assert counters.read(BTB_HITS) == 2
 
 
 def test_delta_reports_only_changes():
     counters = PerfCounters()
-    counters.bump("a")
-    counters.bump("b", 3)
+    counters.bump(BTB_HITS)
+    counters.bump(BTB_MISSES, 3)
     before = counters.snapshot()
-    counters.bump("b", 2)
-    counters.bump("c")
-    assert counters.delta(before) == {"b": 2, "c": 1}
+    counters.bump(BTB_MISSES, 2)
+    counters.bump(L1_MISSES)
+    assert counters.delta(before) == {BTB_MISSES: 2, L1_MISSES: 1}
 
 
 def test_reset_clears_events_not_tsc():
     counters = PerfCounters()
     counters.add_cycles(100)
-    counters.bump("a")
+    counters.bump(BTB_HITS)
     counters.reset()
-    assert counters.read("a") == 0
+    assert counters.read(BTB_HITS) == 0
     assert counters.tsc == 100

@@ -13,11 +13,16 @@ MIX = OpMix(arith_cycles=1000, array_accesses=100, object_accesses=50,
 
 
 def compiled_cycles(machine, config, mix=MIX):
+    """Total WORK cycles in one compiled iteration.
+
+    Hardening is emitted as separately tagged WORK blocks (so the cycle
+    ledger can attribute it); the cost model sums over all of them.
+    """
     jit = JITCompiler(machine, config)
     block = jit.compile_iteration(mix, heap_base=0x4000_0000)
     work = [i for i in block if i.op is Op.WORK]
-    assert len(work) == 1
-    return work[0].value
+    assert work, "compiled iteration carries no WORK"
+    return sum(i.value for i in work)
 
 
 def test_store_load_pairs_are_real_instructions(machine):

@@ -99,3 +99,24 @@ def test_collapsed_stacks_merge_and_weight():
 
 def test_collapsed_stacks_empty_tracer():
     assert to_collapsed_stacks(SpanTracer()) == ""
+
+
+def test_chrome_trace_carries_ledger_counter_tracks():
+    from repro.obs.ledger import CycleLedger
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        machine = Machine(get_cpu("broadwell"), seed=0)
+        with tracer.span("cpu.block"):
+            machine.run([isa.work(50)])
+    ledger = CycleLedger()
+    ledger.set_tag("pti", "mov_cr3")
+    ledger.charge(30)
+    ledger.clear_tag()
+    ledger.charge(12)
+
+    trace = to_chrome_trace(tracer, ledger=ledger)
+    counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+    by_name = {e["name"]: e["args"]["cycles"] for e in counters}
+    assert by_name == {"cycles.pti": 30, "cycles.base": 12}
+    assert trace["otherData"]["ledger"]["entries"] == {
+        "cpu/base/other": 12, "cpu/pti/mov_cr3": 30}

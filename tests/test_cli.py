@@ -214,3 +214,53 @@ def test_profile_leaves_null_tracer_installed(capsys, tmp_path):
     run_cli(capsys, "profile", "table", "1",
             "--trace-out", str(tmp_path / "t.json"))
     assert current_tracer() is NULL_TRACER
+
+
+def test_bench_then_check_round_trip(capsys, tmp_path):
+    bench_path = str(tmp_path / "BENCH_1.json")
+    out = run_cli(capsys, "bench", "--fast", "--cpus", "broadwell",
+                  "--drivers", "figure2", "--out", bench_path, "--no-cache")
+    assert "bench:" in out and "BENCH_1.json" in out
+    import json
+    payload = json.load(open(bench_path))
+    assert payload["kind"] == "spectresim-bench"
+    assert payload["values"] and payload["ledger"]["broadwell"]["total"] > 0
+
+    out = run_cli(capsys, "check", "--against", bench_path, "--no-cache")
+    assert "0 regressions" in out and "OK" in out
+
+
+def test_bench_numbers_into_dir(capsys, tmp_path):
+    run_cli(capsys, "bench", "--fast", "--cpus", "broadwell",
+            "--drivers", "figure2", "--dir", str(tmp_path), "--no-cache")
+    assert (tmp_path / "BENCH_1.json").exists()
+    run_cli(capsys, "bench", "--fast", "--cpus", "broadwell",
+            "--drivers", "figure2", "--dir", str(tmp_path), "--no-cache")
+    assert (tmp_path / "BENCH_2.json").exists()
+
+
+def test_check_fails_on_a_doctored_baseline(capsys, tmp_path):
+    import json
+    bench_path = str(tmp_path / "BENCH_1.json")
+    run_cli(capsys, "bench", "--fast", "--cpus", "broadwell",
+            "--drivers", "figure2", "--out", bench_path, "--no-cache")
+    payload = json.load(open(bench_path))
+    key = "figure2/broadwell/lebench:pti"
+    payload["values"][key]["value"] -= 50.0   # pretend pti used to be free
+    with open(bench_path, "w") as f:
+        json.dump(payload, f)
+    with pytest.raises(SystemExit) as exc:
+        main(["check", "--against", bench_path, "--no-cache"])
+    assert exc.value.code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and key in out and "FAIL" in out
+
+
+def test_profile_ledger_out(capsys, tmp_path):
+    ledger_path = str(tmp_path / "run.ledger")
+    out = run_cli(capsys, "profile", "figure", "2", "--fast",
+                  "--cpus", "broadwell", "--ledger-out", ledger_path)
+    assert "invariant verified" in out
+    report = open(ledger_path).read()
+    assert "cycle ledger" in report
+    assert "pti/mov_cr3" in report  # broadwell's default config has KPTI
