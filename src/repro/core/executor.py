@@ -40,6 +40,7 @@ from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..cpu import engine as blockengine
 from ..errors import ExecutorError
 from ..obs import ledger as obs_ledger
 from ..obs import spans as obs_spans
@@ -342,7 +343,8 @@ class RunStats:
 
 
 def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
-                     collect_ledger: bool = False) -> Dict[str, Any]:
+                     collect_ledger: bool = False,
+                     engine_mode: Optional[str] = None) -> Dict[str, Any]:
     """Process-pool entry point: run one cell, return result + telemetry.
 
     Top-level (picklable) and import-light: the heavy imports happen in
@@ -353,8 +355,16 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
     under its own :class:`~repro.obs.ledger.CycleLedger`, verifies the
     sum-to-TSC invariant for the cell, and ships the entries home for
     :meth:`~repro.obs.ledger.CycleLedger.merge_state`.
+
+    ``engine_mode`` propagates the parent's ``--engine`` selection so a
+    pool worker simulates with the same execution engine; the worker's
+    block-engine counters for this cell are shipped home and merged into
+    the parent's :data:`~repro.cpu.engine.STATS`.
     """
     from . import study
+    if engine_mode is not None:
+        blockengine.set_default_engine(engine_mode)
+    blockengine.STATS.reset()  # per-cell delta (workers run many cells)
     spec = CellSpec.from_dict(spec_dict)
     runner = study.CELL_RUNNERS[spec.driver]
     kind = study.DRIVER_KINDS[spec.driver]
@@ -373,7 +383,8 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
         ledger.verify()  # per-cell invariant, enforced worker-side
         ledger_payload = ledger.state()
     return {"result": encode_result(kind, result), "obs": obs_payload,
-            "ledger": ledger_payload}
+            "ledger": ledger_payload,
+            "engine": blockengine.STATS.as_dict()}
 
 
 class StudyExecutor:
@@ -506,7 +517,8 @@ class StudyExecutor:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_worker_run_cell, spec.to_dict(), collect_obs,
-                            ledger is not None):
+                            ledger is not None,
+                            blockengine.default_engine()):
                     (index, spec)
                 for index, spec in pending
             }
@@ -523,5 +535,7 @@ class StudyExecutor:
                     tracer.absorb(payload["obs"])
                 if ledger is not None and payload.get("ledger") is not None:
                     ledger.merge_state(payload["ledger"])
+                if payload.get("engine") is not None:
+                    blockengine.STATS.merge(payload["engine"])
                 record_completion(index, spec,
                                   decode_result(kind, payload["result"]))

@@ -63,6 +63,16 @@ class BranchHistoryBuffer:
             (1 << self.depth) - 1
         )
 
+    def push_many(self, pcs) -> None:
+        """Fold a run of branch PCs into the history hash in one call
+        (the block engine's batched replay of recorded pushes)."""
+        h = self._hash
+        shift = self.depth - 1
+        mask = (1 << self.depth) - 1
+        for pc in pcs:
+            h = ((h << 3) ^ pc ^ (h >> shift)) & mask
+        self._hash = h
+
     @property
     def value(self) -> int:
         return self._hash
@@ -117,6 +127,20 @@ class BranchTargetBuffer:
             # irrelevant to the experiments, which touch few branches.
             self._table.pop(next(iter(self._table)))
         self._table[pc] = (target, mode, salt, thread)
+
+    def train_many(self, installs) -> None:
+        """Install a run of ``(pc, target, mode, thread)`` entries in
+        order (the block engine's batched replay of recorded trains)."""
+        table = self._table
+        capacity = self.capacity
+        opaque = self.opaque_index
+        counter = self._install_counter
+        for pc, target, mode, thread in installs:
+            counter += 1
+            if pc not in table and len(table) >= capacity:
+                table.pop(next(iter(table)))
+            table[pc] = (target, mode, counter if opaque else 0, thread)
+        self._install_counter = counter
 
     def lookup(self, pc: int, mode: Mode, thread: int = 0,
                stibp: bool = False) -> Optional[int]:

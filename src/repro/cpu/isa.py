@@ -28,7 +28,16 @@ instruction never mutates it).
 from __future__ import annotations
 
 import enum
+import functools
 from typing import Optional, Tuple
+
+from .msr import (
+    IA32_FLUSH_CMD,
+    IA32_PRED_CMD,
+    IA32_SPEC_CTRL,
+    L1D_FLUSH_BIT,
+    PRED_CMD_IBPB,
+)
 
 
 class Op(enum.Enum):
@@ -130,8 +139,13 @@ class Instruction:
         ``repro.mitigations`` stamp the instructions they emit (e.g. the
         KPTI entry ``mov cr3`` carries ``("pti", "mov_cr3")``) so the
         cycle ledger can file their cost under the responsible
-        mitigation.  Untagged instructions fall back to per-op defaults
-        in the machine, or to base work.
+        mitigation.  Untagged instructions fall back to per-op defaults,
+        or to base work.
+
+    The resolved ledger tag is precomputed into ``attr_tag`` at
+    construction (instructions are immutable, so it can never change);
+    the machine's per-instruction charge path reads the attribute instead
+    of re-deriving the tag on every execute.
     """
 
     __slots__ = (
@@ -146,6 +160,8 @@ class Instruction:
         "kernel_address",
         "mitigation",
         "primitive",
+        "attr_tag",
+        "handler",
     )
 
     def __init__(
@@ -173,6 +189,17 @@ class Instruction:
         self.kernel_address = kernel_address
         self.mitigation = mitigation
         self.primitive = primitive
+        if mitigation is not None:
+            self.attr_tag = (mitigation, primitive or op.value)
+        elif op is Op.WRMSR:
+            self.attr_tag = _wrmsr_tag(msr, value)
+        else:
+            self.attr_tag = _DEFAULT_TAGS[op]
+        # Execute-dispatch target, filled lazily by Machine.execute on
+        # first use.  Per-op, machine-independent; caching it here turns
+        # the hot dispatch into one attribute load (instructions are
+        # interned, so the lookup happens once per distinct instruction).
+        self.handler = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         parts = [self.op.value]
@@ -185,15 +212,47 @@ class Instruction:
         return f"<Instruction {' '.join(parts)}>"
 
 
+#: Default (mitigation, primitive) attribution for ops that *are* a
+#: mitigation primitive even when the emitting site forgot to tag them.
+#: Explicit Instruction.mitigation tags always win.
+OP_DEFAULT_TAGS = {
+    Op.VERW: ("mds", "verw"),
+    Op.RSB_FILL: ("spectre_v2", "rsb_fill"),
+    Op.L1D_FLUSH: ("l1tf", "l1d_flush"),
+}
+
+#: Fully resolved default tag per op (falls back to base work keyed by
+#: the op name), so Instruction.__init__ does one dict lookup.
+_DEFAULT_TAGS = {op: OP_DEFAULT_TAGS.get(op, (None, op.value)) for op in Op}
+
+
+def _wrmsr_tag(msr: int, value: int):
+    """WRMSR attribution dispatched on the MSR index and payload."""
+    if msr == IA32_PRED_CMD and value & PRED_CMD_IBPB:
+        return ("spectre_v2", "ibpb")
+    if msr == IA32_FLUSH_CMD and value & L1D_FLUSH_BIT:
+        return ("l1tf", "l1d_flush")
+    if msr == IA32_SPEC_CTRL:
+        return ("spectre_v2", "wrmsr_spec_ctrl")
+    return (None, Op.WRMSR.value)
+
+
 # ---------------------------------------------------------------------------
 # Convenience constructors.  Workload generators use these heavily; they
 # read better than repeating Instruction(Op.X, ...) everywhere.
+#
+# Instructions are immutable after construction, so constructors intern
+# aggressively: argument-less constructors return module-level singletons,
+# and the parameterised ones memoize on their (hashable) arguments.  That
+# makes repeated sequence builds allocation-free and gives the block
+# engine stable instruction identities to key compiled blocks on.
 # ---------------------------------------------------------------------------
 
 def nop() -> Instruction:
-    return Instruction(Op.NOP)
+    return _NOP
 
 
+@functools.lru_cache(maxsize=4096)
 def work(cycles: int, mitigation: Optional[str] = None,
          primitive: Optional[str] = None) -> Instruction:
     """A compressed block of straight-line work costing ``cycles``."""
@@ -201,29 +260,33 @@ def work(cycles: int, mitigation: Optional[str] = None,
                        mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=None)
 def alu(n: int = 1) -> Tuple[Instruction, ...]:
-    """Return ``n`` single-cycle ALU instructions."""
-    return tuple(Instruction(Op.ALU) for _ in range(n))
+    """Return ``n`` single-cycle ALU instructions (one shared singleton)."""
+    return (_ALU,) * n
 
 
 def mul() -> Instruction:
-    return Instruction(Op.MUL)
+    return _MUL
 
 
 def div() -> Instruction:
     """A divide; occupies the divider unit, visible to the probe counter."""
-    return Instruction(Op.DIV)
+    return _DIV
 
 
+@functools.lru_cache(maxsize=256)
 def cmov(mitigation: Optional[str] = None,
          primitive: Optional[str] = None) -> Instruction:
     return Instruction(Op.CMOV, mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=65536)
 def load(address: int, size: int = 8, kernel: bool = False) -> Instruction:
     return Instruction(Op.LOAD, address=address, size=size, kernel_address=kernel)
 
 
+@functools.lru_cache(maxsize=65536)
 def store(address: int, size: int = 8, kernel: bool = False,
           value: int = 0) -> Instruction:
     return Instruction(Op.STORE, address=address, size=size,
@@ -241,6 +304,7 @@ def branch_cond(target: int = 0, pc: int = 0, taken: bool = False) -> Instructio
                        value=1 if taken else 0)
 
 
+@functools.lru_cache(maxsize=16384)
 def branch_indirect(target: int, pc: int = 0, retpoline: bool = False) -> Instruction:
     return Instruction(Op.BRANCH_INDIRECT, target=target, pc=pc, retpoline=retpoline)
 
@@ -259,16 +323,19 @@ def ret(pc: int = 0, target: int = 0) -> Instruction:
     return Instruction(Op.RET, pc=pc, target=target)
 
 
+@functools.lru_cache(maxsize=256)
 def lfence(mitigation: Optional[str] = None,
            primitive: Optional[str] = None) -> Instruction:
     return Instruction(Op.LFENCE, mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=256)
 def verw(mitigation: Optional[str] = None,
          primitive: Optional[str] = None) -> Instruction:
     return Instruction(Op.VERW, mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=256)
 def rsb_fill(mitigation: Optional[str] = None,
              primitive: Optional[str] = None) -> Instruction:
     """The 32-entry RSB stuffing sequence, modelled as one macro-op."""
@@ -276,17 +343,18 @@ def rsb_fill(mitigation: Optional[str] = None,
 
 
 def syscall_instr() -> Instruction:
-    return Instruction(Op.SYSCALL)
+    return _SYSCALL
 
 
 def sysret_instr() -> Instruction:
-    return Instruction(Op.SYSRET)
+    return _SYSRET
 
 
 def swapgs() -> Instruction:
-    return Instruction(Op.SWAPGS)
+    return _SWAPGS
 
 
+@functools.lru_cache(maxsize=256)
 def mov_cr3(pcid: int = 0, mitigation: Optional[str] = None,
             primitive: Optional[str] = None) -> Instruction:
     """Write the page table root; ``pcid`` tags the target context."""
@@ -294,42 +362,61 @@ def mov_cr3(pcid: int = 0, mitigation: Optional[str] = None,
                        mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=256)
 def wrmsr(msr: int, value: int, mitigation: Optional[str] = None,
           primitive: Optional[str] = None) -> Instruction:
     return Instruction(Op.WRMSR, msr=msr, value=value,
                        mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=256)
 def rdmsr(msr: int) -> Instruction:
     return Instruction(Op.RDMSR, msr=msr)
 
 
+@functools.lru_cache(maxsize=256)
 def xsave(mitigation: Optional[str] = None,
           primitive: Optional[str] = None) -> Instruction:
     return Instruction(Op.XSAVE, mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=256)
 def xrstor(mitigation: Optional[str] = None,
            primitive: Optional[str] = None) -> Instruction:
     return Instruction(Op.XRSTOR, mitigation=mitigation, primitive=primitive)
 
 
+@functools.lru_cache(maxsize=256)
 def l1d_flush(mitigation: Optional[str] = None,
               primitive: Optional[str] = None) -> Instruction:
     return Instruction(Op.L1D_FLUSH, mitigation=mitigation, primitive=primitive)
 
 
 def vmenter() -> Instruction:
-    return Instruction(Op.VMENTER)
+    return _VMENTER
 
 
 def vmexit() -> Instruction:
-    return Instruction(Op.VMEXIT)
+    return _VMEXIT
 
 
 def rdtsc() -> Instruction:
-    return Instruction(Op.RDTSC)
+    return _RDTSC
 
 
 def rdpmc() -> Instruction:
-    return Instruction(Op.RDPMC)
+    return _RDPMC
+
+
+# Shared singleton instructions for the argument-less constructors.
+_NOP = Instruction(Op.NOP)
+_ALU = Instruction(Op.ALU)
+_MUL = Instruction(Op.MUL)
+_DIV = Instruction(Op.DIV)
+_SYSCALL = Instruction(Op.SYSCALL)
+_SYSRET = Instruction(Op.SYSRET)
+_SWAPGS = Instruction(Op.SWAPGS)
+_VMENTER = Instruction(Op.VMENTER)
+_VMEXIT = Instruction(Op.VMEXIT)
+_RDTSC = Instruction(Op.RDTSC)
+_RDPMC = Instruction(Op.RDPMC)

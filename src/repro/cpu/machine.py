@@ -29,18 +29,21 @@ from ..errors import SegmentationFault, UnsupportedFeatureError
 from ..obs import ledger as obs_ledger
 from ..obs import spans as obs_spans
 from . import counters as ctr
+from . import engine as blockengine
 from . import msr as msrdef
 from .btb import BranchHistoryBuffer, BranchTargetBuffer
 from .buffers import MicroarchBuffers
 from .condbp import ConditionalPredictor
 from .cache import Cache, CacheHierarchy
 from .counters import PerfCounters
-from .isa import Instruction, Op, SERIALIZING_OPS
+from .isa import Instruction, Op, OP_DEFAULT_TAGS, SERIALIZING_OPS
 from .model import CPUModel
 from .modes import Mode
 from .msr import MSRFile
 from .rsb import BENIGN_ENTRY, ReturnStackBuffer
 from .storebuffer import StoreBuffer
+
+_RETIRED = ctr.INSTRUCTIONS_RETIRED
 from .tlb import TLB
 
 #: Retpoline flavors (paper Figure 4).
@@ -49,18 +52,17 @@ AMD_RETPOLINE = "amd"
 
 #: Default (mitigation, primitive) attribution for ops that *are* a
 #: mitigation primitive even when the emitting site forgot to tag them.
-#: Explicit Instruction.mitigation tags always win.
-_OP_DEFAULT_TAGS = {
-    Op.VERW: ("mds", "verw"),
-    Op.RSB_FILL: ("spectre_v2", "rsb_fill"),
-    Op.L1D_FLUSH: ("l1tf", "l1d_flush"),
-}
+#: Explicit Instruction.mitigation tags always win.  The table lives in
+#: repro.cpu.isa so instructions can resolve their tag at construction;
+#: the old name is kept as an alias.
+_OP_DEFAULT_TAGS = OP_DEFAULT_TAGS
 
 
 class Machine:
     """One logical CPU executing abstract instructions with cycle accounting."""
 
-    def __init__(self, cpu: CPUModel, seed: int = 0, microcode_patched: bool = True) -> None:
+    def __init__(self, cpu: CPUModel, seed: int = 0, microcode_patched: bool = True,
+                 engine: Optional[str] = None) -> None:
         self.cpu = cpu
         self.costs = cpu.costs
         self.mode = Mode.USER
@@ -140,6 +142,13 @@ class Machine:
         # last transient load addresses so demos can check the side channel.
         self.transient_loads: List[int] = []
 
+        # Block-compilation engine: a transparent fast path for run() that
+        # memoizes straight-line sequence deltas (see repro.cpu.engine).
+        # None means pure interpretation (--engine=interp).
+        self.engine_mode = engine if engine is not None else blockengine.default_engine()
+        self.engine = (blockengine.BlockEngine(self)
+                       if self.engine_mode == blockengine.ENGINE_BLOCK else None)
+
     # ------------------------------------------------------------------ #
     # MSR side effects
     # ------------------------------------------------------------------ #
@@ -175,103 +184,54 @@ class Machine:
     # ------------------------------------------------------------------ #
 
     def run(self, instructions: Iterable[Instruction]) -> int:
-        """Execute a stream on the committed path; returns total cycles."""
+        """Execute a stream on the committed path; returns total cycles.
+
+        Concrete multi-instruction sequences route through the block
+        engine (when enabled and no tracer wants per-instruction events);
+        everything else — generators, single instructions, traced runs —
+        interprets instruction by instruction.  Both paths are
+        bit-identical by construction (see repro.cpu.engine).
+        """
+        engine = self.engine
+        if (engine is not None and self.tracer is None
+                and instructions.__class__ in (list, tuple)
+                and len(instructions) > 1):
+            return engine.run(instructions)
         total = 0
         for instr in instructions:
             total += self.execute(instr)
         return total
 
+    def prime_block(self, instructions: Sequence[Instruction]) -> None:
+        """Pre-compile a known-hot sequence (kernel entry/exit, handler
+        bodies) so even its first execution takes the engine fast path."""
+        if (self.engine is not None
+                and instructions.__class__ in (list, tuple)
+                and len(instructions) > 1):
+            self.engine.prime(instructions)
+
     def execute(self, instr: Instruction) -> int:
         """Execute one instruction on the committed path; returns cycles."""
-        op = instr.op
-        costs = self.costs
-        cycles: int
+        handler = instr.handler
+        if handler is None:
+            handler = _DISPATCH.get(instr.op)
+            if handler is None:  # pragma: no cover - exhaustive over Op
+                raise UnsupportedFeatureError(f"unhandled op {instr.op}")
+            instr.handler = handler
+        cycles = handler(self, instr)
 
-        if op is Op.ALU:
-            cycles = costs.alu
-        elif op is Op.WORK:
-            cycles = instr.value
-        elif op is Op.NOP:
-            cycles = costs.nop
-        elif op is Op.MUL:
-            cycles = costs.mul
-        elif op is Op.DIV:
-            cycles = costs.div
-            self.counters.bump(ctr.DIVIDER_ACTIVE, costs.div)
-        elif op is Op.CMOV:
-            cycles = costs.cmov
-        elif op is Op.PAUSE:
-            cycles = costs.pause
-        elif op is Op.LOAD:
-            cycles = self._execute_load(instr)
-        elif op is Op.STORE:
-            cycles = self._execute_store(instr)
-        elif op is Op.CLFLUSH:
-            self.caches.flush_line(instr.address)
-            cycles = costs.clflush
-        elif op is Op.BRANCH_COND:
-            cycles = self._execute_cond_branch(instr)
-        elif op in (Op.BRANCH_INDIRECT, Op.CALL_INDIRECT):
-            cycles = self._execute_indirect(instr)
-            if op is Op.CALL_INDIRECT:
-                self.rsb.push(instr.pc)
-        elif op is Op.CALL:
-            self.rsb.push(instr.pc)
-            self.bhb.push(instr.pc)
-            cycles = costs.call
-        elif op is Op.RET:
-            cycles = self._execute_ret(instr)
-        elif op is Op.LFENCE:
-            cycles = costs.lfence
-        elif op is Op.VERW:
-            cycles = self._execute_verw()
-        elif op is Op.RSB_FILL:
-            self.rsb.stuff()
-            cycles = costs.rsb_fill
-        elif op is Op.SYSCALL:
-            cycles = self._execute_syscall_entry()
-        elif op is Op.SYSRET:
-            self.mode = Mode.GUEST_USER if self.mode.is_guest else Mode.USER
-            cycles = costs.sysret
-        elif op is Op.SWAPGS:
-            cycles = costs.swapgs
-        elif op is Op.MOV_CR3:
-            invalidated = self.tlb.switch_context(pcid=instr.value)
-            cycles = costs.swap_cr3 + invalidated // 8  # shootdown refill drag
-        elif op is Op.WRMSR:
-            cycles = self._execute_wrmsr(instr)
-        elif op is Op.RDMSR:
-            cycles = costs.rdmsr
-        elif op is Op.XSAVE:
-            cycles = costs.xsave
-        elif op is Op.XRSTOR:
-            cycles = costs.xrstor
-        elif op is Op.L1D_FLUSH:
-            self.msr.write(msrdef.IA32_FLUSH_CMD, msrdef.L1D_FLUSH_BIT)
-            cycles = costs.l1d_flush
-        elif op is Op.VMENTER:
-            self.mode = Mode.GUEST_KERNEL
-            cycles = costs.vmenter
-        elif op is Op.VMEXIT:
-            self.mode = Mode.KERNEL
-            self.counters.bump(ctr.VM_EXITS)
-            cycles = costs.vmexit
-        elif op is Op.RDTSC:
-            cycles = costs.rdtsc
-        elif op is Op.RDPMC:
-            cycles = costs.rdpmc
-        else:  # pragma: no cover - exhaustive over Op
-            raise UnsupportedFeatureError(f"unhandled op {op}")
-
+        counters = self.counters
         ledger = self.ledger
         if ledger is None:
-            self.counters.add_cycles(cycles)
+            # add_cycles() without an attached ledger is exactly this.
+            counters.tsc += cycles
         else:
-            mitigation, primitive = self._attribution_tag(instr)
+            mitigation, primitive = instr.attr_tag
             ledger.set_tag(mitigation, primitive)
-            self.counters.add_cycles(cycles)
+            counters.add_cycles(cycles)
             ledger.clear_tag()
-        self.counters.bump(ctr.INSTRUCTIONS_RETIRED)
+        events = counters.events
+        events[_RETIRED] = events.get(_RETIRED, 0) + 1
         if self.tracer is not None:
             self.tracer(instr, cycles, False, self.mode)
         return cycles
@@ -279,25 +239,103 @@ class Machine:
     def _attribution_tag(self, instr: Instruction):
         """(mitigation, primitive) the ledger files this instruction under.
 
-        Explicit tags stamped by sequence builders win; otherwise ops that
-        only exist as mitigation primitives get a sensible default, WRMSR
-        is dispatched on the MSR index, and everything else is base work
-        keyed by its op name.
+        Tags are now resolved once at Instruction construction (see
+        ``Instruction.attr_tag``); this accessor remains for callers and
+        tests that consult the policy explicitly.
         """
-        if instr.mitigation is not None:
-            return instr.mitigation, instr.primitive or instr.op.value
-        op = instr.op
-        tag = _OP_DEFAULT_TAGS.get(op)
-        if tag is not None:
-            return tag
-        if op is Op.WRMSR:
-            if instr.msr == msrdef.IA32_PRED_CMD and instr.value & msrdef.PRED_CMD_IBPB:
-                return "spectre_v2", "ibpb"
-            if instr.msr == msrdef.IA32_FLUSH_CMD and instr.value & msrdef.L1D_FLUSH_BIT:
-                return "l1tf", "l1d_flush"
-            if instr.msr == msrdef.IA32_SPEC_CTRL:
-                return "spectre_v2", "wrmsr_spec_ctrl"
-        return None, op.value
+        return instr.attr_tag
+
+    # -- per-op dispatch targets (bound via the module-level _DISPATCH
+    #    table; each returns the instruction's cycle cost) --------------- #
+
+    def _op_alu(self, instr: Instruction) -> int:
+        return self.costs.alu
+
+    def _op_work(self, instr: Instruction) -> int:
+        return instr.value
+
+    def _op_nop(self, instr: Instruction) -> int:
+        return self.costs.nop
+
+    def _op_mul(self, instr: Instruction) -> int:
+        return self.costs.mul
+
+    def _op_div(self, instr: Instruction) -> int:
+        self.counters.bump(ctr.DIVIDER_ACTIVE, self.costs.div)
+        return self.costs.div
+
+    def _op_cmov(self, instr: Instruction) -> int:
+        return self.costs.cmov
+
+    def _op_pause(self, instr: Instruction) -> int:
+        return self.costs.pause
+
+    def _op_clflush(self, instr: Instruction) -> int:
+        self.caches.flush_line(instr.address)
+        return self.costs.clflush
+
+    def _op_indirect(self, instr: Instruction) -> int:
+        cycles = self._execute_indirect(instr)
+        if instr.op is Op.CALL_INDIRECT:
+            self.rsb.push(instr.pc)
+        return cycles
+
+    def _op_call(self, instr: Instruction) -> int:
+        self.rsb.push(instr.pc)
+        self.bhb.push(instr.pc)
+        return self.costs.call
+
+    def _op_lfence(self, instr: Instruction) -> int:
+        return self.costs.lfence
+
+    def _op_verw(self, instr: Instruction) -> int:
+        return self._execute_verw()
+
+    def _op_rsb_fill(self, instr: Instruction) -> int:
+        self.rsb.stuff()
+        return self.costs.rsb_fill
+
+    def _op_syscall(self, instr: Instruction) -> int:
+        return self._execute_syscall_entry()
+
+    def _op_sysret(self, instr: Instruction) -> int:
+        self.mode = Mode.GUEST_USER if self.mode.is_guest else Mode.USER
+        return self.costs.sysret
+
+    def _op_swapgs(self, instr: Instruction) -> int:
+        return self.costs.swapgs
+
+    def _op_mov_cr3(self, instr: Instruction) -> int:
+        invalidated = self.tlb.switch_context(pcid=instr.value)
+        return self.costs.swap_cr3 + invalidated // 8  # shootdown refill drag
+
+    def _op_rdmsr(self, instr: Instruction) -> int:
+        return self.costs.rdmsr
+
+    def _op_xsave(self, instr: Instruction) -> int:
+        return self.costs.xsave
+
+    def _op_xrstor(self, instr: Instruction) -> int:
+        return self.costs.xrstor
+
+    def _op_l1d_flush(self, instr: Instruction) -> int:
+        self.msr.write(msrdef.IA32_FLUSH_CMD, msrdef.L1D_FLUSH_BIT)
+        return self.costs.l1d_flush
+
+    def _op_vmenter(self, instr: Instruction) -> int:
+        self.mode = Mode.GUEST_KERNEL
+        return self.costs.vmenter
+
+    def _op_vmexit(self, instr: Instruction) -> int:
+        self.mode = Mode.KERNEL
+        self.counters.bump(ctr.VM_EXITS)
+        return self.costs.vmexit
+
+    def _op_rdtsc(self, instr: Instruction) -> int:
+        return self.costs.rdtsc
+
+    def _op_rdpmc(self, instr: Instruction) -> int:
+        return self.costs.rdpmc
 
     def charge(self, cycles: int, mitigation: Optional[str] = None,
                primitive: Optional[str] = None) -> int:
@@ -677,3 +715,41 @@ class Machine:
     def read_tsc(self) -> int:
         """Current value of the simulated timestamp counter."""
         return self.counters.tsc
+
+
+#: Op-indexed dispatch table for the committed path: one dict lookup per
+#: instruction instead of a ~30-arm if/elif scan.  Built once at import;
+#: entries are plain functions called as handler(machine, instr).
+_DISPATCH = {
+    Op.ALU: Machine._op_alu,
+    Op.WORK: Machine._op_work,
+    Op.NOP: Machine._op_nop,
+    Op.MUL: Machine._op_mul,
+    Op.DIV: Machine._op_div,
+    Op.CMOV: Machine._op_cmov,
+    Op.PAUSE: Machine._op_pause,
+    Op.LOAD: Machine._execute_load,
+    Op.STORE: Machine._execute_store,
+    Op.CLFLUSH: Machine._op_clflush,
+    Op.BRANCH_COND: Machine._execute_cond_branch,
+    Op.BRANCH_INDIRECT: Machine._op_indirect,
+    Op.CALL_INDIRECT: Machine._op_indirect,
+    Op.CALL: Machine._op_call,
+    Op.RET: Machine._execute_ret,
+    Op.LFENCE: Machine._op_lfence,
+    Op.VERW: Machine._op_verw,
+    Op.RSB_FILL: Machine._op_rsb_fill,
+    Op.SYSCALL: Machine._op_syscall,
+    Op.SYSRET: Machine._op_sysret,
+    Op.SWAPGS: Machine._op_swapgs,
+    Op.MOV_CR3: Machine._op_mov_cr3,
+    Op.WRMSR: Machine._execute_wrmsr,
+    Op.RDMSR: Machine._op_rdmsr,
+    Op.XSAVE: Machine._op_xsave,
+    Op.XRSTOR: Machine._op_xrstor,
+    Op.L1D_FLUSH: Machine._op_l1d_flush,
+    Op.VMENTER: Machine._op_vmenter,
+    Op.VMEXIT: Machine._op_vmexit,
+    Op.RDTSC: Machine._op_rdtsc,
+    Op.RDPMC: Machine._op_rdpmc,
+}

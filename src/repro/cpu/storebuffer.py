@@ -47,12 +47,28 @@ class StoreBuffer:
 
     def push(self, address: int, value: int = 0) -> None:
         """Retire a store into the buffer; oldest entries drain to memory."""
-        line = self._line_of(address)
-        if line in self._pending:
-            self._pending.move_to_end(line)
-        self._pending[line] = value
-        if len(self._pending) > self.depth:
-            self._pending.popitem(last=False)
+        pending = self._pending
+        line = address // 64
+        if line in pending:
+            pending.move_to_end(line)
+        pending[line] = value
+        if len(pending) > self.depth:
+            pending.popitem(last=False)
+
+    def push_many(self, stores) -> None:
+        """Retire a run of stores in order (the block engine's batched
+        replay of recorded pushes; semantics identical to N push calls)."""
+        pending = self._pending
+        depth = self.depth
+        move = pending.move_to_end
+        pop = pending.popitem
+        for address, value in stores:
+            line = address // 64
+            if line in pending:
+                move(line)
+            pending[line] = value
+            if len(pending) > depth:
+                pop(last=False)
 
     def match(self, address: int) -> bool:
         """Is there a pending store the load at ``address`` would hit?"""

@@ -17,7 +17,7 @@ behaviour, not kernel code.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -32,15 +32,24 @@ from ..mitigations.mds import verw_sequence
 ENTRY_SPAN = "kernel.entry"
 EXIT_SPAN = "kernel.exit"
 
+#: Built sequences interned by config: the same immutable tuple comes back
+#: for every kernel booted with an equal config, so the block engine keeps
+#: its compiled entry/exit blocks warm across kernel instances.
+_ENTRY_CACHE: Dict[MitigationConfig, Tuple[Instruction, ...]] = {}
+_EXIT_CACHE: Dict[MitigationConfig, Tuple[Instruction, ...]] = {}
+
 
 def build_entry_sequence(config: MitigationConfig,
-                         interrupt: bool = False) -> List[Instruction]:
+                         interrupt: bool = False) -> Tuple[Instruction, ...]:
     """The user->kernel crossing under ``config``.
 
     ``interrupt`` marks exception/interrupt entries (page faults, timer):
     same mitigation work, but the hardware event costs more than
     ``syscall`` — the extra is charged by the caller.
     """
+    cached = _ENTRY_CACHE.get(config)
+    if cached is not None:
+        return cached
     seq: List[Instruction] = [isa.syscall_instr(), isa.swapgs()]
     if config.v1_lfence_swapgs:
         seq.extend(lfence_after_swapgs_sequence())
@@ -48,11 +57,16 @@ def build_entry_sequence(config: MitigationConfig,
         seq.extend(kpti_entry_sequence())
     if config.uses_ibrs_entry_write:
         seq.extend(ibrs_entry_sequence())
-    return seq
+    result = tuple(seq)
+    _ENTRY_CACHE[config] = result
+    return result
 
 
-def build_exit_sequence(config: MitigationConfig) -> List[Instruction]:
+def build_exit_sequence(config: MitigationConfig) -> Tuple[Instruction, ...]:
     """The kernel->user crossing under ``config``."""
+    cached = _EXIT_CACHE.get(config)
+    if cached is not None:
+        return cached
     seq: List[Instruction] = []
     if config.mds_verw:
         seq.extend(verw_sequence())
@@ -62,4 +76,6 @@ def build_exit_sequence(config: MitigationConfig) -> List[Instruction]:
         seq.extend(kpti_exit_sequence())
     seq.append(isa.swapgs())
     seq.append(isa.sysret_instr())
-    return seq
+    result = tuple(seq)
+    _EXIT_CACHE[config] = result
+    return result

@@ -17,7 +17,7 @@ writes).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -43,11 +43,18 @@ class Kernel:
         self.machine = machine
         self.config = config
         self.scheduler = Scheduler(machine, config)
-        self._entry = build_entry_sequence(config)
-        self._exit = build_exit_sequence(config)
-        self._handler_cache: Dict[str, List[Instruction]] = {}
+        # Tuples, not lists: immutable sequences let the block engine skip
+        # the per-run in-place-mutation check on its hottest blocks.
+        self._entry = tuple(build_entry_sequence(config))
+        self._exit = tuple(build_exit_sequence(config))
+        self._handler_cache: Dict[str, Tuple[Instruction, ...]] = {}
         self._region_counter = 0
         self._boot()
+        # The entry/exit streams run on every crossing for this kernel's
+        # lifetime: hand them to the block engine up front so even the
+        # first syscall takes the compiled fast path.
+        machine.prime_block(self._entry)
+        machine.prime_block(self._exit)
 
     def _boot(self) -> None:
         machine = self.machine
@@ -68,12 +75,13 @@ class Kernel:
 
     # ------------------------------------------------------------------ #
 
-    def _compiled(self, profile: HandlerProfile) -> List[Instruction]:
+    def _compiled(self, profile: HandlerProfile) -> Tuple[Instruction, ...]:
         block = self._handler_cache.get(profile.name)
         if block is None:
-            block = profile.compile(self.config, self._region_counter)
+            block = tuple(profile.compile(self.config, self._region_counter))
             self._region_counter += 1
             self._handler_cache[profile.name] = block
+            self.machine.prime_block(block)
         return block
 
     def syscall(self, profile: HandlerProfile,

@@ -14,7 +14,7 @@ building a kernel with ``CONFIG_RETPOLINE``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import Dict, List, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -28,6 +28,13 @@ PROFILE_REGION = 1 << 20
 
 #: Code address region for handler indirect-branch sites.
 KERNEL_TEXT_BASE = 0xFFFF_FFFF_8100_0000
+
+#: Compiled blocks interned by (profile, compile-relevant config bits,
+#: region).  Handing every caller the *same* tuple object — across Kernel
+#: instances and whole benchmark runs — lets the block engine's per-machine
+#: cache (keyed by sequence identity) keep its compiled blocks and memos
+#: warm instead of starting cold each time a kernel is rebuilt.
+_COMPILE_CACHE: Dict[tuple, Tuple[Instruction, ...]] = {}
 
 
 @dataclass(frozen=True)
@@ -53,7 +60,8 @@ class HandlerProfile:
         """Span this handler's cycles are attributed to when tracing."""
         return f"kernel.handler.{self.name}"
 
-    def compile(self, config: MitigationConfig, region_index: int) -> List[Instruction]:
+    def compile(self, config: MitigationConfig,
+                region_index: int) -> Tuple[Instruction, ...]:
         """Lower this profile to an instruction stream under ``config``.
 
         The user-copy path gets one ``array_index_nospec``-style masking
@@ -61,7 +69,16 @@ class HandlerProfile:
         kernel-side analogue of the JIT's index masking.  Its cost is a
         single dependent op per copy, which is why the paper found kernel
         V1 mitigations had "no measurable impact on LEBench" (4.6).
+
+        The result is an interned immutable tuple: identical inputs return
+        the identical object so block-engine state survives kernel churn.
         """
+        key = (self, config.uses_retpolines,
+               bool(self.copy_bytes) and config.v1_usercopy_masking,
+               region_index)
+        cached = _COMPILE_CACHE.get(key)
+        if cached is not None:
+            return cached
         base = KERNEL_HEAP_BASE + region_index * PROFILE_REGION
         text = KERNEL_TEXT_BASE + region_index * PROFILE_REGION
         retpoline = config.uses_retpolines
@@ -85,7 +102,9 @@ class HandlerProfile:
         for i in range(lines):
             block.append(isa.load(base + 65536 + 64 * i, kernel=True))
             block.append(isa.store(base + 131072 + 64 * i, kernel=True))
-        return block
+        result = tuple(block)
+        _COMPILE_CACHE[key] = result
+        return result
 
 
 #: A tiny reference handler (getpid-style) used in tests and examples.

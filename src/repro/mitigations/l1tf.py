@@ -17,8 +17,10 @@ Two mitigations, both modelled:
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -50,9 +52,14 @@ def invert_pte(pte: PageTableEntry) -> PageTableEntry:
     return PageTableEntry(present=False, frame=UNCACHEABLE_FRAME // PAGE + pte.frame)
 
 
-def l1d_flush_sequence() -> List[Instruction]:
-    """Hypervisor mitigation: flush L1D immediately before VM entry."""
-    return [isa.l1d_flush(mitigation="l1tf", primitive="l1d_flush")]
+@functools.lru_cache(maxsize=None)
+def l1d_flush_sequence() -> Tuple[Instruction, ...]:
+    """Hypervisor mitigation: flush L1D immediately before VM entry.
+
+    Cached: the same tuple object is returned every call, so the block
+    engine can key its compiled-block cache on sequence identity.
+    """
+    return (isa.l1d_flush(mitigation="l1tf", primitive="l1d_flush"),)
 
 
 def attempt_l1tf(

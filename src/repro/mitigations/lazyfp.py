@@ -15,8 +15,10 @@ expose both paths for the ablation bench.
 
 from __future__ import annotations
 
+import functools
+
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -32,10 +34,14 @@ class FPUState:
     secret: int = 0                   # model payload: the register contents
 
 
-def eager_switch_sequence() -> List[Instruction]:
-    """Mitigated context switch: always xsave old + xrstor new."""
-    return [isa.xsave(mitigation="lazyfp", primitive="xsave"),
-            isa.xrstor(mitigation="lazyfp", primitive="xrstor")]
+@functools.lru_cache(maxsize=None)
+def eager_switch_sequence() -> Tuple[Instruction, ...]:
+    """Mitigated context switch: always xsave old + xrstor new.
+
+    Cached: a stable tuple identity lets the block engine compile it.
+    """
+    return (isa.xsave(mitigation="lazyfp", primitive="xsave"),
+            isa.xrstor(mitigation="lazyfp", primitive="xrstor"))
 
 
 def eager_switch_cost(machine: Machine) -> int:

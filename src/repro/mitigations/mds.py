@@ -14,7 +14,9 @@ run on every crossing:
 
 from __future__ import annotations
 
-from typing import Dict, List
+import functools
+
+from typing import Dict, List, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -22,9 +24,13 @@ from ..cpu.machine import Machine
 from ..cpu.modes import Mode
 
 
-def verw_sequence() -> List[Instruction]:
-    """The kernel-exit buffer clear (a single extended ``verw``)."""
-    return [isa.verw(mitigation="mds", primitive="verw")]
+@functools.lru_cache(maxsize=None)
+def verw_sequence() -> Tuple[Instruction, ...]:
+    """The kernel-exit buffer clear (a single extended ``verw``).
+
+    Cached: a stable tuple identity lets the block engine compile it.
+    """
+    return (isa.verw(mitigation="mds", primitive="verw"),)
 
 
 def smt_effective_threads(cores: int, smt_enabled: bool, smt_yield: float = 1.25) -> float:

@@ -13,7 +13,9 @@ Table 3).
 
 from __future__ import annotations
 
-from typing import List, Optional
+import functools
+
+from typing import List, Optional, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -29,17 +31,19 @@ KERNEL_PCID = 0
 USER_PCID = 0x80
 
 
-def kpti_entry_sequence() -> List[Instruction]:
+@functools.lru_cache(maxsize=None)
+def kpti_entry_sequence() -> Tuple[Instruction, ...]:
     """Instructions added to kernel entry when PTI is on: switch to the
-    kernel page table root."""
-    return [isa.mov_cr3(pcid=KERNEL_PCID, mitigation="pti",
-                        primitive="mov_cr3")]
+    kernel page table root.  Cached for stable block-engine identity."""
+    return (isa.mov_cr3(pcid=KERNEL_PCID, mitigation="pti",
+                        primitive="mov_cr3"),)
 
 
-def kpti_exit_sequence() -> List[Instruction]:
+@functools.lru_cache(maxsize=None)
+def kpti_exit_sequence() -> Tuple[Instruction, ...]:
     """Instructions added to kernel exit: switch back to the user table."""
-    return [isa.mov_cr3(pcid=USER_PCID, mitigation="pti",
-                        primitive="mov_cr3")]
+    return (isa.mov_cr3(pcid=USER_PCID, mitigation="pti",
+                        primitive="mov_cr3"),)
 
 
 def attempt_meltdown(machine: Machine, secret_byte: int) -> Optional[int]:

@@ -18,7 +18,9 @@ applied by a JIT to every generated array/object access.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import functools
+
+from typing import List, Optional, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -32,10 +34,12 @@ PROBE_BASE = 0x7E00_0000_0000
 PROBE_STRIDE = 4096
 
 
-def lfence_after_swapgs_sequence() -> List[Instruction]:
+@functools.lru_cache(maxsize=None)
+def lfence_after_swapgs_sequence() -> Tuple[Instruction, ...]:
     """The kernel-entry V1 hardening: swapgs is followed by an lfence so
-    speculation cannot run kernel code with a user GS base."""
-    return [isa.lfence(mitigation="spectre_v1", primitive="lfence_swapgs")]
+    speculation cannot run kernel code with a user GS base.  Cached for
+    stable block-engine identity."""
+    return (isa.lfence(mitigation="spectre_v1", primitive="lfence_swapgs"),)
 
 
 def build_gadget(

@@ -23,7 +23,9 @@ kernel model splices in, plus a BTB-poisoning demonstration used by tests
 
 from __future__ import annotations
 
-from typing import List, Optional
+import functools
+
+from typing import List, Optional, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -54,27 +56,34 @@ def indirect_branch(target: int, pc: int, config: MitigationConfig) -> Instructi
     return isa.branch_indirect(target, pc=pc, retpoline=config.uses_retpolines)
 
 
-def ibpb_sequence() -> List[Instruction]:
-    """Indirect Branch Prediction Barrier: write IA32_PRED_CMD bit 0."""
-    return [isa.wrmsr(IA32_PRED_CMD, PRED_CMD_IBPB,
-                      mitigation="spectre_v2", primitive="ibpb")]
+@functools.lru_cache(maxsize=None)
+def ibpb_sequence() -> Tuple[Instruction, ...]:
+    """Indirect Branch Prediction Barrier: write IA32_PRED_CMD bit 0.
+
+    Cached: a stable tuple identity lets the block engine compile it.
+    """
+    return (isa.wrmsr(IA32_PRED_CMD, PRED_CMD_IBPB,
+                      mitigation="spectre_v2", primitive="ibpb"),)
 
 
-def rsb_stuffing_sequence() -> List[Instruction]:
+@functools.lru_cache(maxsize=None)
+def rsb_stuffing_sequence() -> Tuple[Instruction, ...]:
     """The 32-entry RSB fill loop, as one macro instruction (Table 7)."""
-    return [isa.rsb_fill(mitigation="spectre_v2", primitive="rsb_fill")]
+    return (isa.rsb_fill(mitigation="spectre_v2", primitive="rsb_fill"),)
 
 
-def ibrs_entry_sequence() -> List[Instruction]:
+@functools.lru_cache(maxsize=None)
+def ibrs_entry_sequence() -> Tuple[Instruction, ...]:
     """Legacy IBRS: set SPEC_CTRL.IBRS on kernel entry."""
-    return [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_IBRS,
-                      mitigation="spectre_v2", primitive="wrmsr_spec_ctrl")]
+    return (isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_IBRS,
+                      mitigation="spectre_v2", primitive="wrmsr_spec_ctrl"),)
 
 
-def ibrs_exit_sequence() -> List[Instruction]:
+@functools.lru_cache(maxsize=None)
+def ibrs_exit_sequence() -> Tuple[Instruction, ...]:
     """Legacy IBRS: clear SPEC_CTRL.IBRS before returning to user mode."""
-    return [isa.wrmsr(IA32_SPEC_CTRL, 0,
-                      mitigation="spectre_v2", primitive="wrmsr_spec_ctrl")]
+    return (isa.wrmsr(IA32_SPEC_CTRL, 0,
+                      mitigation="spectre_v2", primitive="wrmsr_spec_ctrl"),)
 
 
 def install_gadget(machine: Machine) -> None:

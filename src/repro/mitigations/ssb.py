@@ -14,7 +14,9 @@ paper's Figure 3.
 
 from __future__ import annotations
 
-from typing import List, Optional
+import functools
+
+from typing import List, Optional, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -28,14 +30,16 @@ PROBE_BASE = 0x7C00_0000_0000
 PROBE_STRIDE = 4096
 
 
-def ssbd_enable_sequence() -> List[Instruction]:
+@functools.lru_cache(maxsize=None)
+def ssbd_enable_sequence() -> Tuple[Instruction, ...]:
     """MSR write enabling SSBD (the scheduler issues this when switching
-    to an opted-in process)."""
-    return [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_SSBD)]
+    to an opted-in process).  Cached for stable block-engine identity."""
+    return (isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_SSBD),)
 
 
-def ssbd_disable_sequence() -> List[Instruction]:
-    return [isa.wrmsr(IA32_SPEC_CTRL, 0)]
+@functools.lru_cache(maxsize=None)
+def ssbd_disable_sequence() -> Tuple[Instruction, ...]:
+    return (isa.wrmsr(IA32_SPEC_CTRL, 0),)
 
 
 def process_wants_ssbd(mode: SSBDMode, opted_in_prctl: bool, uses_seccomp: bool) -> bool:

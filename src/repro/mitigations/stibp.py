@@ -13,7 +13,9 @@ an :class:`~repro.cpu.smt.SMTCore`.
 
 from __future__ import annotations
 
-from typing import List
+import functools
+
+from typing import List, Tuple
 
 from ..cpu import isa
 from ..cpu.isa import Instruction
@@ -28,9 +30,11 @@ BENIGN_ADDRESS = 0x45_3000
 LEAK_LINE = 0x7B00_0000_0000
 
 
-def stibp_enable_sequence() -> List[Instruction]:
-    """MSR write turning STIBP on for the current thread."""
-    return [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_STIBP)]
+@functools.lru_cache(maxsize=None)
+def stibp_enable_sequence() -> Tuple[Instruction, ...]:
+    """MSR write turning STIBP on for the current thread.  Cached for
+    stable block-engine identity."""
+    return (isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_STIBP),)
 
 
 def attempt_cross_thread_injection(core: SMTCore, stibp: bool = False) -> bool:

@@ -29,6 +29,7 @@ __all__ = [
     "RunManifest",
     "build_manifest",
     "code_fingerprint",
+    "fingerprint_inputs",
     "config_to_dict",
     "settings_to_dict",
     "stamp_payload",
@@ -48,6 +49,27 @@ def _package_version() -> str:
     return __version__
 
 
+def fingerprint_inputs() -> List[str]:
+    """The package-relative paths folded into :func:`code_fingerprint`.
+
+    Every ``.py`` file under the installed ``repro`` package, in the
+    hashing order.  Exposed so tests can assert that execution-affecting
+    modules (e.g. ``cpu/engine.py``, whose block compiler now sits on the
+    simulation hot path) participate in the persistent-cache key — a
+    module missing from this list could change simulated results without
+    invalidating cached cells.
+    """
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    paths: List[str] = []
+    for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                path = os.path.join(dirpath, filename)
+                paths.append(os.path.relpath(path, package_root))
+    return paths
+
+
 @functools.lru_cache(maxsize=1)
 def code_fingerprint() -> str:
     """Content hash of the installed ``repro`` package source.
@@ -55,20 +77,16 @@ def code_fingerprint() -> str:
     The release version alone cannot key a persistent result cache: two
     development checkouts of the same version can simulate differently.
     Hashing every ``.py`` file of the package (path + bytes, in sorted
-    order) gives a fingerprint that changes whenever the code that
-    produced a cached result changes.  Computed once per process.
+    order — see :func:`fingerprint_inputs`) gives a fingerprint that
+    changes whenever the code that produced a cached result changes.
+    Computed once per process.
     """
     package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     digest = hashlib.sha256()
-    for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
-        dirnames.sort()
-        for filename in sorted(filenames):
-            if not filename.endswith(".py"):
-                continue
-            path = os.path.join(dirpath, filename)
-            digest.update(os.path.relpath(path, package_root).encode())
-            with open(path, "rb") as f:
-                digest.update(f.read())
+    for relpath in fingerprint_inputs():
+        digest.update(relpath.encode())
+        with open(os.path.join(package_root, relpath), "rb") as f:
+            digest.update(f.read())
     return digest.hexdigest()[:16]
 
 

@@ -1,0 +1,302 @@
+"""Unit tests for the block-compilation engine (``repro.cpu.engine``).
+
+The differential grid test (``test_engine_differential.py``) proves
+bit-identity at workload scale; these tests pin the mechanisms — instruction
+interning, precomputed attribution tags, compile-on-second-sighting,
+cache-safety under list mutation, guard re-recording, memo check fallback,
+and the stats/priming plumbing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cpu import Machine, get_cpu, isa
+from repro.cpu import engine
+from repro.cpu.isa import Op
+from repro.cpu.msr import (
+    IA32_PRED_CMD,
+    IA32_SPEC_CTRL,
+    PRED_CMD_IBPB,
+    SPEC_CTRL_SSBD,
+)
+from repro.obs.provenance import fingerprint_inputs
+
+
+# --------------------------------------------------------------------------
+# Instruction interning (the alu(n) O(n)-allocation fix).
+
+def test_argless_constructors_return_singletons():
+    assert isa.nop() is isa.nop()
+    assert isa.mul() is isa.mul()
+    assert isa.div() is isa.div()
+    assert isa.swapgs() is isa.swapgs()
+    assert isa.syscall_instr() is isa.syscall_instr()
+    assert isa.rdtsc() is isa.rdtsc()
+
+
+def test_alu_blocks_share_one_interned_instruction():
+    assert isa.alu(4)[0] is isa.alu(4)[0]
+    assert isa.alu(4) is isa.alu(4)          # the tuple itself is cached
+    assert isa.alu(4)[0] is isa.alu(9)[3]    # one singleton across sizes
+    assert len(isa.alu(7)) == 7
+
+
+def test_parameterised_constructors_memoize():
+    assert isa.load(0x1000) is isa.load(0x1000)
+    assert isa.store(0x2000, value=3) is isa.store(0x2000, value=3)
+    assert isa.work(50) is isa.work(50)
+    assert isa.wrmsr(IA32_SPEC_CTRL, 1) is isa.wrmsr(IA32_SPEC_CTRL, 1)
+    assert isa.load(0x1000) is not isa.load(0x1040)
+
+
+def test_instruction_has_slots():
+    instr = isa.nop()
+    assert not hasattr(instr, "__dict__")
+    with pytest.raises(AttributeError):
+        instr.scratch = 1
+
+
+# --------------------------------------------------------------------------
+# Precomputed attribution tags.
+
+def test_attr_tag_defaults_for_plain_ops():
+    assert isa.nop().attr_tag == (None, Op.NOP.value)
+    assert isa.load(0x1000).attr_tag == (None, Op.LOAD.value)
+
+
+def test_attr_tag_op_default_tags():
+    assert isa.verw().attr_tag == ("mds", "verw")
+    assert isa.rsb_fill().attr_tag == ("spectre_v2", "rsb_fill")
+    assert isa.l1d_flush().attr_tag == ("l1tf", "l1d_flush")
+
+
+def test_attr_tag_wrmsr_dispatches_on_payload():
+    assert isa.wrmsr(IA32_PRED_CMD, PRED_CMD_IBPB).attr_tag == \
+        ("spectre_v2", "ibpb")
+    assert isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_SSBD).attr_tag == \
+        ("spectre_v2", "wrmsr_spec_ctrl")
+    assert isa.wrmsr(0x999, 0).attr_tag == (None, Op.WRMSR.value)
+
+
+def test_attr_tag_explicit_tags_win():
+    instr = isa.verw(mitigation="custom", primitive="probe")
+    assert instr.attr_tag == ("custom", "probe")
+    # Explicit mitigation without primitive falls back to the op name.
+    instr = isa.lfence(mitigation="spectre_v1")
+    assert instr.attr_tag == ("spectre_v1", Op.LFENCE.value)
+
+
+# --------------------------------------------------------------------------
+# Engine mode plumbing.
+
+def test_set_default_engine_rejects_unknown_modes():
+    with pytest.raises(ValueError):
+        engine.set_default_engine("turbo")
+
+
+def test_use_engine_restores_previous_mode():
+    before = engine.default_engine()
+    with engine.use_engine(engine.ENGINE_INTERP):
+        assert engine.default_engine() == engine.ENGINE_INTERP
+        machine = Machine(get_cpu("broadwell"))
+        assert machine.engine is None
+    assert engine.default_engine() == before
+
+
+def test_machine_engine_kwarg_overrides_ambient():
+    with engine.use_engine(engine.ENGINE_INTERP):
+        machine = Machine(get_cpu("broadwell"), engine=engine.ENGINE_BLOCK)
+    assert machine.engine is not None
+    assert machine.engine_mode == engine.ENGINE_BLOCK
+
+
+# --------------------------------------------------------------------------
+# Parity helpers.
+
+def _pair(key="broadwell", seed=0):
+    fast = Machine(get_cpu(key), seed=seed, engine=engine.ENGINE_BLOCK)
+    slow = Machine(get_cpu(key), seed=seed, engine=engine.ENGINE_INTERP)
+    return fast, slow
+
+
+def _assert_parity(fast, slow):
+    assert fast.read_tsc() == slow.read_tsc()
+    assert fast.counters.events == slow.counters.events
+
+
+# --------------------------------------------------------------------------
+# Compilation lifecycle.
+
+def test_pure_block_compiles_on_second_sighting_with_parity():
+    fast, slow = _pair()
+    seq = [isa.nop(), *isa.alu(8), isa.mul(), isa.div(), isa.work(40),
+           isa.lfence(), isa.rdtsc()]
+    hits_before = engine.STATS.block_hits
+    for _ in range(4):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+    entry = fast.engine._blocks[id(seq)]
+    assert entry.compiled is not None
+    # First run interprets, runs 2-4 take the compiled path.
+    assert engine.STATS.block_hits - hits_before == 3
+
+
+def test_single_instruction_sequences_bypass_the_engine():
+    fast, _ = _pair()
+    seq = [isa.nop()]
+    fast.run(seq)
+    fast.run(seq)
+    assert id(seq) not in fast.engine._blocks
+
+
+def test_in_place_mutation_triggers_recompilation():
+    fast, slow = _pair()
+    seq = [isa.nop(), *isa.alu(4)]
+    fast.run(seq)
+    fast.run(seq)                      # compiled now
+    seq[0] = isa.mul()                 # mutate in place: same id
+    for _ in range(3):                 # re-warm and re-compile
+        assert fast.run(seq) == slow.run(list(seq))
+    slow.run([isa.nop(), *isa.alu(4)])
+    slow.run([isa.nop(), *isa.alu(4)])
+    _assert_parity(fast, slow)
+    assert fast.engine._blocks[id(seq)].instrs == tuple(seq)
+
+
+def test_prime_block_compiles_before_first_run():
+    fast, slow = _pair()
+    seq = [*isa.alu(6), isa.work(25)]
+    fast.prime_block(seq)
+    assert fast.engine._blocks[id(seq)].compiled is not None
+    hits_before = engine.STATS.block_hits
+    assert fast.run(seq) == slow.run(list(seq))
+    assert engine.STATS.block_hits == hits_before + 1
+    _assert_parity(fast, slow)
+
+
+def test_terminators_split_blocks_but_keep_parity():
+    fast, slow = _pair()
+    # Conditional branches and returns are terminators; the blocks around
+    # them still compile.
+    seq = [*isa.alu(4), isa.branch_cond(target=0x4200, pc=0x4300),
+           *isa.alu(4), isa.ret(pc=0x4400), isa.nop()]
+    for _ in range(3):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+    steps = fast.engine._blocks[id(seq)].compiled.steps
+    kinds = [step[0] for step in steps]
+    assert kinds.count(1) == 2         # two terminator steps (_TERM == 1)
+
+
+def test_flush_ops_compile_as_pure_effects():
+    fast, slow = _pair()
+    # VERW, CLFLUSH and accepted WRMSR writes carry deterministic side
+    # effects; they compile into pure steps instead of splitting blocks.
+    seq = [*isa.alu(2), isa.verw(), isa.clflush(0x3000),
+           isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_SSBD), isa.nop()]
+    for _ in range(3):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+    assert fast.msr.read(IA32_SPEC_CTRL) == slow.msr.read(IA32_SPEC_CTRL)
+    steps = fast.engine._blocks[id(seq)].compiled.steps
+    assert [step[0] for step in steps] == [0]   # one pure step, no splits
+
+
+def test_verw_clear_interleaved_with_loads_keeps_residue_state():
+    fast, slow = _pair()
+    # The MDS residue left after the block must reflect the last clear:
+    # load -> verw -> load leaves only the second load's residue.
+    seq = [isa.load(0xA000), isa.verw(), isa.load(0xB000)]
+    for _ in range(4):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+    assert fast.mds_buffers._residue == slow.mds_buffers._residue
+
+
+# --------------------------------------------------------------------------
+# Recorded segments: memoization, guard keys, check fallback.
+
+def test_loads_and_stores_memoize_with_parity():
+    fast, slow = _pair()
+    seq = [isa.store(0x5000, value=7), isa.load(0x5000), *isa.alu(3),
+           isa.load(0x5040)]
+    records_before = engine.STATS.memo_records
+    hits_before = engine.STATS.memo_hits
+    for _ in range(6):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+    assert engine.STATS.memo_records > records_before
+    assert engine.STATS.memo_hits > hits_before
+
+
+def test_guard_change_re_records():
+    fast, slow = _pair()
+    seq = [isa.load(0x6000), *isa.alu(2), isa.load(0x6000)]
+    for _ in range(4):
+        assert fast.run(seq) == slow.run(list(seq))
+    # Flip an IA32_SPEC_CTRL bit: the guard key changes, so the memo for
+    # the old guard must not be replayed.
+    ssbd_on = [isa.wrmsr(IA32_SPEC_CTRL, SPEC_CTRL_SSBD), isa.nop()]
+    fast.run(ssbd_on)
+    slow.run(list(ssbd_on))
+    for _ in range(4):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+    rec_steps = [step for step
+                 in fast.engine._blocks[id(seq)].compiled.steps
+                 if step[0] == 2]
+    assert rec_steps, "expected a recorded step for the load segment"
+    assert len(rec_steps[0][1].memos) == 2   # one memo per guard
+
+
+def test_memo_check_failure_falls_back_and_recovers():
+    fast, slow = _pair()
+    seq = [isa.load(0x7000), *isa.alu(2)]
+    for _ in range(4):
+        assert fast.run(seq) == slow.run(list(seq))
+    # Invalidate the cached line behind the memo's back: the membership
+    # check must fail and the engine must re-record, not replay stale
+    # deltas.
+    fast.caches.flush_line(0x7000 // 64)
+    slow.caches.flush_line(0x7000 // 64)
+    for _ in range(4):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+
+
+def test_store_buffer_heavy_blocks_stay_bit_identical():
+    fast, slow = _pair()
+    # More stores than the store buffer holds: the recorder must refuse to
+    # memoize the unverifiable load (or bound the pushes) — either way the
+    # observable state must match the interpreter exactly.
+    depth = fast.store_buffer.depth
+    seq = [isa.store(0x8000 + 64 * i, value=i) for i in range(depth + 4)]
+    seq.append(isa.load(0x8000))
+    for _ in range(5):
+        assert fast.run(seq) == slow.run(list(seq))
+    _assert_parity(fast, slow)
+    assert list(fast.store_buffer._pending.items()) == \
+        list(slow.store_buffer._pending.items())
+
+
+# --------------------------------------------------------------------------
+# Stats and provenance.
+
+def test_stats_merge_and_hit_rate():
+    stats = engine.EngineStats()
+    stats.merge({"blocks_compiled": 2, "block_hits": 6,
+                 "interp_fallbacks": 2})
+    stats.merge({"block_hits": 2, "memo_hits": 5, "memo_records": 1})
+    assert stats.blocks_compiled == 2
+    assert stats.block_hits == 8
+    assert stats.hit_rate() == pytest.approx(0.8)
+    assert "2 blocks compiled" in stats.summary()
+
+
+def test_fingerprint_covers_engine_module():
+    inputs = fingerprint_inputs()
+    assert "cpu/engine.py" in inputs
+    assert "cpu/machine.py" in inputs
+    assert "cpu/isa.py" in inputs
+    assert inputs == fingerprint_inputs()   # deterministic hashing order
