@@ -1,0 +1,58 @@
+"""Seed the committed run-history fixture from the BENCH_* baselines.
+
+Rebuilds ``benchmarks/baselines/history.db`` from every committed
+``BENCH_<n>.json``, oldest first, so ``spectresim history diff`` and
+``spectresim history report`` work out of the box on a fresh checkout.
+
+Baselines recorded before provenance carried a code fingerprint
+(``BENCH_1.json``) — or by any checkout other than this one — cannot
+pass the fingerprint gate, so they are recorded with ``allow_dirty=True``
+and show up flagged in listings and on the dashboard.  That is the
+honest state: the fixture says "these numbers came from other code".
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/seed_history.py
+"""
+
+import glob
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.obs.baseline import load_bench          # noqa: E402
+from repro.obs.history import HistoryStore          # noqa: E402
+from repro.obs.provenance import code_fingerprint   # noqa: E402
+
+BASELINES = os.path.join(os.path.dirname(__file__), "baselines")
+DB_PATH = os.path.join(BASELINES, "history.db")
+
+
+def main() -> int:
+    paths = sorted(
+        glob.glob(os.path.join(BASELINES, "BENCH_*.json")),
+        key=lambda p: int(re.search(r"BENCH_(\d+)", p).group(1)))
+    if not paths:
+        print("seed_history: no BENCH_*.json baselines found", file=sys.stderr)
+        return 1
+    if os.path.exists(DB_PATH):
+        os.unlink(DB_PATH)
+    fingerprint = code_fingerprint()
+    with HistoryStore(DB_PATH) as store:
+        for path in paths:
+            name = os.path.basename(path)
+            payload = load_bench(path)
+            recorded = payload.get("provenance", {}).get("code_fingerprint")
+            dirty = recorded != fingerprint
+            run_id = store.record_payload(payload, command=f"bench {name}",
+                                          kind="bench", allow_dirty=True)
+            flag = " (flagged dirty)" if dirty else ""
+            print(f"seed_history: {name} -> run {run_id}{flag}")
+        print(f"seed_history: {len(store)} run(s) -> {DB_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

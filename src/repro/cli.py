@@ -24,6 +24,16 @@ Parallelism and caching (see ``docs/parallelism.md``)::
     spectresim figure 3 --no-cache               # force fresh simulation
     spectresim export figure2 --jobs 4 --resume  # pick up an interrupted run
     spectresim all --outdir results --jobs 8 --cache-dir /tmp/sscache
+
+Run history (``bench``/``check``/``profile`` auto-record; disable with
+``--no-history``)::
+
+    spectresim history list
+    spectresim history diff 1 2                  # ledger blame waterfall
+    spectresim history diff prev latest
+    spectresim history report --out history.html
+    spectresim history record BENCH_2.json --allow-dirty
+    spectresim history gc --keep 50
 """
 
 from __future__ import annotations
@@ -73,6 +83,33 @@ def _report_executor(label: str, executor: "StudyExecutor") -> None:
     """One status line per driver run, on stderr so artifact output on
     stdout stays byte-identical across serial/parallel/cached runs."""
     sys.stderr.write(f"[executor] {label}: {executor.stats.summary()}\n")
+
+
+def _history_path(args: argparse.Namespace) -> str:
+    """Resolve the history db: ``history --db``, global ``--history-db``,
+    then ``$SPECTRESIM_HISTORY_DB`` / the committed fixture."""
+    from .obs.history import default_history_db
+    return (getattr(args, "db", None)
+            or getattr(args, "history_db", None)
+            or default_history_db())
+
+
+def _history_autorecord(args: argparse.Namespace, payload: Dict,
+                        kind: str) -> None:
+    """Append a run to the history db; best-effort (a refused or failed
+    record warns on stderr, never fails the producing command)."""
+    if getattr(args, "no_history", False):
+        return
+    from .errors import HistoryError
+    from .obs.history import HistoryStore
+    path = _history_path(args)
+    try:
+        with HistoryStore(path) as store:
+            run_id = store.record_payload(payload, kind=kind)
+        sys.stderr.write(f"[history] recorded run {run_id} ({kind}) -> "
+                         f"{path}\n")
+    except HistoryError as exc:
+        sys.stderr.write(f"[history] not recorded: {exc}\n")
 
 
 def _selected_cpus(args: argparse.Namespace):
@@ -375,6 +412,28 @@ def cmd_profile(args: argparse.Namespace) -> str:
         with open(args.metrics_out, "w") as f:
             f.write(tracer.metrics.to_json())
         lines.append(f"metrics: wrote registry to {args.metrics_out}")
+
+    # Profile runs carry no study values, but their self-performance
+    # telemetry (and ledger, when attributed) still belongs in the
+    # longitudinal record.
+    engine_stats = blockengine.STATS.as_dict()
+    engine_stats["hit_rate"] = blockengine.STATS.hit_rate()
+    ledgers = {}
+    if ledger is not None:
+        ledgers["+".join(cpu.key for cpu in cpus)] = {
+            "entries": ledger.paths(), "total": ledger.total()}
+    _history_autorecord(args, {
+        "values": {},
+        "ledger": ledgers,
+        "telemetry": {
+            "wall_s": wall,
+            "engine": engine_stats,
+            "coverage": tracer.coverage(),
+        },
+        "tolerance": {},
+        "provenance": manifest.to_dict(),
+    }, kind="profile")
+
     lines.append(f"coverage: {100.0 * tracer.coverage():.1f}% of "
                  f"{tracer.total_cycles()} simulated cycles attributed "
                  f"to named spans")
@@ -397,6 +456,7 @@ def cmd_bench(args: argparse.Namespace) -> str:
         report=lambda driver: _report_executor(f"bench {driver}", executor))
     path = args.out or baseline.next_bench_path(args.dir)
     baseline.write_bench(payload, path)
+    _history_autorecord(args, payload, kind="bench")
     ledger_total = sum(roll["total"] for roll in payload["ledger"].values())
     return (f"bench: {len(payload['values'])} values, "
             f"{ledger_total:,} attributed ledger cycles across "
@@ -409,13 +469,77 @@ def cmd_check(args: argparse.Namespace) -> str:
     executor = _study_executor(args)
     diff, report = baseline.check_against(
         args.against, executor=executor,
-        report=lambda driver: _report_executor(f"check {driver}", executor))
+        report=lambda driver: _report_executor(f"check {driver}", executor),
+        on_payload=lambda payload: _history_autorecord(args, payload,
+                                                       kind="check"))
     if diff.failed:
         # Print before exiting nonzero: main() only writes the returned
         # string on the success path.
         sys.stdout.write(report)
         raise SystemExit(1)
     return report
+
+
+def cmd_history(args: argparse.Namespace) -> str:
+    """Run-history store: record, list, diff, report, gc."""
+    from .errors import HistoryError
+    from .obs import history as hist
+    from .obs import report as histreport
+    path = _history_path(args)
+    try:
+        if args.history_command == "record":
+            from .obs import baseline
+            payload = baseline.load_bench(args.payload)
+            with hist.HistoryStore(path) as store:
+                run_id = store.record_payload(
+                    payload, kind=args.kind, allow_dirty=args.allow_dirty)
+                dirty = store.run_info(run_id).dirty
+            flag = " (flagged dirty)" if dirty else ""
+            return (f"history: recorded run {run_id} ({args.kind}){flag} "
+                    f"-> {path}\n")
+        if args.history_command == "list":
+            with hist.HistoryStore(path) as store:
+                runs = store.runs()
+            if not runs:
+                return f"history: no runs in {path}\n"
+            lines = [f"{'id':>4}  {'kind':<8} {'recorded':<26} "
+                     f"{'fingerprint':<17} {'dirty':<6} {'values':>6} "
+                     f"{'ledger cycles':>14}  command"]
+            for run in runs:
+                lines.append(
+                    f"{run.id:>4}  {run.kind:<8} {run.created_at:<26} "
+                    f"{run.fingerprint or '-':<17} "
+                    f"{'yes' if run.dirty else 'no':<6} {run.values:>6} "
+                    f"{run.ledger_cycles:>14,}  {run.command}")
+            return "\n".join(lines) + "\n"
+        if args.history_command == "diff":
+            with hist.HistoryStore(path) as store:
+                id_a = store.resolve(args.run_a)
+                id_b = store.resolve(args.run_b)
+                diff = store.diff(id_a, id_b)
+            rendered = hist.render_diff(diff, label_a=f"run {id_a}",
+                                        label_b=f"run {id_b}")
+            if diff.failed:
+                # Same contract as 'spectresim check': print the report,
+                # then exit nonzero so CI gates on it.
+                sys.stdout.write(rendered)
+                raise SystemExit(1)
+            return rendered
+        if args.history_command == "report":
+            with hist.HistoryStore(path) as store:
+                out = histreport.write_report(store, args.out,
+                                              title=args.title)
+                count = len(store)
+            return f"history: dashboard over {count} run(s) -> {out}\n"
+        if args.history_command == "gc":
+            with hist.HistoryStore(path) as store:
+                removed = store.gc(args.keep)
+                kept = len(store)
+            return (f"history: removed {len(removed)} run(s), kept {kept} "
+                    f"-> {path}\n")
+    except HistoryError as exc:
+        raise SystemExit(f"history: {exc}")
+    raise SystemExit(f"unknown history action {args.history_command!r}")
 
 
 def cmd_all(args: argparse.Namespace) -> str:
@@ -503,6 +627,14 @@ def build_parser() -> argparse.ArgumentParser:
              "hot sequences into batched cycle/counter/ledger deltas, "
              "'interp' interprets every instruction; both are "
              "bit-identical (see docs/performance.md)")
+    parser.add_argument(
+        "--history-db", metavar="PATH", default=None,
+        help="run-history database (default: $SPECTRESIM_HISTORY_DB or "
+             "benchmarks/baselines/history.db)")
+    parser.add_argument(
+        "--no-history", action="store_true",
+        help="do not auto-record bench/check/profile runs into the "
+             "run-history database")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("cpus", help="list the modelled CPUs (Table 2)")
@@ -600,6 +732,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="baseline produced by 'spectresim bench'")
     _add_executor_flags(p)
 
+    p = sub.add_parser(
+        "history",
+        help="run-history store: record runs, diff any two with ledger "
+             "blame, render the HTML dashboard")
+    p.add_argument("--db", metavar="PATH", default=None,
+                   help="history database (overrides --history-db)")
+    hsub = p.add_subparsers(dest="history_command", required=True)
+    hp = hsub.add_parser("record",
+                         help="append a bench payload as a new run")
+    hp.add_argument("payload", metavar="BENCH.json",
+                    help="payload produced by 'spectresim bench'")
+    hp.add_argument("--kind", default="bench",
+                    choices=["bench", "check", "profile", "study"])
+    hp.add_argument("--allow-dirty", action="store_true",
+                    help="record even when the payload's code fingerprint "
+                         "does not match the running code; the row is "
+                         "flagged and annotated in trend lines")
+    hsub.add_parser("list", help="list recorded runs")
+    hp = hsub.add_parser(
+        "diff",
+        help="diff two runs cell-by-cell with a per-mitigation ledger "
+             "blame waterfall (deltas sum exactly to each cell's TSC "
+             "delta)")
+    hp.add_argument("run_a", help="run id, 'latest', or 'prev'")
+    hp.add_argument("run_b", nargs="?", default="latest",
+                    help="run id, 'latest' (default), or 'prev'")
+    hp = hsub.add_parser(
+        "report", help="render the self-contained HTML dashboard")
+    hp.add_argument("--out", metavar="PATH", default="history.html")
+    hp.add_argument("--title", default="spectresim run history")
+    hp = hsub.add_parser("gc", help="drop the oldest runs beyond --keep")
+    hp.add_argument("--keep", type=int, required=True, metavar="N",
+                    help="number of newest runs to retain")
+
     p = sub.add_parser("all", help="run everything, write artifacts")
     p.add_argument("--outdir", default="results")
     p.add_argument("--fast", action="store_true")
@@ -624,6 +790,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "bench": cmd_bench,
     "check": cmd_check,
+    "history": cmd_history,
     "all": cmd_all,
 }
 

@@ -341,6 +341,30 @@ class RunStats:
                 f"(jobs={self.jobs}, {self.cache_misses} misses, "
                 f"{self.cache_stale} stale, {self.wall_s:.2f}s)")
 
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def absorb(self, other: "RunStats") -> None:
+        """Fold another run's counters in (multi-driver accumulation).
+
+        :meth:`StudyExecutor.run` resets ``stats`` per call, so callers
+        sweeping several drivers through one executor (``bench``) absorb
+        after each run to get whole-campaign totals.
+        """
+        self.total += other.total
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_stale += other.cache_stale
+        self.resumed += other.resumed
+        self.executed += other.executed
+        self.jobs = max(self.jobs, other.jobs)
+        self.wall_s += other.wall_s
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of cache lookups that hit (resumed cells excluded)."""
+        looked = self.cache_hits + self.cache_misses + self.cache_stale
+        return self.cache_hits / looked if looked else 0.0
+
 
 def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
                      collect_ledger: bool = False,
@@ -498,6 +522,12 @@ class StudyExecutor:
             checkpoint.discard()
         self.stats.wall_s = time.perf_counter() - started
         return [results[index] for index in range(len(specs))]
+
+    def telemetry(self) -> Dict[str, Any]:
+        """The last run's counters plus derived rates, for history rows."""
+        out = self.stats.as_dict()
+        out["cache_hit_rate"] = self.stats.cache_hit_rate()
+        return out
 
     def _run_inline(self, spec: CellSpec) -> Any:
         """The serial path: the cell runs under the caller's tracer."""

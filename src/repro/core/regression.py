@@ -4,6 +4,12 @@ Teams recalibrating the models (new microcode, corrected table values,
 retuned workloads) need to know what moved.  This module loads the JSON
 emitted by :mod:`~repro.core.export` and reports per-(cpu, workload,
 knob) changes beyond a tolerance, in a stable, review-friendly order.
+
+The comparison itself runs on the shared diff engine in
+:mod:`repro.obs.history` (the same one behind ``spectresim check`` and
+``spectresim history diff``), degenerated to a plain absolute tolerance:
+exports carry no uncertainty, so the noise term is zero and ``tolerance``
+becomes the floor.  This module stays a thin loader + text renderer.
 """
 
 from __future__ import annotations
@@ -11,6 +17,8 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
+
+from ..obs.history import diff_values
 
 
 @dataclass(frozen=True)
@@ -75,12 +83,17 @@ def diff_results(old_json: str, new_json: str,
     """
     old = _values_of(old_json)
     new = _values_of(new_json)
-    changes: List[Change] = []
-    for key in sorted(set(old) | set(new)):
-        before = old.get(key, 0.0)
-        after = new.get(key, 0.0)
-        if abs(after - before) > tolerance:
-            changes.append(Change(key=key, before=before, after=after))
+    # Missing sides become explicit 0.0 entries so the shared engine sees
+    # every key on both sides, then runs with zero noise term: the plain
+    # ``tolerance`` floor reproduces the historical semantics exactly.
+    keys = set(old) | set(new)
+    old_pairs = {key: (old.get(key, 0.0), 0.0) for key in keys}
+    new_pairs = {key: (new.get(key, 0.0), 0.0) for key in keys}
+    diff = diff_values(old_pairs, new_pairs,
+                       sigma_multiplier=0.0, floor=tolerance)
+    changes = [Change(key=delta.key, before=delta.old, after=delta.new)
+               for delta in diff.regressions + diff.improvements]
+    changes.sort(key=lambda change: change.key)
     return changes
 
 

@@ -92,3 +92,13 @@ class UnknownCounterError(SpectreSimError, KeyError):
 
 class BaselineError(SpectreSimError):
     """Raised for malformed, missing, or incompatible bench baselines."""
+
+
+class HistoryError(SpectreSimError):
+    """Raised for run-history store failures.
+
+    Covers missing runs, incompatible on-disk schemas, and recording a
+    payload whose code fingerprint does not match the running code (which
+    would silently mix rows from different code in one trend line; pass
+    ``--allow-dirty`` to record it flagged instead).
+    """

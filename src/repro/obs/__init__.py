@@ -15,12 +15,23 @@ The subsystem threads through every layer of the simulator:
   the noise-aware regression gate behind ``spectresim check``
   (imported directly, not re-exported: it pulls in the CPU catalog,
   which this package must not do at import time);
+* :mod:`repro.obs.history` — SQLite run-history store plus the shared
+  noise-aware diff/attribution engine (ledger blame waterfalls);
+* :mod:`repro.obs.report` — static HTML dashboard over the history
+  store (trends, waterfalls, simulator self-performance);
 * :mod:`repro.obs.provenance` — run manifests stamped into exported
   artifacts.
 
 See ``docs/observability.md`` for the span vocabulary and usage.
 """
 
+from .history import (
+    HistoryStore,
+    RunDiff,
+    default_history_db,
+    diff_payloads,
+    render_diff,
+)
 from .ledger import (
     CycleLedger,
     current_ledger,
@@ -60,9 +71,11 @@ __all__ = [
     "CycleLedger",
     "Gauge",
     "Histogram",
+    "HistoryStore",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "RunDiff",
     "RunManifest",
     "Span",
     "SpanTracer",
@@ -71,10 +84,13 @@ __all__ = [
     "config_to_dict",
     "current_ledger",
     "current_tracer",
+    "default_history_db",
+    "diff_payloads",
     "install_ledger",
     "install_tracer",
     "ledger_scope",
     "manifest_comment_lines",
+    "render_diff",
     "settings_to_dict",
     "stamp_payload",
     "to_chrome_trace",

@@ -32,10 +32,24 @@ import math
 import os
 import re
 import time
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import BaselineError
+# The comparison machinery lives in obs.history (the single diff engine
+# shared with ``history diff`` and ``core.regression``); the names below
+# stay importable from here for API stability.  BaselineDiff *is* the
+# history engine's RunDiff.
+from .history import (  # noqa: F401  (re-exported API)
+    DEFAULT_LEDGER_REL_TOL,
+    DEFAULT_MIN_PERCENT_POINTS,
+    DEFAULT_SIGMA_MULTIPLIER,
+    JS_KNOB_PRIMITIVES as _JS_KNOB_PRIMITIVES,
+    LedgerDrift,
+    RunDiff as BaselineDiff,
+    ValueDelta,
+    blame_paths as _blame_paths,
+    diff_payloads,
+)
 from .ledger import CycleLedger, use_ledger
 from .provenance import build_manifest
 
@@ -53,30 +67,12 @@ DEFAULT_BENCH_CPUS: Tuple[str, ...] = ("broadwell", "cascade_lake")
 #: Default study drivers snapshotted by ``bench``.
 DEFAULT_BENCH_DRIVERS: Tuple[str, ...] = ("figure2", "figure3", "figure5")
 
-#: Noise tolerance: a value regresses when it worsens by more than
-#: multiplier × hypot(u_old, u_new) + floor percentage points.
-DEFAULT_SIGMA_MULTIPLIER = 3.0
-DEFAULT_MIN_PERCENT_POINTS = 0.25
-
-#: Ledger entries are deterministic; any relative drift beyond this is
-#: reported (0.0 = exact match required).
-DEFAULT_LEDGER_REL_TOL = 0.0
-
 #: Iteration counts for the deterministic instrumented ledger reference
 #: run (not noise-sampled; exact integers, reproducible across hosts).
 LEDGER_ITERATIONS = 4
 LEDGER_WARMUP = 1
 
 _BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
-
-#: JS knobs do not share a name with their ledger mitigation tag (the
-#: taxonomy files them under spectre_v1 primitives, per the paper's
-#: section 4.3); map knob -> ledger primitive for blame matching.
-_JS_KNOB_PRIMITIVES = {
-    "js_index_masking": "index_mask",
-    "js_object_guards": "object_guard",
-    "js_other": "pointer_poison",
-}
 
 
 def get_cpu(key: str):
@@ -189,8 +185,15 @@ def collect(
     ``report``, when given, is called with each driver's name right after
     that driver runs (the executor resets its stats per driver, so this
     is the only point where per-driver cache/jobs numbers are visible).
+
+    The payload also carries a ``telemetry`` block — per-phase host
+    wall-clock, whole-campaign executor counters, the block-engine
+    counter delta for this collection, and cells/sec — which the run
+    history store flattens into numeric time series so the simulator's
+    *own* performance is tracked longitudinally next to the study values.
     """
     from ..core import study
+    from ..cpu import engine as blockengine
 
     started = time.perf_counter()
     cpu_keys = list(cpus or DEFAULT_BENCH_CPUS)
@@ -198,8 +201,13 @@ def collect(
     driver_names = list(drivers or DEFAULT_BENCH_DRIVERS)
     models = [get_cpu(key) for key in cpu_keys]
 
+    engine_before = blockengine.STATS.as_dict()
+    phases: Dict[str, float] = {}
+    executor_totals: Optional[Dict[str, Any]] = None
+
     values: Dict[str, Dict[str, float]] = {}
     for driver in driver_names:
+        phase_started = time.perf_counter()
         if driver == "figure2":
             for result in study.figure2(models, settings, executor=executor):
                 values.update(_attribution_values(driver, result))
@@ -220,22 +228,60 @@ def collect(
                 values.update(_paired_values(driver, result))
         else:
             raise BaselineError(f"unknown bench driver {driver!r}")
+        phases[driver] = time.perf_counter() - phase_started
+        if executor is not None and hasattr(executor, "stats"):
+            stats = executor.stats.as_dict()
+            if executor_totals is None:
+                executor_totals = dict(stats)
+            else:
+                for name, value in stats.items():
+                    if name == "jobs":
+                        executor_totals[name] = max(executor_totals[name],
+                                                    value)
+                    else:
+                        executor_totals[name] += value
         if report is not None:
             report(driver)
 
+    ledger_started = time.perf_counter()
     ledgers: Dict[str, Any] = {}
     sim_cycles = 0
     for key in cpu_keys:
         ledger = ledger_snapshot(key)
         sim_cycles += ledger.total()
         ledgers[key] = {"entries": ledger.paths(), "total": ledger.total()}
+    phases["ledger"] = time.perf_counter() - ledger_started
+
+    wall = time.perf_counter() - started
+    engine_after = blockengine.STATS.as_dict()
+    engine_delta: Dict[str, float] = {
+        name: engine_after[name] - engine_before.get(name, 0)
+        for name in engine_after
+    }
+    eligible = engine_delta["block_hits"] + engine_delta["interp_fallbacks"]
+    engine_delta["hit_rate"] = (engine_delta["block_hits"] / eligible
+                                if eligible else 0.0)
+    telemetry: Dict[str, Any] = {
+        "phases": phases,
+        "engine": engine_delta,
+        "wall_s": wall,
+    }
+    if executor_totals is not None:
+        looked = (executor_totals["cache_hits"]
+                  + executor_totals["cache_misses"]
+                  + executor_totals["cache_stale"])
+        telemetry["executor"] = executor_totals
+        telemetry["cache_hit_rate"] = (
+            executor_totals["cache_hits"] / looked if looked else 0.0)
+        telemetry["cells_per_s"] = (
+            executor_totals["total"] / wall if wall > 0 else 0.0)
 
     manifest = build_manifest(
         command=command,
         seed=settings.seed,
         cpus=cpu_keys,
         settings=settings,
-        wall_time_s=time.perf_counter() - started,
+        wall_time_s=wall,
         sim_cycles=sim_cycles,
     )
     return {
@@ -251,6 +297,7 @@ def collect(
         },
         "values": values,
         "ledger": ledgers,
+        "telemetry": telemetry,
         "provenance": manifest.to_dict(),
     }
 
@@ -302,139 +349,15 @@ def load_bench(path: str) -> Dict[str, Any]:
 # Comparison
 # --------------------------------------------------------------------------- #
 
-@dataclass
-class ValueDelta:
-    """One compared cell value."""
-
-    key: str
-    old: float
-    new: float
-    allowed: float
-    blame: List[str] = field(default_factory=list)
-
-    @property
-    def delta(self) -> float:
-        return self.new - self.old
-
-
-@dataclass
-class LedgerDrift:
-    """One drifted ledger path on one CPU."""
-
-    cpu: str
-    path: str
-    old: int
-    new: int
-
-    @property
-    def delta(self) -> int:
-        return self.new - self.old
-
-    def describe(self) -> str:
-        pct = (100.0 * self.delta / self.old) if self.old else float("inf")
-        return (f"{self.cpu}:{self.path} {self.old:,} -> {self.new:,} cycles "
-                f"({self.delta:+,}, {pct:+.1f}%)")
-
-
-@dataclass
-class BaselineDiff:
-    """Everything ``check`` found; regressions drive the exit status."""
-
-    regressions: List[ValueDelta] = field(default_factory=list)
-    improvements: List[ValueDelta] = field(default_factory=list)
-    ledger_regressions: List[LedgerDrift] = field(default_factory=list)
-    ledger_improvements: List[LedgerDrift] = field(default_factory=list)
-    missing: List[str] = field(default_factory=list)
-    new_keys: List[str] = field(default_factory=list)
-    compared: int = 0
-
-    @property
-    def failed(self) -> bool:
-        return bool(self.regressions or self.ledger_regressions
-                    or self.missing)
-
-
-def _knob_of(key: str) -> str:
-    return key.rsplit(":", 1)[1] if ":" in key else key
-
-
-def _blame_paths(key: str, drifts: Sequence[LedgerDrift]) -> List[str]:
-    """Ledger drift paths that plausibly explain a regressed value.
-
-    The value key's knob suffix names a mitigation; drifted paths tagged
-    with that mitigation (or, for the JS knobs, the matching primitive)
-    are the blame.  Aggregate keys (total/other/overhead) blame every
-    drifted path.
-    """
-    knob = _knob_of(key)
-    selected: List[LedgerDrift] = []
-    for drift in drifts:
-        _layer, mitigation, primitive = drift.path.split("/")
-        if knob in ("total", "other", "overhead"):
-            selected.append(drift)
-        elif mitigation == knob:
-            selected.append(drift)
-        elif _JS_KNOB_PRIMITIVES.get(knob) == primitive:
-            selected.append(drift)
-    selected.sort(key=lambda d: -abs(d.delta))
-    return [d.describe() for d in selected]
-
-
 def compare(baseline: Dict[str, Any],
             current: Dict[str, Any]) -> BaselineDiff:
-    """Diff ``current`` against ``baseline`` with the baseline's tolerances."""
-    tolerance = baseline.get("tolerance", {})
-    multiplier = tolerance.get("sigma_multiplier", DEFAULT_SIGMA_MULTIPLIER)
-    floor = tolerance.get("min_percent_points", DEFAULT_MIN_PERCENT_POINTS)
-    ledger_rel_tol = tolerance.get("ledger_rel_tol", DEFAULT_LEDGER_REL_TOL)
+    """Diff ``current`` against ``baseline`` with the baseline's tolerances.
 
-    diff = BaselineDiff()
-
-    # Ledger drifts first: they feed the blame report for value deltas.
-    drifts: List[LedgerDrift] = []
-    old_ledgers = baseline.get("ledger", {})
-    new_ledgers = current.get("ledger", {})
-    for cpu, old_roll in sorted(old_ledgers.items()):
-        new_roll = new_ledgers.get(cpu, {})
-        old_entries = old_roll.get("entries", {})
-        new_entries = new_roll.get("entries", {})
-        for path in sorted(set(old_entries) | set(new_entries)):
-            old_v = int(old_entries.get(path, 0))
-            new_v = int(new_entries.get(path, 0))
-            if old_v == new_v:
-                continue
-            scale = max(abs(old_v), 1)
-            if abs(new_v - old_v) / scale <= ledger_rel_tol:
-                continue
-            drifts.append(LedgerDrift(cpu=cpu, path=path, old=old_v, new=new_v))
-    for drift in drifts:
-        if drift.delta > 0:
-            diff.ledger_regressions.append(drift)
-        else:
-            diff.ledger_improvements.append(drift)
-
-    old_values = baseline.get("values", {})
-    new_values = current.get("values", {})
-    diff.new_keys = sorted(set(new_values) - set(old_values))
-    for key in sorted(old_values):
-        record = new_values.get(key)
-        if record is None:
-            diff.missing.append(key)
-            continue
-        diff.compared += 1
-        old_v = float(old_values[key]["value"])
-        old_u = float(old_values[key].get("uncertainty", 0.0))
-        new_v = float(record["value"])
-        new_u = float(record.get("uncertainty", 0.0))
-        allowed = multiplier * math.hypot(old_u, new_u) + floor
-        delta = ValueDelta(key=key, old=old_v, new=new_v, allowed=allowed)
-        if new_v - old_v > allowed:
-            delta.blame = _blame_paths(key, drifts)
-            diff.regressions.append(delta)
-        elif old_v - new_v > allowed:
-            diff.improvements.append(delta)
-    diff.regressions.sort(key=lambda d: -(d.delta - d.allowed))
-    return diff
+    Thin wrapper over :func:`repro.obs.history.diff_payloads`, which is
+    the one diff engine for ``check``, ``history diff`` and the export
+    regression differ alike.
+    """
+    return diff_payloads(baseline, current)
 
 
 def render_report(diff: BaselineDiff) -> str:
@@ -473,11 +396,15 @@ def render_report(diff: BaselineDiff) -> str:
 def check_against(baseline_path: str,
                   executor: Optional[Any] = None,
                   command: str = "check",
-                  report: Optional[Any] = None) -> Tuple[BaselineDiff, str]:
+                  report: Optional[Any] = None,
+                  on_payload: Optional[Any] = None) -> Tuple[BaselineDiff, str]:
     """Re-run the baseline's own grid and diff: (diff, report).
 
     The fresh run reuses the cpus, settings, and drivers recorded in the
-    baseline, so the comparison never mixes grids.
+    baseline, so the comparison never mixes grids.  ``on_payload``, when
+    given, receives the freshly collected payload *before* the diff is
+    evaluated — the history auto-record hook — so a failing check still
+    leaves its run in the longitudinal record.
     """
     from ..core import study
 
@@ -491,5 +418,7 @@ def check_against(baseline_path: str,
         command=command,
         report=report,
     )
+    if on_payload is not None:
+        on_payload(current)
     diff = compare(payload, current)
     return diff, render_report(diff)

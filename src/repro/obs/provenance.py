@@ -120,6 +120,7 @@ class RunManifest:
     platform: str = ""
     wall_time_s: Optional[float] = None
     sim_cycles: Optional[int] = None
+    code_fingerprint: str = ""
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -165,6 +166,7 @@ def build_manifest(
         platform=platform.platform(),
         wall_time_s=wall_time_s,
         sim_cycles=sim_cycles,
+        code_fingerprint=code_fingerprint(),
         extra=dict(extra),
     )
 

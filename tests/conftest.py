@@ -17,6 +17,15 @@ def _hermetic_cache_dir(tmp_path, monkeypatch):
                        str(tmp_path / "spectresim-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _hermetic_history_db(tmp_path, monkeypatch):
+    """Point the default run-history database at a per-test path so
+    bench/check/profile auto-recording never mutates the committed
+    fixture db in the repository."""
+    monkeypatch.setenv("SPECTRESIM_HISTORY_DB",
+                       str(tmp_path / "history.db"))
+
+
 @pytest.fixture
 def broadwell():
     return get_cpu("broadwell")

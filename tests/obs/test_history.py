@@ -1,0 +1,302 @@
+"""Run-history store: schema round-trip, diff blame, HTML determinism."""
+
+import os
+import sqlite3
+
+import pytest
+
+from repro.errors import HistoryError
+from repro.obs.history import (
+    HistoryStore,
+    blame_paths,
+    cell_waterfall,
+    default_history_db,
+    diff_payloads,
+    diff_values,
+    render_diff,
+)
+from repro.obs.provenance import build_manifest, code_fingerprint
+from repro.obs.report import render_report
+
+
+def make_payload(bump=0.0, fingerprint=None, command="bench"):
+    """A bench-shaped payload with two CPUs and a handful of knobs."""
+    manifest = build_manifest(command=command, seed=7,
+                              cpus=["broadwell", "cascade_lake"],
+                              wall_time_s=2.5 + bump)
+    prov = manifest.to_dict()
+    if fingerprint is not None:
+        prov["code_fingerprint"] = fingerprint
+    shift = int(bump * 100)
+    return {
+        "values": {
+            "figure2/broadwell/lebench:total":
+                {"value": 20.0 + bump, "uncertainty": 0.1},
+            "figure2/broadwell/lebench:pti":
+                {"value": 11.0 + bump, "uncertainty": 0.05},
+            "figure2/broadwell/lebench:retpoline":
+                {"value": 4.0, "uncertainty": 0.05},
+            "figure2/cascade_lake/lebench:total":
+                {"value": 6.0, "uncertainty": 0.1},
+            "figure3/broadwell/octane:js_index_masking":
+                {"value": 1.5, "uncertainty": 0.02},
+        },
+        "ledger": {
+            "broadwell": {
+                "entries": {
+                    "kernel/pti/cr3_write": 4000 + shift,
+                    "kernel/retpoline/thunk": 1500,
+                    "js/spectre_v1/index_mask": 300,
+                },
+                "total": 5800 + shift,
+            },
+            "cascade_lake": {
+                "entries": {"kernel/retpoline/thunk": 900},
+                "total": 900,
+            },
+        },
+        "telemetry": {
+            "cells_per_s": 3.0 + bump,
+            "cache_hit_rate": 0.5,
+            "engine": {"block_hits": 100 + shift, "hit_rate": 0.9},
+            "phases": {"figure2": 1.25, "ledger": 0.5},
+        },
+        "tolerance": {"sigma_multiplier": 3.0, "min_percent_points": 0.25,
+                      "ledger_rel_tol": 0.0},
+        "provenance": prov,
+    }
+
+
+@pytest.fixture
+def store(tmp_path):
+    with HistoryStore(str(tmp_path / "h.db")) as s:
+        yield s
+
+
+# --------------------------------------------------------------------------- #
+# Store: round-trip, refs, retention
+# --------------------------------------------------------------------------- #
+
+def test_record_and_load_round_trips(store):
+    payload = make_payload()
+    run_id = store.record_payload(payload, kind="bench")
+    loaded = store.load_run(run_id)
+    assert loaded["values"] == payload["values"]
+    assert loaded["ledger"] == payload["ledger"]
+    assert loaded["tolerance"] == payload["tolerance"]
+    assert loaded["provenance"] == payload["provenance"]
+    # telemetry is flattened to dotted numeric series
+    assert loaded["telemetry"]["cells_per_s"] == 3.0
+    assert loaded["telemetry"]["engine.hit_rate"] == 0.9
+    assert loaded["telemetry"]["phases.figure2"] == 1.25
+
+
+def test_runs_listing_and_info(store):
+    store.record_payload(make_payload(), kind="bench")
+    store.record_payload(make_payload(1.0), kind="check")
+    runs = store.runs()
+    assert [r.id for r in runs] == [1, 2]
+    assert [r.kind for r in runs] == ["bench", "check"]
+    assert runs[0].values == 5
+    assert runs[0].ledger_cycles == 5800 + 900
+    assert runs[0].fingerprint == code_fingerprint()
+    assert not runs[0].dirty
+    assert store.run_info(2).kind == "check"
+    with pytest.raises(HistoryError):
+        store.run_info(99)
+
+
+def test_resolve_refs(store):
+    with pytest.raises(HistoryError):
+        store.resolve("latest")       # empty db
+    store.record_payload(make_payload())
+    with pytest.raises(HistoryError):
+        store.resolve("prev")         # only one run
+    store.record_payload(make_payload(1.0))
+    assert store.resolve("latest") == 2
+    assert store.resolve("prev") == 1
+    assert store.resolve("1") == 1
+    assert store.resolve(2) == 2
+    with pytest.raises(HistoryError):
+        store.resolve("nope")
+    with pytest.raises(HistoryError):
+        store.resolve(42)
+
+
+def test_trend_and_value_keys(store):
+    store.record_payload(make_payload(0.0))
+    store.record_payload(make_payload(2.0))
+    trend = store.trend("figure2/broadwell/lebench:total")
+    assert trend == [(1, 20.0, 0.1), (2, 22.0, 0.1)]
+    assert "figure2/cascade_lake/lebench:total" in store.value_keys()
+    assert store.telemetry_trend("cells_per_s") == [(1, 3.0), (2, 5.0)]
+
+
+def test_gc_drops_oldest(store):
+    for bump in (0.0, 1.0, 2.0):
+        store.record_payload(make_payload(bump))
+    removed = store.gc(keep=1)
+    assert removed == [1, 2]
+    assert [r.id for r in store.runs()] == [3]
+    # no orphaned rows survive in the satellite tables
+    db = sqlite3.connect(store.path)
+    for table in ("cells", "ledger", "telemetry"):
+        owners = {row[0] for row in
+                  db.execute(f"SELECT DISTINCT run_id FROM {table}")}
+        assert owners == {3}
+    with pytest.raises(HistoryError):
+        store.gc(-1)
+
+
+def test_schema_version_mismatch_refused(tmp_path):
+    path = str(tmp_path / "old.db")
+    with HistoryStore(path):
+        pass
+    db = sqlite3.connect(path)
+    db.execute("UPDATE meta SET value = '999' WHERE key = 'schema_version'")
+    db.commit()
+    db.close()
+    with pytest.raises(HistoryError, match="schema v999"):
+        HistoryStore(path)
+
+
+def test_default_history_db_env_override(monkeypatch):
+    monkeypatch.setenv("SPECTRESIM_HISTORY_DB", "/tmp/custom.db")
+    assert default_history_db() == "/tmp/custom.db"
+    monkeypatch.delenv("SPECTRESIM_HISTORY_DB")
+    assert default_history_db() == os.path.join(
+        "benchmarks", "baselines", "history.db")
+
+
+# --------------------------------------------------------------------------- #
+# Fingerprint hygiene
+# --------------------------------------------------------------------------- #
+
+def test_record_refuses_foreign_fingerprint(store):
+    with pytest.raises(HistoryError, match="allow-dirty"):
+        store.record_payload(make_payload(fingerprint="deadbeefdeadbeef"))
+    assert len(store) == 0
+
+
+def test_allow_dirty_records_flagged(store):
+    run_id = store.record_payload(
+        make_payload(fingerprint="deadbeefdeadbeef"), allow_dirty=True)
+    assert store.run_info(run_id).dirty
+    clean = store.record_payload(make_payload())
+    assert not store.run_info(clean).dirty
+
+
+def test_diff_reports_fingerprint_change(store):
+    store.record_payload(make_payload(fingerprint="aaaa"), allow_dirty=True)
+    store.record_payload(make_payload())
+    diff = store.diff(1, 2)
+    assert diff.fingerprint_changed
+    assert "fingerprint changed" in render_diff(diff)
+
+
+# --------------------------------------------------------------------------- #
+# Diff engine: blame waterfalls sum exactly
+# --------------------------------------------------------------------------- #
+
+def test_diff_blame_steps_sum_exactly_to_cell_delta(store):
+    store.record_payload(make_payload(0.0))
+    store.record_payload(make_payload(2.0))
+    diff = store.diff("prev", "latest")
+    assert diff.cells, "broadwell ledger moved; a cell delta is due"
+    for cell in diff.cells:
+        assert sum(step for _m, step in cell.steps) == cell.delta
+        assert cell.delta == cell.new_total - cell.old_total
+    (cell,) = diff.cells
+    assert cell.cpu == "broadwell"
+    assert cell.delta == 200
+    assert dict(cell.steps) == {"pti": 200}
+
+
+def test_cell_waterfall_groups_by_mitigation():
+    old = {"kernel/pti/cr3_write": 100, "kernel/pti/tlb_flush": 50,
+           "kernel/retpoline/thunk": 30}
+    new = {"kernel/pti/cr3_write": 140, "kernel/pti/tlb_flush": 45,
+           "kernel/retpoline/thunk": 10, "js/spectre_v1/index_mask": 5}
+    cell = cell_waterfall("broadwell", old, new)
+    assert cell.old_total == 180 and cell.new_total == 200
+    assert dict(cell.steps) == {"pti": 35, "retpoline": -20, "spectre_v1": 5}
+    # ordered by decreasing magnitude
+    assert [m for m, _d in cell.steps] == ["pti", "retpoline", "spectre_v1"]
+    assert sum(d for _m, d in cell.steps) == cell.delta == 20
+
+
+def test_diff_values_noise_aware_and_generic_keys():
+    old = {("a", "x"): (10.0, 0.5), ("a", "y"): (5.0, 0.0),
+           ("gone",): (1.0, 0.0)}
+    new = {("a", "x"): (10.4, 0.5), ("a", "y"): (9.0, 0.0),
+           ("fresh",): (2.0, 0.0)}
+    diff = diff_values(old, new, sigma_multiplier=3.0, floor=0.25)
+    # x moved 0.4 < 3*hypot(.5,.5)+.25: inside noise
+    assert [d.key for d in diff.regressions] == [("a", "y")]
+    assert diff.missing == [("gone",)]
+    assert diff.new_keys == [("fresh",)]
+    assert diff.compared == 2
+
+
+def test_blame_paths_matches_knob_and_js_primitives():
+    from repro.obs.history import LedgerDrift
+    drifts = [LedgerDrift("bw", "kernel/pti/cr3_write", 10, 20),
+              LedgerDrift("bw", "js/spectre_v1/index_mask", 5, 9)]
+    assert len(blame_paths("f2/bw/lebench:pti", drifts)) == 1
+    assert len(blame_paths("f3/bw/octane:js_index_masking", drifts)) == 1
+    assert len(blame_paths("f2/bw/lebench:total", drifts)) == 2
+    assert blame_paths("f2/bw/lebench:ssbd", drifts) == []
+
+
+def test_diff_payloads_uses_old_payloads_tolerance():
+    old = make_payload()
+    new = make_payload()
+    new["values"]["figure2/broadwell/lebench:total"]["value"] += 0.5
+    # within 3-sigma + 0.25 floor of the recorded uncertainties
+    assert not diff_payloads(old, new).failed
+    old["tolerance"] = {"sigma_multiplier": 0.0, "min_percent_points": 0.1}
+    assert diff_payloads(old, new).failed
+
+
+def test_render_diff_lists_every_changed_cell(store):
+    store.record_payload(make_payload(0.0))
+    store.record_payload(make_payload(2.0))
+    text = render_diff(store.diff(1, 2), "run 1", "run 2")
+    assert "CELL broadwell" in text
+    assert "(exact)" in text
+    assert "REGRESSION figure2/broadwell/lebench:pti" in text
+    assert "blame: broadwell:kernel/pti/cr3_write" in text
+
+
+# --------------------------------------------------------------------------- #
+# Dashboard: deterministic, self-contained
+# --------------------------------------------------------------------------- #
+
+def test_report_byte_stable_and_sectioned(store):
+    store.record_payload(make_payload(0.0))
+    store.record_payload(make_payload(2.0))
+    first = render_report(store)
+    second = render_report(store)
+    assert first == second
+    for anchor in ('id="trends"', 'id="waterfall"', 'id="self-perf"',
+                   'id="mitigations"', 'id="annotations"'):
+        assert anchor in first
+    assert "<svg" in first
+    # self-contained: no external fetches
+    assert "http://" not in first and "https://" not in first
+    assert 'src="' not in first
+
+
+def test_report_flags_dirty_rows(store):
+    store.record_payload(make_payload(fingerprint="feedface"),
+                         allow_dirty=True)
+    store.record_payload(make_payload())
+    html = render_report(store)
+    assert "dirty" in html
+    assert "fingerprint changed" in html
+
+
+def test_report_renders_empty_db(store):
+    html = render_report(store)
+    assert "0 recorded run(s)" in html
+    assert render_report(store) == html

@@ -86,3 +86,75 @@ def test_record_measurement():
     assert reg.gauge("study.lebench.mean").value == 12.0
     assert reg.gauge("study.lebench.ci_half_width").value == 0.5
     assert reg.gauge("study.lebench.samples").value == 30
+
+
+def test_state_dumps_every_instrument_losslessly():
+    reg = MetricsRegistry()
+    reg.counter("c").inc(3)
+    reg.gauge("g").set(2.5)
+    h = reg.histogram("h")
+    h.observe(4)
+    h.observe(40)
+    state = reg.state()
+    assert state["c"] == {"kind": "counter", "value": 3}
+    assert state["g"] == {"kind": "gauge", "value": 2.5}
+    dump = state["h"]
+    assert dump["kind"] == "histogram"
+    assert dump["count"] == 2 and dump["sum"] == 44
+    assert dump["min"] == 4 and dump["max"] == 40
+    assert sum(dump["bucket_counts"]) == 2
+    json.dumps(state)  # transportable as-is
+
+
+def test_merge_state_accumulates_counters_and_gauges():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("jobs").inc(2)
+    a.gauge("cells").set(5.0)
+    b.counter("jobs").inc(3)
+    b.gauge("cells").set(7.0)
+    a.merge_state(b.state())
+    assert a.counter("jobs").value == 5
+    assert a.gauge("cells").value == 12.0
+    # merging into an empty registry creates the instruments
+    fresh = MetricsRegistry()
+    fresh.merge_state(a.state())
+    assert fresh.counter("jobs").value == 5
+
+
+def test_merge_state_folds_histograms_bucket_by_bucket():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for v in (1, 10):
+        a.histogram("lat").observe(v)
+    for v in (100, 1000):
+        b.histogram("lat").observe(v)
+    a.merge_state(b.state())
+    h = a.histogram("lat")
+    assert h.count == 4
+    assert h.sum == 1111
+    assert h.min == 1 and h.max == 1000
+    assert sum(h.bucket_counts) == 4
+
+
+def test_merge_state_rejects_mismatched_bounds():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.histogram("lat", bounds=(1, 2, 3)).observe(1)
+    b.histogram("lat", bounds=(10, 20)).observe(15)
+    with pytest.raises(ValueError, match="bounds differ"):
+        a.merge_state(b.state())
+
+
+def test_merge_state_rejects_unknown_kind():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="unknown instrument kind"):
+        reg.merge_state({"x": {"kind": "summary", "value": 1}})
+
+
+def test_merge_state_round_trip_identity():
+    """state() -> merge_state() into an empty registry reproduces collect()."""
+    reg = MetricsRegistry()
+    reg.counter("n").inc(7)
+    reg.gauge("v").set(1.5)
+    reg.histogram("d").observe(9)
+    clone = MetricsRegistry()
+    clone.merge_state(reg.state())
+    assert clone.collect() == reg.collect()

@@ -120,3 +120,63 @@ def test_chrome_trace_carries_ledger_counter_tracks():
     assert by_name == {"cycles.pti": 30, "cycles.base": 12}
     assert trace["otherData"]["ledger"]["entries"] == {
         "cpu/base/other": 12, "cpu/pti/mov_cr3": 30}
+
+
+def test_counter_tracks_one_per_mitigation_sorted_at_total():
+    """Multi-mitigation ledgers export one "C" track per mitigation, all
+    sampled at the final ledger total (the ledger is cumulative), in
+    deterministic name order."""
+    from repro.obs.export import TRACE_PID, TRACE_TID, _ledger_counter_events
+    from repro.obs.ledger import CycleLedger
+    ledger = CycleLedger()
+    for mitigation, primitive, cycles in (
+            ("pti", "mov_cr3", 400),
+            ("pti", "tlb_flush", 100),
+            ("retpoline", "thunk", 60),
+            ("ssbd", "stlf_block", 25)):
+        ledger.set_tag(mitigation, primitive)
+        ledger.charge(cycles)
+    ledger.clear_tag()
+    ledger.charge(15)  # untagged -> base
+
+    events = _ledger_counter_events(ledger)
+    assert [e["name"] for e in events] == [
+        "cycles.base", "cycles.pti", "cycles.retpoline", "cycles.ssbd"]
+    assert all(e["ph"] == "C" for e in events)
+    assert all(e["ts"] == ledger.total() == 600 for e in events)
+    assert all(e["pid"] == TRACE_PID and e["tid"] == TRACE_TID
+               for e in events)
+    by_name = {e["name"]: e["args"]["cycles"] for e in events}
+    assert by_name["cycles.pti"] == 500       # both primitives fold in
+    assert sum(by_name.values()) == ledger.total()
+
+
+def test_counter_tracks_survive_json_round_trip():
+    import json as _json
+    from repro.obs.ledger import CycleLedger
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        machine = Machine(get_cpu("broadwell"), seed=0)
+        with tracer.span("cpu.block"):
+            machine.run([isa.work(10)])
+    ledger = CycleLedger()
+    ledger.set_tag("ibpb", "barrier")
+    ledger.charge(75)
+    text = to_chrome_trace_json(tracer, ledger=ledger)
+    trace = _json.loads(text)
+    counters = [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+    assert counters == [{"name": "cycles.ibpb", "ph": "C", "ts": 75,
+                         "pid": counters[0]["pid"],
+                         "tid": counters[0]["tid"],
+                         "args": {"cycles": 75}}]
+
+
+def test_no_counter_tracks_without_ledger():
+    tracer = SpanTracer()
+    with use_tracer(tracer):
+        machine = Machine(get_cpu("broadwell"), seed=0)
+        with tracer.span("cpu.block"):
+            machine.run([isa.work(10)])
+    trace = to_chrome_trace(tracer)
+    assert not [e for e in trace["traceEvents"] if e.get("ph") == "C"]
+    assert "ledger" not in trace["otherData"]

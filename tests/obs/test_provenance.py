@@ -75,3 +75,22 @@ def test_manifest_comment_lines():
     assert "# command: export" in joined
     assert "# config:" in joined
     assert f"# version: {__version__}" in joined
+
+
+def test_fingerprint_inputs_cover_history_and_report_modules():
+    """The run-history store and dashboard renderer are fingerprinted:
+    editing either invalidates cached cells and marks new recordings."""
+    from repro.obs.provenance import fingerprint_inputs
+    paths = fingerprint_inputs()
+    assert "obs/history.py" in paths
+    assert "obs/report.py" in paths
+    assert "cpu/engine.py" in paths
+    assert paths == fingerprint_inputs()  # stable hashing order
+
+
+def test_manifest_carries_code_fingerprint():
+    from repro.obs.provenance import code_fingerprint
+    manifest = build_manifest(command="bench")
+    assert manifest.code_fingerprint == code_fingerprint()
+    assert len(manifest.code_fingerprint) == 16
+    assert manifest.to_dict()["code_fingerprint"] == code_fingerprint()

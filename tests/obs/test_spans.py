@@ -186,3 +186,80 @@ def test_null_tracer_type_is_reusable():
     t = NullTracer()
     assert t.span("x") is t.span("y")
     assert not t.enabled
+
+
+def test_to_payload_serializes_timeline(tracer):
+    m = Machine(get_cpu("broadwell"))
+    with tracer.span("outer", cpu="bw") as outer:
+        m.execute(isa.work(30))
+        with tracer.span("inner"):
+            m.execute(isa.work(10))
+    tracer.instant("mark", n=1)
+    payload = tracer.to_payload()
+    assert payload["total_cycles"] == 40
+    records = payload["spans"]
+    assert [r["name"] for r in records] == ["outer", "inner"]
+    assert records[0]["parent"] is None
+    assert records[1]["parent"] == 0          # parent by index, not identity
+    assert records[0]["attrs"] == {"cpu": "bw"}
+    assert records[0]["start"] == 0 and records[0]["end"] == 40
+    assert payload["instants"] == [[40, "mark", {"n": 1}]]
+    assert "span.outer.cycles" in payload["metrics"]
+    import json as _json
+    _json.dumps(payload)                       # plain JSON types only
+    assert outer.end == 40
+
+
+def test_to_payload_closes_open_spans_at_now(tracer):
+    m = Machine(get_cpu("broadwell"))
+    span = tracer.span("open").__enter__()
+    m.execute(isa.work(25))
+    payload = tracer.to_payload()
+    assert payload["spans"][0]["end"] == 25    # closed at now() in transit
+    assert span.end is None                    # ...without mutating the live span
+    span.__exit__(None, None, None)
+
+
+def test_absorb_rebases_child_timeline(tracer):
+    m = Machine(get_cpu("broadwell"))
+    m.execute(isa.work(100))                   # parent clock at 100
+
+    child = SpanTracer()
+    with use_tracer(child):
+        cm = Machine(get_cpu("zen3"))          # binds to the child's clock
+        with child.span("worker.job") as job:
+            cm.execute(isa.work(40))
+            child.instant("worker.event")
+        child.metrics.counter("worker.cells").inc(8)
+
+    tracer.absorb(child.to_payload())
+    (absorbed,) = tracer.find("worker.job")
+    assert absorbed.start == 100 and absorbed.end == 140
+    assert absorbed is not job                 # rebuilt, not shared
+    assert (140, "worker.event", {}) in tracer.instants
+    assert tracer.now() == 140                 # clock advanced past the child
+    assert tracer.metrics.counter("worker.cells").value == 8
+
+
+def test_absorb_preserves_parent_links_and_coverage(tracer):
+    child = SpanTracer()
+    with use_tracer(child):
+        cm = Machine(get_cpu("broadwell"))
+        with child.span("outer"):
+            with child.span("inner"):
+                cm.execute(isa.work(60))
+    tracer.absorb(child.to_payload())
+    (outer,) = tracer.find("outer")
+    (inner,) = tracer.find("inner")
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert outer in tracer.roots and inner not in tracer.roots
+    assert tracer.coverage() == pytest.approx(1.0)
+    # successive absorptions stay monotonic
+    tracer.absorb(child.to_payload())
+    assert tracer.total_cycles() == 120
+
+
+def test_advance_rejects_negative(tracer):
+    with pytest.raises(ValueError):
+        tracer.advance(-1)

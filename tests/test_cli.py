@@ -264,3 +264,125 @@ def test_profile_ledger_out(capsys, tmp_path):
     report = open(ledger_path).read()
     assert "cycle ledger" in report
     assert "pti/mov_cr3" in report  # broadwell's default config has KPTI
+
+
+# --------------------------------------------------------------------------- #
+# Run history
+# --------------------------------------------------------------------------- #
+
+def _bench_to(capsys, tmp_path, name, extra=()):
+    path = str(tmp_path / name)
+    # history flags are global, so they precede the subcommand
+    run_cli(capsys, *extra, "bench", "--fast", "--cpus", "broadwell",
+            "--drivers", "figure2", "--out", path, "--no-cache")
+    return path
+
+
+def test_bench_auto_records_into_history(capsys, tmp_path):
+    db = os.environ["SPECTRESIM_HISTORY_DB"]  # hermetic per-test path
+    _bench_to(capsys, tmp_path, "B1.json")
+    out = run_cli(capsys, "history", "list")
+    assert "bench" in out
+    assert os.path.exists(db)
+
+
+def test_no_history_suppresses_recording(capsys, tmp_path):
+    _bench_to(capsys, tmp_path, "B1.json", extra=("--no-history",))
+    out = run_cli(capsys, "history", "list")
+    assert "0 run(s)" in out or "no runs" in out
+
+
+def test_check_auto_records_even_on_failure(capsys, tmp_path):
+    import json
+    bench_path = _bench_to(capsys, tmp_path, "B1.json")
+    payload = json.load(open(bench_path))
+    payload["values"]["figure2/broadwell/lebench:pti"]["value"] -= 5.0
+    with open(bench_path, "w") as f:
+        json.dump(payload, f)
+    with pytest.raises(SystemExit):
+        main(["check", "--against", bench_path, "--no-cache"])
+    capsys.readouterr()
+    out = run_cli(capsys, "history", "list")
+    assert "check" in out
+
+
+def test_history_record_diff_report_gc(capsys, tmp_path):
+    bench_path = _bench_to(capsys, tmp_path, "B1.json", extra=("--no-history",))
+    out = run_cli(capsys, "history", "record", bench_path)
+    assert "recorded" in out
+    run_cli(capsys, "history", "record", bench_path)
+
+    out = run_cli(capsys, "history", "diff", "prev", "latest")
+    assert "0 regressions" in out and "0 changed cells" in out
+
+    html_path = str(tmp_path / "dash.html")
+    out = run_cli(capsys, "history", "report", "--out", html_path)
+    assert "dashboard" in out
+    html = open(html_path).read()
+    assert "<svg" in html and 'id="self-perf"' in html
+    # byte-stable across invocations
+    run_cli(capsys, "history", "report", "--out", html_path + ".2")
+    assert open(html_path + ".2").read() == html
+
+    out = run_cli(capsys, "history", "gc", "--keep", "1")
+    assert "removed" in out
+    out = run_cli(capsys, "history", "list")
+    assert len(out.strip().splitlines()) == 2  # header + one surviving run
+
+
+def test_history_diff_flags_regression_with_blame(capsys, tmp_path):
+    import json
+    bench_path = _bench_to(capsys, tmp_path, "B1.json", extra=("--no-history",))
+    run_cli(capsys, "history", "record", bench_path)
+    payload = json.load(open(bench_path))
+    payload["values"]["figure2/broadwell/lebench:pti"]["value"] += 5.0
+    for cell in payload["ledger"].values():
+        bumped = {}
+        for path, cycles in cell["entries"].items():
+            if "/pti/" in path:
+                cycles += 10_000
+                cell["total"] += 10_000
+            bumped[path] = cycles
+        cell["entries"] = bumped
+    doctored = str(tmp_path / "B2.json")
+    with open(doctored, "w") as f:
+        json.dump(payload, f)
+    run_cli(capsys, "history", "record", doctored)
+
+    with pytest.raises(SystemExit):
+        main(["history", "diff", "prev", "latest"])
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+    assert "pti" in out
+    assert "(exact)" in out
+
+
+def test_history_record_refuses_stale_fingerprint(capsys, tmp_path):
+    import json
+    bench_path = _bench_to(capsys, tmp_path, "B1.json", extra=("--no-history",))
+    payload = json.load(open(bench_path))
+    payload["provenance"]["code_fingerprint"] = "0123456789abcdef"
+    with open(bench_path, "w") as f:
+        json.dump(payload, f)
+    with pytest.raises(SystemExit, match="history:"):
+        main(["history", "record", bench_path])
+    capsys.readouterr()
+    out = run_cli(capsys, "history", "record", bench_path, "--allow-dirty")
+    assert "dirty" in out
+
+
+def test_history_db_flag_overrides_default(capsys, tmp_path):
+    bench_path = _bench_to(capsys, tmp_path, "B1.json", extra=("--no-history",))
+    alt = str(tmp_path / "alt.db")
+    run_cli(capsys, "history", "--db", alt, "record", bench_path)
+    assert os.path.exists(alt)
+    assert not os.path.exists(os.environ["SPECTRESIM_HISTORY_DB"])
+    out = run_cli(capsys, "history", "--db", alt, "list")
+    assert "bench" in out
+
+
+def test_profile_records_telemetry_run(capsys, tmp_path):
+    run_cli(capsys, "profile", "table", "1", "--iterations", "20",
+            "--trace-out", str(tmp_path / "t.json"))
+    out = run_cli(capsys, "history", "list")
+    assert "profile" in out
