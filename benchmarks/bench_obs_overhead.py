@@ -13,7 +13,13 @@ import time
 from repro.cpu import Machine, get_cpu
 from repro.kernel import GETPID, Kernel
 from repro.mitigations import linux_default
-from repro.obs import NULL_TRACER, SpanTracer, use_tracer
+from repro.obs import (
+    NULL_TRACER,
+    LeakageTracer,
+    SpanTracer,
+    use_leakage,
+    use_tracer,
+)
 
 LOOPS = 3000
 REPEATS = 7
@@ -76,6 +82,34 @@ def test_active_tracing_records_every_syscall():
     assert len(spans) == LOOPS
     print(f"\nactive tracing : {1e6 * elapsed / LOOPS:8.3f} us/syscall, "
           f"{len(tracer.spans)} spans recorded")
+
+
+def test_leakage_tracer_off_within_noise():
+    """The taint-tracer hooks are one ``is None`` test per site when no
+    tracer is attached: the untraced syscall loop must stay within the
+    same noise budget as the null span tracer.  The traced loop is timed
+    for the record — taint bookkeeping is allowed to cost."""
+    kernel = _fresh_kernel()
+    seed = _time_loop(lambda p: _seed_syscall(kernel, p), GETPID)
+
+    kernel = _fresh_kernel()
+    assert kernel.machine.leakage is None
+    off = _time_loop(kernel.syscall, GETPID)
+
+    with use_leakage(LeakageTracer()):
+        traced = _fresh_kernel()
+    assert traced.machine.leakage is not None
+    on = _time_loop(traced.syscall, GETPID)
+
+    overhead = off / seed - 1.0
+    print(f"\nseed path      : {1e6 * seed / LOOPS:8.3f} us/syscall")
+    print(f"leakage off    : {1e6 * off / LOOPS:8.3f} us/syscall "
+          f"({100.0 * overhead:+.2f}%)")
+    print(f"leakage on     : {1e6 * on / LOOPS:8.3f} us/syscall "
+          f"({100.0 * (on / seed - 1.0):+.2f}%)")
+    assert overhead < BUDGET, (
+        f"leakage-off syscall path is {100.0 * overhead:.1f}% slower than "
+        f"the uninstrumented seed path (budget {100.0 * BUDGET:.0f}%)")
 
 
 def bench_null_tracer_syscalls(benchmark):

@@ -10,6 +10,12 @@ pass the fingerprint gate, so they are recorded with ``allow_dirty=True``
 and show up flagged in listings and on the dashboard.  That is the
 honest state: the fixture says "these numbers came from other code".
 
+Baselines predating the taint tracer carry no ``leakage`` block.  The
+leakage surface is not a measurement of the recorded numbers — it is a
+deterministic function of the simulator under a policy and seed — so the
+newest baseline is seeded with a freshly computed snapshot, giving the
+dashboard's leakage-matrix panel data on a fresh checkout.
+
 Usage (from the repository root)::
 
     PYTHONPATH=src python benchmarks/seed_history.py
@@ -22,7 +28,7 @@ import sys
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-from repro.obs.baseline import load_bench          # noqa: E402
+from repro.obs.baseline import leakage_snapshot, load_bench  # noqa: E402
 from repro.obs.history import HistoryStore          # noqa: E402
 from repro.obs.provenance import code_fingerprint   # noqa: E402
 
@@ -46,10 +52,15 @@ def main() -> int:
             payload = load_bench(path)
             recorded = payload.get("provenance", {}).get("code_fingerprint")
             dirty = recorded != fingerprint
+            note = ""
+            if path == paths[-1] and "leakage" not in payload:
+                payload = dict(payload)
+                payload["leakage"] = leakage_snapshot()
+                note = " (+leakage snapshot)"
             run_id = store.record_payload(payload, command=f"bench {name}",
                                           kind="bench", allow_dirty=True)
             flag = " (flagged dirty)" if dirty else ""
-            print(f"seed_history: {name} -> run {run_id}{flag}")
+            print(f"seed_history: {name} -> run {run_id}{flag}{note}")
         print(f"seed_history: {len(store)} run(s) -> {DB_PATH}")
     return 0
 

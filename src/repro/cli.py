@@ -16,6 +16,8 @@ Observability::
 
     spectresim profile figure 2 --fast --trace-out t.json --flame-out t.folded
     spectresim --trace t.json figure 3 --fast    # trace any command
+    spectresim leakage matrix                    # taint-oracle leak surface
+    spectresim leakage events --trace-out leaks.json
 
 Parallelism and caching (see ``docs/parallelism.md``)::
 
@@ -48,7 +50,7 @@ from . import obs
 from .cpu import Machine, Mode, all_cpus, get_cpu
 from .cpu import engine as blockengine
 from .core import microbench, reporting, study
-from .core.probe import speculation_matrix
+from .core.probe import DEFAULT_TRIALS, speculation_matrix
 from .core.study import Settings
 from .mitigations import linux_default
 from .mitigations.meltdown import attempt_meltdown
@@ -542,6 +544,66 @@ def cmd_history(args: argparse.Namespace) -> str:
     raise SystemExit(f"unknown history action {args.history_command!r}")
 
 
+def cmd_leakage(args: argparse.Namespace) -> str:
+    """Taint-oracle leakage surface: per-CPU matrix or raw event log."""
+    import json
+    from .core.probe import leakage_report
+    cpus = _selected_cpus(args)
+    report = leakage_report(tuple(cpus), policy=args.policy,
+                            trials=args.trials,
+                            max_events=args.max_events)
+    if args.leakage_command == "matrix":
+        if args.json:
+            slim = dict(report)
+            slim.pop("events", None)
+            return json.dumps(slim, indent=2, sort_keys=True) + "\n"
+        lines = [f"Speculative-leakage matrix (taint oracle, policy: "
+                 f"{args.policy})", ""]
+        leaks = total = 0
+        for cpu_key in sorted(report["matrix"]):
+            row = report["matrix"][cpu_key]
+            lines.append(f"{cpu_key}:")
+            if row is None:
+                lines.append("  (policy not supported on this part)")
+                continue
+            for boundary in sorted(row):
+                cell = row[boundary]
+                total += 1
+                if cell["leaked"]:
+                    leaks += 1
+                    verdict = f"LEAK ({cell['events']} events)"
+                else:
+                    why = ", ".join(cell["blocked_by"]) or "no speculation"
+                    verdict = f"blocked by {why}"
+                lines.append(f"  {boundary:<24} {verdict}")
+        lines.append("")
+        lines.append(f"{leaks} leaking cell(s) out of {total}")
+        return "\n".join(lines) + "\n"
+    if args.leakage_command == "events":
+        if args.trace_out:
+            # Rehydrate the aggregate flight recorder so the Perfetto
+            # export gets real LeakageEvent instants + merged state.
+            tracer = obs.LeakageTracer(policy=args.policy)
+            tracer.events = [obs.LeakageEvent(**e)
+                             for e in report["events"]]
+            tracer.merge_state(report["state"])
+            obs.write_chrome_trace(args.trace_out, obs.SpanTracer(),
+                                   leakage=tracer)
+        if args.json:
+            return json.dumps(report["events"], indent=2) + "\n"
+        lines = [f"Leakage events (policy: {args.policy}, "
+                 f"{len(report['events'])} shown)"]
+        for e in report["events"]:
+            lines.append(f"  tsc={e['tsc']:<8} {e['cpu']:<16} "
+                         f"{e['primitive']:<12} {e['channel']:<14} "
+                         f"{e['boundary']:<22} sink={e['sink']}")
+        if args.trace_out:
+            lines.append(f"trace: wrote {len(report['events'])} leakage "
+                         f"instants to {args.trace_out}")
+        return "\n".join(lines) + "\n"
+    raise SystemExit(f"unknown leakage action {args.leakage_command!r}")
+
+
 def cmd_all(args: argparse.Namespace) -> str:
     """Run every experiment, writing one file per artifact to --outdir."""
     os.makedirs(args.outdir, exist_ok=True)
@@ -766,6 +828,36 @@ def build_parser() -> argparse.ArgumentParser:
     hp.add_argument("--keep", type=int, required=True, metavar="N",
                     help="number of newest runs to retain")
 
+    p = sub.add_parser(
+        "leakage",
+        help="taint-oracle leakage surface: blocked/leaked matrix per "
+             "CPU model and mitigation policy, or the raw event log")
+    lsub = p.add_subparsers(dest="leakage_command", required=True)
+
+    def _add_leakage_flags(lp: argparse.ArgumentParser) -> None:
+        lp.add_argument("--policy", default="default",
+                        choices=["default", "off", "ibrs"],
+                        help="mitigation policy the probe grid runs under "
+                             "(default: each part's Linux-default strategy)")
+        lp.add_argument("--cpus", nargs="*",
+                        help="CPU keys to probe (default: all modelled CPUs)")
+        lp.add_argument("--trials", type=int, default=DEFAULT_TRIALS,
+                        help="probe trials per (cpu, boundary) cell")
+        lp.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+        lp.add_argument("--max-events", type=int, default=200,
+                        help="cap on raw events carried in the report")
+
+    lp = lsub.add_parser("matrix",
+                         help="cpu x train->victim boundary verdicts with "
+                              "blocked-by mitigation attribution")
+    _add_leakage_flags(lp)
+    lp = lsub.add_parser("events", help="the leakage event flight record")
+    _add_leakage_flags(lp)
+    lp.add_argument("--trace-out", metavar="PATH", default=None,
+                    help="also write the events as Perfetto instant "
+                         "events (Chrome trace-event JSON) here")
+
     p = sub.add_parser("all", help="run everything, write artifacts")
     p.add_argument("--outdir", default="results")
     p.add_argument("--fast", action="store_true")
@@ -791,6 +883,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "check": cmd_check,
     "history": cmd_history,
+    "leakage": cmd_leakage,
     "all": cmd_all,
 }
 

@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cpu import engine as blockengine
 from ..errors import ExecutorError
+from ..obs import leakage as obs_leakage
 from ..obs import ledger as obs_ledger
 from ..obs import spans as obs_spans
 from ..obs.metrics import MetricsRegistry
@@ -368,7 +369,8 @@ class RunStats:
 
 def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
                      collect_ledger: bool = False,
-                     engine_mode: Optional[str] = None) -> Dict[str, Any]:
+                     engine_mode: Optional[str] = None,
+                     collect_leakage: bool = False) -> Dict[str, Any]:
     """Process-pool entry point: run one cell, return result + telemetry.
 
     Top-level (picklable) and import-light: the heavy imports happen in
@@ -384,6 +386,11 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
     pool worker simulates with the same execution engine; the worker's
     block-engine counters for this cell are shipped home and merged into
     the parent's :data:`~repro.cpu.engine.STATS`.
+
+    ``collect_leakage`` mirrors the ledger transport for the leakage
+    tracer: the worker runs under its own
+    :class:`~repro.obs.leakage.LeakageTracer` and ships ``state()`` home
+    for :meth:`~repro.obs.leakage.LeakageTracer.merge_state`.
     """
     from . import study
     if engine_mode is not None:
@@ -394,20 +401,25 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
     kind = study.DRIVER_KINDS[spec.driver]
     obs_payload = None
     ledger_payload = None
+    leakage_payload = None
     ledger = obs_ledger.CycleLedger() if collect_ledger else None
-    with obs_ledger.use_ledger(ledger):
-        if collect_obs:
-            tracer = obs_spans.SpanTracer()
-            with obs_spans.use_tracer(tracer):
+    leakage = obs_leakage.LeakageTracer() if collect_leakage else None
+    with obs_leakage.use_leakage(leakage):
+        with obs_ledger.use_ledger(ledger):
+            if collect_obs:
+                tracer = obs_spans.SpanTracer()
+                with obs_spans.use_tracer(tracer):
+                    result = runner(spec)
+                obs_payload = tracer.to_payload()
+            else:
                 result = runner(spec)
-            obs_payload = tracer.to_payload()
-        else:
-            result = runner(spec)
     if ledger is not None:
         ledger.verify()  # per-cell invariant, enforced worker-side
         ledger_payload = ledger.state()
+    if leakage is not None:
+        leakage_payload = leakage.state()
     return {"result": encode_result(kind, result), "obs": obs_payload,
-            "ledger": ledger_payload,
+            "ledger": ledger_payload, "leakage": leakage_payload,
             "engine": blockengine.STATS.as_dict()}
 
 
@@ -543,12 +555,14 @@ class StudyExecutor:
         tracer = obs_spans.current_tracer()
         collect_obs = bool(getattr(tracer, "enabled", False))
         ledger = obs_ledger.current_ledger()
+        leakage = obs_leakage.current_leakage()
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_worker_run_cell, spec.to_dict(), collect_obs,
                             ledger is not None,
-                            blockengine.default_engine()):
+                            blockengine.default_engine(),
+                            leakage is not None):
                     (index, spec)
                 for index, spec in pending
             }
@@ -565,6 +579,8 @@ class StudyExecutor:
                     tracer.absorb(payload["obs"])
                 if ledger is not None and payload.get("ledger") is not None:
                     ledger.merge_state(payload["ledger"])
+                if leakage is not None and payload.get("leakage") is not None:
+                    leakage.merge_state(payload["leakage"])
                 if payload.get("engine") is not None:
                     blockengine.STATS.merge(payload["engine"])
                 record_completion(index, spec,

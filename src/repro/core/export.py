@@ -122,10 +122,15 @@ def speculation_matrix_to_json(
     indent: int = 2,
     provenance: Optional[RunManifest] = None,
 ) -> str:
-    """Tables 9/10 as JSON: cpu -> scenario label -> bool (or null row)."""
+    """Tables 9/10 as JSON: cpu -> scenario label -> bool (or null row).
+
+    Rows now hold :class:`~repro.core.probe.ProbeVerdict` cells; the JSON
+    keeps the historical boolean shape (the ``speculated`` bit).
+    """
     serializable = {
         cpu: (None if row is None
-              else {scenario.label: row[scenario] for scenario in SCENARIOS})
+              else {scenario.label: bool(row[scenario])
+                    for scenario in SCENARIOS})
         for cpu, row in matrix.items()
     }
     manifest = provenance or _fallback_manifest(

@@ -22,19 +22,28 @@ Protocol, mirroring Figure 6:
 
 Tables 9 and 10 are this probe swept over five (attacker, victim,
 intervening-syscall) scenarios with IBRS off and on respectively.
+
+The probe is rebased on the taint-tracking leakage tracer
+(:mod:`repro.obs.leakage`) as its oracle: every probed cell returns a
+structured :class:`ProbeVerdict` carrying both the legacy counter signal
+(``speculated``) and the tracer's view (``leaked``, plus *blocked-by*
+attribution naming the mitigation that cleared the taint).  The two
+signals derive from the same mechanistic window, so they agree by
+construction — the oracle-agreement tests pin that invariant.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..cpu import counters as ctr
 from ..cpu import isa
-from ..cpu.machine import Machine
+from ..cpu.machine import AMD_RETPOLINE, Machine
 from ..cpu.model import CPUModel
 from ..cpu.modes import Mode
 from ..errors import UnsupportedFeatureError
+from ..obs import leakage as obs_leakage
 
 #: Probe code layout: the shared branch site and the two landing pads.
 BRANCH_PC = 0x60_0000
@@ -78,12 +87,89 @@ SCENARIOS: Tuple[Scenario, ...] = (
 #: like user->kernel on vulnerable parts).
 KERNEL_TO_USER = Scenario(Mode.KERNEL, Mode.USER, True)
 
+#: Leakage-grid mitigation policies.
+POLICY_OFF = "off"          # everything disabled (Table 9 conditions)
+POLICY_IBRS = "ibrs"        # SPEC_CTRL.IBRS set (Table 10 conditions)
+POLICY_DEFAULT = "default"  # the Linux default V2 strategy per CPU
+
+
+class ProbeVerdict:
+    """Structured outcome of probing one (CPU, scenario) cell.
+
+    ``speculated`` is the legacy divider-counter signal (the bare boolean
+    the probe used to return); ``leaked`` is the taint oracle's verdict
+    (a ``port_timing`` leakage event fired); ``blocked_by`` names the
+    mitigation/primitive pairs that cleared or bypassed the tainted
+    predictor state during the probe.  Verdicts compare equal to plain
+    booleans on the ``speculated`` bit, so Table 9/10 expectations keep
+    reading naturally.
+    """
+
+    __slots__ = ("speculated", "mispredicted", "leaked", "blocked_by",
+                 "events", "label")
+
+    def __init__(self, speculated: bool, mispredicted: bool = False,
+                 leaked: bool = False,
+                 blocked_by: Tuple[str, ...] = (),
+                 events: int = 0, label: str = "") -> None:
+        self.speculated = speculated
+        self.mispredicted = mispredicted
+        self.leaked = leaked
+        self.blocked_by = tuple(blocked_by)
+        self.events = events
+        self.label = label
+
+    def __bool__(self) -> bool:
+        return self.speculated
+
+    def __eq__(self, other: Any) -> Any:
+        if isinstance(other, ProbeVerdict):
+            return (self.speculated == other.speculated
+                    and self.mispredicted == other.mispredicted
+                    and self.leaked == other.leaked
+                    and self.blocked_by == other.blocked_by
+                    and self.events == other.events)
+        if isinstance(other, bool):
+            return self.speculated is other
+        return NotImplemented
+
+    def __ne__(self, other: Any) -> Any:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self.speculated)
+
+    def __repr__(self) -> str:
+        return ("ProbeVerdict(speculated={0}, leaked={1}, blocked_by={2})"
+                .format(self.speculated, self.leaked, self.blocked_by))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "speculated": self.speculated,
+            "mispredicted": self.mispredicted,
+            "leaked": self.leaked,
+            "blocked_by": list(self.blocked_by),
+            "events": self.events,
+        }
+
 
 class SpeculationProbe:
-    """Drives the Figure 6 protocol on one machine."""
+    """Drives the Figure 6 protocol on one machine.
 
-    def __init__(self, machine: Machine) -> None:
+    ``retpoline`` converts the *victim-side* probe branch into a
+    retpoline (the attacker's training branches stay plain — attackers
+    do not compile their own code with retpolines), modelling a kernel
+    built with ``CONFIG_RETPOLINE``.
+    """
+
+    def __init__(self, machine: Machine, retpoline: bool = False,
+                 policy: str = "custom") -> None:
         self.machine = machine
+        self.retpoline = retpoline
+        self.policy = policy
         machine.register_code(VICTIM_TARGET, [isa.div()])
         machine.register_code(NOP_TARGET, [isa.nop()])
 
@@ -122,7 +208,8 @@ class SpeculationProbe:
         machine.execute(isa.clflush(NOP_TARGET))
         before = machine.counters.read(ctr.DIVIDER_ACTIVE)
         machine.execute(isa.rdpmc())
-        machine.execute(isa.branch_indirect(NOP_TARGET, pc=BRANCH_PC))
+        machine.execute(isa.branch_indirect(NOP_TARGET, pc=BRANCH_PC,
+                                            retpoline=self.retpoline))
         machine.execute(isa.rdpmc())
         return machine.counters.read(ctr.DIVIDER_ACTIVE) > before
 
@@ -151,11 +238,50 @@ class SpeculationProbe:
         machine.execute(isa.clflush(NOP_TARGET))
         div_before = machine.counters.read(ctr.DIVIDER_ACTIVE)
         misp_before = machine.counters.read(ctr.MISPREDICTED_INDIRECT)
-        machine.execute(isa.branch_indirect(NOP_TARGET, pc=BRANCH_PC))
+        machine.execute(isa.branch_indirect(NOP_TARGET, pc=BRANCH_PC,
+                                            retpoline=self.retpoline))
         mispredicted = machine.counters.read(
             ctr.MISPREDICTED_INDIRECT) > misp_before
         divider = machine.counters.read(ctr.DIVIDER_ACTIVE) > div_before
         return mispredicted, divider
+
+    def probe_verdict(self, scenario: Scenario,
+                      trials: int = DEFAULT_TRIALS) -> ProbeVerdict:
+        """Probe one scenario with the taint oracle engaged.
+
+        Attaches a :class:`repro.obs.leakage.LeakageTracer` to the machine
+        (if none is attached yet), labels the victim landing pad as
+        attacker-controlled code, runs ``trials`` rounds, and folds both
+        the legacy counter signal and the tracer's leakage/blocked-by
+        deltas into a :class:`ProbeVerdict`.
+        """
+        machine = self.machine
+        tracer = machine.leakage
+        if tracer is None:
+            tracer = obs_leakage.LeakageTracer(policy=self.policy)
+            machine.attach_leakage(tracer)
+        tracer.taint_code(VICTIM_TARGET)
+        port_before = tracer.count(obs_leakage.PORT_TIMING)
+        events_before = tracer.total_events()
+        blocked_before = dict(tracer.blocked)
+        mispredicted = False
+        speculated = False
+        for _ in range(trials):
+            misp, divider = self.probe_both_counters(scenario)
+            mispredicted = mispredicted or misp
+            speculated = speculated or divider
+        leaked = tracer.count(obs_leakage.PORT_TIMING) > port_before
+        blocked_by = tuple(sorted(
+            key for key, count in tracer.blocked.items()
+            if count > blocked_before.get(key, 0)))
+        return ProbeVerdict(
+            speculated=speculated,
+            mispredicted=mispredicted,
+            leaked=leaked,
+            blocked_by=blocked_by,
+            events=tracer.total_events() - events_before,
+            label=scenario.label,
+        )
 
 
 def speculation_row(
@@ -163,20 +289,23 @@ def speculation_row(
     ibrs: bool,
     trials: int = DEFAULT_TRIALS,
     seed: int = 0,
-) -> Optional[Dict[Scenario, bool]]:
+) -> Optional[Dict[Scenario, ProbeVerdict]]:
     """One CPU's Table 9 (``ibrs=False``) or Table 10 (``ibrs=True``) row.
 
     Returns None when the configuration is impossible — Zen has no IBRS
-    support, which the paper's Table 10 marks N/A.
+    support, which the paper's Table 10 marks N/A.  Cells are
+    :class:`ProbeVerdict` objects; they compare equal to the bare booleans
+    the row used to carry.
     """
     if ibrs and not (cpu.predictor.supports_ibrs or cpu.predictor.supports_eibrs):
         return None
-    row: Dict[Scenario, bool] = {}
+    policy = POLICY_IBRS if ibrs else POLICY_OFF
+    row: Dict[Scenario, ProbeVerdict] = {}
     for scenario in SCENARIOS:
         machine = Machine(cpu, seed=seed)
         machine.msr.set_ibrs(ibrs)
-        probe = SpeculationProbe(machine)
-        row[scenario] = probe.probe(scenario, trials)
+        probe = SpeculationProbe(machine, policy=policy)
+        row[scenario] = probe.probe_verdict(scenario, trials)
     return row
 
 
@@ -184,6 +313,104 @@ def speculation_matrix(
     cpus: Tuple[CPUModel, ...],
     ibrs: bool,
     trials: int = DEFAULT_TRIALS,
-) -> Dict[str, Optional[Dict[Scenario, bool]]]:
+) -> Dict[str, Optional[Dict[Scenario, ProbeVerdict]]]:
     """The full Table 9/10 matrix over ``cpus``."""
     return {cpu.key: speculation_row(cpu, ibrs, trials) for cpu in cpus}
+
+
+# --------------------------------------------------------------------------- #
+# Leakage grid: the probe swept under mitigation policies, tracer attached
+# --------------------------------------------------------------------------- #
+
+def _policy_machine(cpu: CPUModel, policy: str, seed: int) -> Tuple[Machine, bool]:
+    """A machine configured for ``policy``; returns (machine, retpoline)."""
+    machine = Machine(cpu, seed=seed)
+    if policy == POLICY_OFF:
+        return machine, False
+    if policy == POLICY_IBRS:
+        machine.msr.set_ibrs(True)
+        return machine, False
+    if policy == POLICY_DEFAULT:
+        from ..mitigations.base import V2Strategy
+        from ..mitigations.policy import default_v2_strategy
+        strategy = default_v2_strategy(cpu)
+        if strategy is V2Strategy.EIBRS:
+            machine.msr.set_ibrs(True)
+            return machine, False
+        if strategy is V2Strategy.RETPOLINE_AMD:
+            machine.retpoline_variant = AMD_RETPOLINE
+        return machine, True
+    raise ValueError(f"unknown leakage policy {policy!r}")
+
+
+def leakage_row(
+    cpu: CPUModel,
+    policy: str = POLICY_DEFAULT,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+) -> Optional[Dict[Scenario, ProbeVerdict]]:
+    """One CPU's probe row under a mitigation ``policy``, taint oracle on.
+
+    Returns None for impossible configurations (``ibrs`` on a part with
+    no IBRS support, mirroring Table 10's N/A row).
+    """
+    if policy == POLICY_IBRS and not (cpu.predictor.supports_ibrs
+                                      or cpu.predictor.supports_eibrs):
+        return None
+    row: Dict[Scenario, ProbeVerdict] = {}
+    for scenario in SCENARIOS:
+        machine, retpoline = _policy_machine(cpu, policy, seed)
+        probe = SpeculationProbe(machine, retpoline=retpoline, policy=policy)
+        row[scenario] = probe.probe_verdict(scenario, trials)
+    return row
+
+
+def leakage_matrix(
+    cpus: Tuple[CPUModel, ...],
+    policy: str = POLICY_DEFAULT,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+) -> Dict[str, Optional[Dict[Scenario, ProbeVerdict]]]:
+    """The probe grid over ``cpus`` under one mitigation policy."""
+    return {cpu.key: leakage_row(cpu, policy, trials, seed) for cpu in cpus}
+
+
+def leakage_report(
+    cpus: Tuple[CPUModel, ...],
+    policy: str = POLICY_DEFAULT,
+    trials: int = DEFAULT_TRIALS,
+    seed: int = 0,
+    max_events: int = 200,
+) -> Dict[str, Any]:
+    """Serializable leakage surface: matrix cells, sample events, and the
+    merged tracer state (the shape shipped in bench payloads, stored in
+    the history DB and rendered by the dashboard panel)."""
+    aggregate = obs_leakage.LeakageTracer(policy=policy)
+    matrix: Dict[str, Any] = {}
+    events: List[Dict[str, Any]] = []
+    for cpu in cpus:
+        if policy == POLICY_IBRS and not (cpu.predictor.supports_ibrs
+                                          or cpu.predictor.supports_eibrs):
+            matrix[cpu.key] = None
+            continue
+        cells: Dict[str, Any] = {}
+        for scenario in SCENARIOS:
+            machine, retpoline = _policy_machine(cpu, policy, seed)
+            probe = SpeculationProbe(machine, retpoline=retpoline,
+                                     policy=policy)
+            verdict = probe.probe_verdict(scenario, trials)
+            cells[scenario.label] = verdict.to_dict()
+            tracer = machine.leakage
+            if tracer is not None:
+                aggregate.merge_state(tracer.state())
+                for event in tracer.events:
+                    if len(events) < max_events:
+                        events.append(event.to_dict())
+        matrix[cpu.key] = cells
+    return {
+        "policy": policy,
+        "matrix": matrix,
+        "events": events,
+        "state": aggregate.state(),
+        "summary": aggregate.summary().to_dict(),
+    }

@@ -109,6 +109,8 @@ class BranchTargetBuffer:
         # pc -> (target, mode, salt, thread)
         self._table: Dict[int, Tuple[int, Mode, int, int]] = {}
         self._install_counter = 0
+        #: Optional leakage tracer hook (``repro.obs.leakage``).
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -127,6 +129,8 @@ class BranchTargetBuffer:
             # irrelevant to the experiments, which touch few branches.
             self._table.pop(next(iter(self._table)))
         self._table[pc] = (target, mode, salt, thread)
+        if self.observer is not None:
+            self.observer.btb_train(pc, target, mode)
 
     def train_many(self, installs) -> None:
         """Install a run of ``(pc, target, mode, thread)`` entries in
@@ -135,11 +139,14 @@ class BranchTargetBuffer:
         capacity = self.capacity
         opaque = self.opaque_index
         counter = self._install_counter
+        observer = self.observer
         for pc, target, mode, thread in installs:
             counter += 1
             if pc not in table and len(table) >= capacity:
                 table.pop(next(iter(table)))
             table[pc] = (target, mode, counter if opaque else 0, thread)
+            if observer is not None:
+                observer.btb_train(pc, target, mode)
         self._install_counter = counter
 
     def lookup(self, pc: int, mode: Mode, thread: int = 0,
@@ -184,12 +191,16 @@ class BranchTargetBuffer:
         for pc, (_target, mode, salt, thread) in list(self._table.items()):
             self._table[pc] = (HARMLESS_TARGET, mode, salt, thread)
             rewritten += 1
+        if self.observer is not None:
+            self.observer.btb_barrier()
         return rewritten
 
     def flush(self) -> int:
         """Hard invalidation (used by the eIBRS periodic kernel-entry scrub)."""
         count = len(self._table)
         self._table.clear()
+        if self.observer is not None:
+            self.observer.btb_flush()
         return count
 
     def contains(self, pc: int) -> bool:

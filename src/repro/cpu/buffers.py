@@ -49,6 +49,8 @@ class MicroarchBuffers:
     def __init__(self, vulnerable: bool) -> None:
         self.vulnerable = vulnerable
         self._residue: Dict[str, Optional[Residue]] = {name: None for name in _ALL}
+        #: Optional leakage tracer hook (``repro.obs.leakage``).
+        self.observer = None
 
     # -- victim side ---------------------------------------------------------
 
@@ -56,10 +58,14 @@ class MicroarchBuffers:
         """A load passed through a fill buffer and a load port."""
         self._residue[FILL_BUFFER] = Residue(value, mode)
         self._residue[LOAD_PORT] = Residue(value, mode)
+        if self.observer is not None:
+            self.observer.residue_load(value, mode)
 
     def deposit_store(self, value: int, mode: Mode) -> None:
         """A store left its data in the store buffer (Fallout surface)."""
         self._residue[STORE_BUFFER] = Residue(value, mode)
+        if self.observer is not None:
+            self.observer.residue_store(value, mode)
 
     # -- mitigation side -------------------------------------------------------
 
@@ -67,6 +73,8 @@ class MicroarchBuffers:
         """The microcode-extended ``verw``: overwrite all buffers."""
         for name in _ALL:
             self._residue[name] = None
+        if self.observer is not None:
+            self.observer.residue_clear()
 
     # -- attacker side -----------------------------------------------------------
 

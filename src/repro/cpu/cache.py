@@ -108,13 +108,19 @@ class CacheHierarchy:
     def __init__(self, l1: Cache, l2: Cache) -> None:
         self.l1 = l1
         self.l2 = l2
+        #: Optional leakage tracer hook (``repro.obs.leakage``).
+        self.observer = None
 
     def access(self, address: int) -> int:
         if self.l1.access(address):
-            return 1
-        if self.l2.access(address):
-            return 2
-        return 0
+            level = 1
+        elif self.l2.access(address):
+            level = 2
+        else:
+            level = 0
+        if self.observer is not None:
+            self.observer.cache_fill(address, level)
+        return level
 
     def probe_l1(self, address: int) -> bool:
         return self.l1.probe(address)
@@ -122,6 +128,11 @@ class CacheHierarchy:
     def flush_line(self, address: int) -> None:
         self.l1.flush_line(address)
         self.l2.flush_line(address)
+        if self.observer is not None:
+            self.observer.cache_flush(address)
 
     def flush_l1(self) -> int:
-        return self.l1.flush_all()
+        count = self.l1.flush_all()
+        if self.observer is not None:
+            self.observer.cache_flush_l1()
+        return count

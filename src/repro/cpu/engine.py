@@ -355,6 +355,12 @@ class BlockEngine:
         tuples are immutable and skip the in-place-mutation check that
         lists need.
         """
+        if self.machine.leakage is not None:
+            # Leakage tracing on: taint is a guard-key input the compiled
+            # deltas do not model, so traced segments replay interpreted
+            # (bit-identical by the engine's differential contract).
+            STATS.interp_fallbacks += 1
+            return self._interpret(seq)
         entry = self._blocks.get(id(seq))
         if entry is None or (seq.__class__ is not tuple
                              and entry.instrs != tuple(seq)):

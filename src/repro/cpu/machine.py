@@ -27,6 +27,7 @@ import numpy as np
 
 from ..errors import SegmentationFault, UnsupportedFeatureError
 from ..obs import ledger as obs_ledger
+from ..obs import leakage as obs_leakage
 from ..obs import spans as obs_spans
 from . import counters as ctr
 from . import engine as blockengine
@@ -129,6 +130,14 @@ class Machine:
             self.counters.ledger = self.ledger
             self.ledger.attach(self.counters)
 
+        # Speculative-leakage tracer: when one is installed, taint flows
+        # through the structures above and leakage events are filed (see
+        # repro.obs.leakage).  None = tracing off, strictly zero cost.
+        self.leakage = None
+        ambient_leakage = obs_leakage.current_leakage()
+        if ambient_leakage is not None:
+            self.attach_leakage(ambient_leakage)
+
         # eIBRS periodic BTB scrub state (paper section 6.2.2).
         self._rng = np.random.default_rng(seed)
         self._scrub_countdown = self._next_scrub_interval()
@@ -148,6 +157,15 @@ class Machine:
         self.engine_mode = engine if engine is not None else blockengine.default_engine()
         self.engine = (blockengine.BlockEngine(self)
                        if self.engine_mode == blockengine.ENGINE_BLOCK else None)
+
+    def attach_leakage(self, tracer) -> None:
+        """Adopt a :class:`repro.obs.leakage.LeakageTracer`: wire it onto
+        this machine's microarchitectural structures and key its events to
+        this CPU.  With a tracer attached, ``run()`` always interprets —
+        taint is a guard-key input the block engine does not model, so
+        traced segments fall back to bit-identical interpreted replay."""
+        self.leakage = tracer
+        tracer.bind_machine(self)
 
     # ------------------------------------------------------------------ #
     # MSR side effects
@@ -194,6 +212,7 @@ class Machine:
         """
         engine = self.engine
         if (engine is not None and self.tracer is None
+                and self.leakage is None
                 and instructions.__class__ in (list, tuple)
                 and len(instructions) > 1):
             return engine.run(instructions)
@@ -299,7 +318,10 @@ class Machine:
         return self._execute_syscall_entry()
 
     def _op_sysret(self, instr: Instruction) -> int:
+        previous = self.mode
         self.mode = Mode.GUEST_USER if self.mode.is_guest else Mode.USER
+        if self.leakage is not None:
+            self.leakage.on_boundary(previous, self.mode)
         return self.costs.sysret
 
     def _op_swapgs(self, instr: Instruction) -> int:
@@ -323,12 +345,18 @@ class Machine:
         return self.costs.l1d_flush
 
     def _op_vmenter(self, instr: Instruction) -> int:
+        previous = self.mode
         self.mode = Mode.GUEST_KERNEL
+        if self.leakage is not None:
+            self.leakage.on_boundary(previous, self.mode)
         return self.costs.vmenter
 
     def _op_vmexit(self, instr: Instruction) -> int:
+        previous = self.mode
         self.mode = Mode.KERNEL
         self.counters.bump(ctr.VM_EXITS)
+        if self.leakage is not None:
+            self.leakage.on_boundary(previous, self.mode)
         return self.costs.vmexit
 
     def _op_rdtsc(self, instr: Instruction) -> int:
@@ -370,6 +398,8 @@ class Machine:
             if self.msr.ssbd_enabled:
                 # SSBD: the load must wait for older store addresses.
                 self.counters.bump(ctr.STLF_BLOCKED)
+                if self.leakage is not None:
+                    self.leakage.on_stlf_blocked(instr.address)
                 level = self.caches.access(instr.address)
                 penalty = self.cpu.ssbd_load_penalty
                 cycles += self._load_latency(level) + penalty
@@ -422,7 +452,13 @@ class Machine:
             if predicted and instr.target:
                 # Wrongly predicted taken: the taken-path body runs
                 # transiently (the mistrained bounds check).
+                leakage = self.leakage
+                if leakage is not None:
+                    leakage.window_begin(obs_leakage.SPECTRE_PHT, self.mode,
+                                         target=instr.target)
                 self._transient_window(instr.target)
+                if leakage is not None:
+                    leakage.window_end()
         return cycles
 
     def _indirect_prediction_allowed(self) -> bool:
@@ -453,6 +489,8 @@ class Machine:
             extra = self._retpoline_extra()
             if self.ledger is not None:
                 self.ledger.add_split(extra, "spectre_v2", "retpoline")
+            if self.leakage is not None:
+                self.leakage.on_predictor_bypass(instr.pc, "retpoline")
             return costs.indirect_base + extra
 
         if not self._indirect_prediction_allowed():
@@ -460,6 +498,8 @@ class Machine:
             extra = costs.ibrs_extra if costs.ibrs_extra is not None else 0
             if self.ledger is not None:
                 self.ledger.add_split(extra, "spectre_v2", "ibrs_no_predict")
+            if self.leakage is not None:
+                self.leakage.on_predictor_bypass(instr.pc, "ibrs_no_predict")
             self.btb.train(instr.pc, instr.target, self.mode,
                            thread=self.thread_id)
             return costs.indirect_base + extra
@@ -472,9 +512,14 @@ class Machine:
             cycles += costs.ibrs_extra
             if self.ledger is not None:
                 self.ledger.add_split(costs.ibrs_extra, "spectre_v2", "eibrs")
+        leakage = self.leakage
         if predicted is None:
             self.counters.bump(ctr.BTB_MISSES)
             cycles += costs.mispredict_penalty
+            if leakage is not None:
+                # A tainted entry may exist but be invisible here (mode
+                # tagging, STIBP): hardware isolation blocked the redirect.
+                leakage.on_redirect_suppressed(instr.pc)
         elif predicted == instr.target:
             self.counters.bump(ctr.BTB_HITS)
         else:
@@ -486,7 +531,14 @@ class Machine:
                 instr.pc, self.mode, thread=self.thread_id,
                 stibp=self.msr.stibp_enabled)
             if redirect is not None:
+                if leakage is not None:
+                    leakage.window_begin(obs_leakage.SPECTRE_BTB, self.mode,
+                                         pc=instr.pc, target=redirect)
                 self._transient_window(redirect)
+                if leakage is not None:
+                    leakage.window_end()
+            elif leakage is not None:
+                leakage.on_redirect_suppressed(instr.pc)
         self.btb.train(instr.pc, instr.target, self.mode,
                        thread=self.thread_id)
         return cycles
@@ -506,6 +558,7 @@ class Machine:
         costs = self.costs
         self.bhb.push(instr.pc)
         predicted = self.rsb.pop()
+        leakage = self.leakage
         if predicted is None:
             # Underflow: Skylake+ Intel falls back to the BTB (the
             # SpectreRSB surface); others stall.
@@ -515,14 +568,25 @@ class Machine:
                     stibp=self.msr.stibp_enabled)
                 if redirect is not None and redirect != instr.target:
                     self.counters.bump(ctr.MISPREDICTED_INDIRECT)
+                    if leakage is not None:
+                        leakage.window_begin(obs_leakage.SPECTRE_RSB,
+                                             self.mode, pc=instr.pc,
+                                             target=redirect)
                     self._transient_window(redirect)
+                    if leakage is not None:
+                        leakage.window_end()
             return costs.ret_ + costs.mispredict_penalty
         if predicted == instr.target:
             return costs.ret_
         # Stale or benign entry: mispredicted return.
         self.counters.bump(ctr.MISPREDICTED_INDIRECT)
         if predicted != BENIGN_ENTRY:
+            if leakage is not None:
+                leakage.window_begin(obs_leakage.SPECTRE_RSB, self.mode,
+                                     target=predicted)
             self._transient_window(predicted)
+            if leakage is not None:
+                leakage.window_end()
         return costs.ret_ + costs.mispredict_penalty
 
     def _execute_wrmsr(self, instr: Instruction) -> int:
@@ -548,7 +612,10 @@ class Machine:
         return self.costs.verw_legacy
 
     def _execute_syscall_entry(self) -> int:
+        previous = self.mode
         self.mode = Mode.GUEST_KERNEL if self.mode.is_guest else Mode.KERNEL
+        if self.leakage is not None:
+            self.leakage.on_boundary(previous, self.mode)
         self.counters.bump(ctr.KERNEL_ENTRIES)
         cycles = self.costs.syscall
         behavior = self.cpu.predictor
@@ -578,12 +645,17 @@ class Machine:
         (serializing instruction, blocked access, or window exhaustion).
         No committed cycles are charged.
         """
+        leakage = self.leakage
+        if leakage is not None:
+            leakage.window_begin(obs_leakage.SPECTRE_PHT, self.mode)
         budget = self.cpu.spec_window
         executed = 0
         for instr in block:
             if budget <= 0:
                 break
             if instr.op in SERIALIZING_OPS:
+                if leakage is not None and instr.op is Op.LFENCE:
+                    leakage.on_lfence()
                 break
             if instr.op is Op.LOAD and instr.kernel_address and not self.mode.is_kernel:
                 # A blocked privileged access also ends the window unless
@@ -593,6 +665,8 @@ class Machine:
             budget -= 1
             executed += 1
             self._execute_transient(instr)
+        if leakage is not None:
+            leakage.window_end()
         if self.obs.enabled:
             self.obs.instant("cpu.transient_window", origin="speculate",
                              executed=executed, mode=str(self.mode))
@@ -607,12 +681,15 @@ class Machine:
         block = self.program.get(target)
         if not block:
             return
+        leakage = self.leakage
         budget = self.cpu.spec_window
         executed = 0
         for instr in block:
             if budget <= 0:
                 break
             if instr.op in SERIALIZING_OPS:
+                if leakage is not None and instr.op is Op.LFENCE:
+                    leakage.on_lfence()
                 break  # serializing instructions end the window
             budget -= 1
             executed += 1
@@ -633,6 +710,8 @@ class Machine:
         if op is Op.DIV:
             # The probe signal: the divider is busy even on the wrong path.
             self.counters.bump(ctr.DIVIDER_ACTIVE, costs.div)
+            if self.leakage is not None:
+                self.leakage.on_transient_div()
             cycles = costs.div
         elif op is Op.LOAD:
             cycles = self._transient_load(instr)
@@ -670,6 +749,9 @@ class Machine:
         level = self.caches.access(instr.address)  # the cache side channel
         self.transient_loads.append(instr.address)
         self.mds_buffers.deposit_load(instr.value or instr.address, self.mode)
+        if self.leakage is not None:
+            self.leakage.on_transient_load(
+                instr.address, bool(instr.kernel_address), self.mode)
         # Modeled latency only — no miss-counter bumps: PMCs other than the
         # divider only advance at retirement.
         if level == 1:

@@ -33,6 +33,8 @@ class ReturnStackBuffer:
         self.underflow_falls_back_to_btb = underflow_falls_back_to_btb
         self._stack: List[int] = []
         self.underflows = 0
+        #: Optional leakage tracer hook (``repro.obs.leakage``).
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self._stack)
@@ -42,9 +44,13 @@ class ReturnStackBuffer:
         self._stack.append(return_address)
         if len(self._stack) > self.depth:
             self._stack.pop(0)
+        if self.observer is not None:
+            self.observer.rsb_push(return_address)
 
     def pop(self) -> Optional[int]:
         """Predict a ``ret``'s target; None signals underflow."""
+        if self.observer is not None:
+            self.observer.rsb_pop()
         if self._stack:
             return self._stack.pop()
         self.underflows += 1
@@ -56,8 +62,12 @@ class ReturnStackBuffer:
         Returns the number of entries written, i.e. the buffer depth; the
         per-CPU cycle cost of this sequence is Table 7 of the paper.
         """
+        if self.observer is not None:
+            self.observer.rsb_stuff()
         self._stack = [BENIGN_ENTRY] * self.depth
         return self.depth
 
     def clear(self) -> None:
         self._stack.clear()
+        if self.observer is not None:
+            self.observer.rsb_clear()

@@ -37,6 +37,9 @@ class StoreBuffer:
         self.depth = depth
         # line address -> value written (model payload; identity only)
         self._pending: "OrderedDict[int, int]" = OrderedDict()
+        #: Optional leakage tracer (see ``repro.obs.leakage``); None when
+        #: tracing is off, so the hot path pays one identity test.
+        self.observer = None
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -54,6 +57,8 @@ class StoreBuffer:
         pending[line] = value
         if len(pending) > self.depth:
             pending.popitem(last=False)
+        if self.observer is not None:
+            self.observer.sb_push(address, value)
 
     def push_many(self, stores) -> None:
         """Retire a run of stores in order (the block engine's batched
@@ -62,6 +67,7 @@ class StoreBuffer:
         depth = self.depth
         move = pending.move_to_end
         pop = pending.popitem
+        observer = self.observer
         for address, value in stores:
             line = address // 64
             if line in pending:
@@ -69,6 +75,8 @@ class StoreBuffer:
             pending[line] = value
             if len(pending) > depth:
                 pop(last=False)
+            if observer is not None:
+                observer.sb_push(address, value)
 
     def match(self, address: int) -> bool:
         """Is there a pending store the load at ``address`` would hit?"""
@@ -84,10 +92,15 @@ class StoreBuffer:
         This is the SSB attack predicate: True means a transient load can
         observe the *stale* (pre-store) value.  SSBD forecloses it.
         """
-        return not ssbd and self.match(address)
+        possible = not ssbd and self.match(address)
+        if self.observer is not None:
+            self.observer.sb_bypass(address, possible)
+        return possible
 
     def drain(self) -> int:
         """Drain everything to memory (e.g. at a serializing instruction)."""
         count = len(self._pending)
         self._pending.clear()
+        if self.observer is not None:
+            self.observer.sb_drain()
         return count

@@ -30,6 +30,8 @@ class TLB:
         self._entries: "OrderedDict[Tuple[int, int], bool]" = OrderedDict()
         self._global_pages: Set[int] = set()
         self.current_pcid = 0
+        #: Optional leakage tracer hook (``repro.obs.leakage``).
+        self.observer = None
 
     # -- address helpers ----------------------------------------------------
 
@@ -51,6 +53,8 @@ class TLB:
         self._entries[key] = True
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+        if self.observer is not None:
+            self.observer.tlb_fill(page)
         return False
 
     def insert_global(self, address: int) -> None:

@@ -11,6 +11,10 @@ The subsystem threads through every layer of the simulator:
 * :mod:`repro.obs.ledger` — hierarchical cycle-attribution ledger: every
   charged cycle is tagged ``(layer, mitigation, primitive)`` and the
   entries sum exactly to the machine TSC delta;
+* :mod:`repro.obs.leakage` — taint-tracking leakage tracer: secret labels
+  propagate through the microarchitectural structures and every tainted
+  touch of an observable channel during a transient window files a
+  :class:`~repro.obs.leakage.LeakageEvent`, keyed parallel to the ledger;
 * :mod:`repro.obs.baseline` — bench snapshots (``BENCH_<n>.json``) and
   the noise-aware regression gate behind ``spectresim check``
   (imported directly, not re-exported: it pulls in the CPU catalog,
@@ -31,6 +35,14 @@ from .history import (
     default_history_db,
     diff_payloads,
     render_diff,
+)
+from .leakage import (
+    LeakageEvent,
+    LeakageSummary,
+    LeakageTracer,
+    current_leakage,
+    install_leakage,
+    use_leakage,
 )
 from .ledger import (
     CycleLedger,
@@ -72,6 +84,9 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistoryStore",
+    "LeakageEvent",
+    "LeakageSummary",
+    "LeakageTracer",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
@@ -82,10 +97,12 @@ __all__ = [
     "build_manifest",
     "code_fingerprint",
     "config_to_dict",
+    "current_leakage",
     "current_ledger",
     "current_tracer",
     "default_history_db",
     "diff_payloads",
+    "install_leakage",
     "install_ledger",
     "install_tracer",
     "ledger_scope",
@@ -96,6 +113,7 @@ __all__ = [
     "to_chrome_trace",
     "to_chrome_trace_json",
     "to_collapsed_stacks",
+    "use_leakage",
     "use_ledger",
     "use_tracer",
     "write_chrome_trace",

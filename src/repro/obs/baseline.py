@@ -11,6 +11,10 @@ future run can be compared against into a versioned ``BENCH_<n>.json``:
   (see :mod:`repro.obs.ledger`) from an instrumented reference run, so a
   drifted cost is *localized* to its ``(layer, mitigation, primitive)``
   path, not just detected;
+* **leakage surface** — the taint-oracle blocked/leaked matrix from
+  :mod:`repro.obs.leakage` over every CPU model under the default
+  policy, so a mitigation that silently stops clearing its state shows
+  up as a flipped cell, not just a cycle delta;
 * **provenance** — the usual manifest (seed, versions, fingerprint).
 
 ``spectresim check --against BENCH_1.json`` re-runs the same grid (the
@@ -172,6 +176,25 @@ def ledger_snapshot(cpu_key: str) -> CycleLedger:
     return ledger
 
 
+def leakage_snapshot(policy: str = "default", seed: int = 0) -> Dict[str, Any]:
+    """The taint-oracle leakage surface for the bench payload.
+
+    Runs the :mod:`repro.core.probe` grid with the leakage tracer as the
+    oracle over every CPU model under ``policy`` (default: each part's
+    Linux-default Spectre-v2 strategy).  Deterministic -- the probe is a
+    fixed instruction sequence, no noise sampling -- so the resulting
+    blocked/leaked matrix is exact and diffable across runs.  Raw events
+    are dropped from the payload (the per-run history DB and Perfetto
+    export carry those); the matrix, merged state, and summary stay.
+    """
+    from ..core.probe import leakage_report
+    from ..cpu.model import all_cpus
+
+    report = leakage_report(all_cpus(), policy=policy, seed=seed)
+    report.pop("events", None)
+    return report
+
+
 def collect(
     cpus: Optional[Sequence[str]] = None,
     settings: Optional[Any] = None,
@@ -252,6 +275,13 @@ def collect(
         ledgers[key] = {"entries": ledger.paths(), "total": ledger.total()}
     phases["ledger"] = time.perf_counter() - ledger_started
 
+    # Leakage surface: the taint-oracle probe grid over *all* CPU models
+    # under the default Linux policy (the dashboard's 8xN panel), not just
+    # the pinned bench CPUs -- the probe grid is deterministic and cheap.
+    leakage_started = time.perf_counter()
+    leakage = leakage_snapshot(seed=settings.seed)
+    phases["leakage"] = time.perf_counter() - leakage_started
+
     wall = time.perf_counter() - started
     engine_after = blockengine.STATS.as_dict()
     engine_delta: Dict[str, float] = {
@@ -297,6 +327,7 @@ def collect(
         },
         "values": values,
         "ledger": ledgers,
+        "leakage": leakage,
         "telemetry": telemetry,
         "provenance": manifest.to_dict(),
     }

@@ -17,6 +17,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional
 
+from .leakage import LeakageTracer
 from .ledger import CycleLedger
 from .provenance import RunManifest
 from .spans import Span, SpanTracer
@@ -68,9 +69,28 @@ def _ledger_counter_events(ledger: CycleLedger) -> List[Dict[str, Any]]:
     ]
 
 
+def _leakage_instant_events(leakage: LeakageTracer) -> List[Dict[str, Any]]:
+    """Perfetto instant events from the leakage flight recorder.
+
+    One global ``ph: "i"`` instant per filed :class:`LeakageEvent` at the
+    event's simulated-cycle timestamp, so leaks line up against the span
+    timeline and the per-mitigation counter tracks.
+    """
+    return [
+        {"name": f"leak.{event.primitive}", "cat": "leakage",
+         "ph": "i", "s": "g", "ts": event.tsc,
+         "pid": TRACE_PID, "tid": TRACE_TID,
+         "args": {"channel": event.channel, "boundary": event.boundary,
+                  "policy": event.policy, "cpu": event.cpu,
+                  "sink": event.sink, "mode": event.mode}}
+        for event in leakage.events
+    ]
+
+
 def to_chrome_trace(tracer: SpanTracer,
                     provenance: Optional[RunManifest] = None,
-                    ledger: Optional[CycleLedger] = None) -> Dict[str, Any]:
+                    ledger: Optional[CycleLedger] = None,
+                    leakage: Optional[LeakageTracer] = None) -> Dict[str, Any]:
     """The tracer's spans and instants as a Trace Event Format object."""
     events: List[Dict[str, Any]] = [
         {"name": "process_name", "ph": "M", "pid": TRACE_PID, "tid": TRACE_TID,
@@ -94,6 +114,9 @@ def to_chrome_trace(tracer: SpanTracer,
     if ledger is not None:
         events.extend(_ledger_counter_events(ledger))
         other["ledger"] = ledger.state()
+    if leakage is not None:
+        events.extend(_leakage_instant_events(leakage))
+        other["leakage"] = leakage.state()
     if provenance is not None:
         other["provenance"] = provenance.to_dict()
     return {
@@ -106,16 +129,20 @@ def to_chrome_trace(tracer: SpanTracer,
 def to_chrome_trace_json(tracer: SpanTracer,
                          provenance: Optional[RunManifest] = None,
                          indent: Optional[int] = None,
-                         ledger: Optional[CycleLedger] = None) -> str:
-    return json.dumps(to_chrome_trace(tracer, provenance, ledger=ledger),
+                         ledger: Optional[CycleLedger] = None,
+                         leakage: Optional[LeakageTracer] = None) -> str:
+    return json.dumps(to_chrome_trace(tracer, provenance, ledger=ledger,
+                                      leakage=leakage),
                       indent=indent)
 
 
 def write_chrome_trace(path: str, tracer: SpanTracer,
                        provenance: Optional[RunManifest] = None,
-                       ledger: Optional[CycleLedger] = None) -> None:
+                       ledger: Optional[CycleLedger] = None,
+                       leakage: Optional[LeakageTracer] = None) -> None:
     with open(path, "w") as f:
-        f.write(to_chrome_trace_json(tracer, provenance, ledger=ledger))
+        f.write(to_chrome_trace_json(tracer, provenance, ledger=ledger,
+                                     leakage=leakage))
 
 
 def to_collapsed_stacks(tracer: SpanTracer) -> str:

@@ -13,7 +13,10 @@ profile run appends one row-set to:
 * ``ledger`` — the deterministic per-CPU cycle-attribution rollups
   (``layer/mitigation/primitive -> cycles``);
 * ``telemetry`` — the simulator's *own* performance: cells/sec, engine
-  and cache hit rates, host wall-clock per phase.
+  and cache hit rates, host wall-clock per phase;
+* ``leakage`` — the taint oracle's probe grid (schema v2): one row per
+  (cpu, primitive, boundary, policy) cell with its blocked/leaked
+  verdict, event count and blocked-by attribution.
 
 On top of the store sits the **diff engine** shared by every comparison
 path in the repo: ``spectresim check`` (:mod:`repro.obs.baseline`
@@ -66,7 +69,10 @@ __all__ = [
 ]
 
 #: On-disk store schema version (bump on incompatible layout changes).
-SCHEMA_VERSION = 1
+#: v2 adds the ``leakage`` table (per-run blocked/leaked probe cells);
+#: v1 stores migrate in place on open — the new table is simply created
+#: and existing rows are untouched.
+SCHEMA_VERSION = 2
 
 #: Noise tolerance defaults shared with the bench gate: a value regresses
 #: when it worsens by more than multiplier × hypot(u_old, u_new) + floor.
@@ -442,9 +448,27 @@ CREATE TABLE IF NOT EXISTS telemetry (
     value  REAL NOT NULL,
     PRIMARY KEY (run_id, name)
 );
-CREATE INDEX IF NOT EXISTS cells_by_key  ON cells (key, run_id);
-CREATE INDEX IF NOT EXISTS ledger_by_cpu ON ledger (cpu, path, run_id);
+CREATE TABLE IF NOT EXISTS leakage (
+    run_id     INTEGER NOT NULL,
+    cpu        TEXT NOT NULL,
+    primitive  TEXT NOT NULL,
+    boundary   TEXT NOT NULL,
+    policy     TEXT NOT NULL,
+    blocked    INTEGER NOT NULL,
+    events     INTEGER NOT NULL DEFAULT 0,
+    blocked_by TEXT NOT NULL DEFAULT '',
+    PRIMARY KEY (run_id, cpu, primitive, boundary, policy)
+);
+CREATE INDEX IF NOT EXISTS cells_by_key   ON cells (key, run_id);
+CREATE INDEX IF NOT EXISTS ledger_by_cpu  ON ledger (cpu, path, run_id);
+CREATE INDEX IF NOT EXISTS leakage_by_cpu ON leakage (cpu, boundary, run_id);
 """
+
+#: Schema versions :class:`HistoryStore` upgrades in place on open.
+#: v1 -> v2 is purely additive (the ``leakage`` table), so the migration
+#: is the ``CREATE TABLE IF NOT EXISTS`` that already ran plus a version
+#: stamp.
+MIGRATABLE_VERSIONS = (1,)
 
 
 @dataclass(frozen=True)
@@ -504,10 +528,18 @@ class HistoryStore:
             self._db.commit()
         elif int(row[0]) != SCHEMA_VERSION:
             version = int(row[0])
-            self._db.close()
-            raise HistoryError(
-                f"history db {path!r} has schema v{version}, this build "
-                f"reads v{SCHEMA_VERSION}")
+            if version in MIGRATABLE_VERSIONS:
+                # Additive migration: the executescript above already
+                # created any missing tables/indexes; stamp the version.
+                self._db.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(SCHEMA_VERSION),))
+                self._db.commit()
+            else:
+                self._db.close()
+                raise HistoryError(
+                    f"history db {path!r} has schema v{version}, this build "
+                    f"reads v{SCHEMA_VERSION}")
 
     # -- lifecycle --------------------------------------------------------- #
 
@@ -580,6 +612,20 @@ class HistoryStore:
             "INSERT INTO telemetry (run_id, name, value) VALUES (?, ?, ?)",
             sorted((run_id, name, value) for name, value in
                    _flatten_telemetry(payload.get("telemetry", {})).items()))
+        leakage = payload.get("leakage") or {}
+        policy = str(leakage.get("policy") or "default")
+        self._db.executemany(
+            "INSERT INTO leakage (run_id, cpu, primitive, boundary, policy, "
+            "blocked, events, blocked_by) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [(run_id, cpu,
+              str(cell.get("primitive", "spectre_btb")),
+              boundary, policy,
+              0 if cell.get("leaked") else 1,
+              int(cell.get("events", 0)),
+              ",".join(cell.get("blocked_by", [])))
+             for cpu, row in sorted((leakage.get("matrix") or {}).items())
+             if row is not None
+             for boundary, cell in sorted(row.items())])
         self._db.commit()
         return run_id
 
@@ -655,13 +701,35 @@ class HistoryStore:
                 "SELECT name, value FROM telemetry "
                 "WHERE run_id = ? ORDER BY name", (run_id,))
         }
-        return {
+        payload = {
             "values": values,
             "ledger": ledgers,
             "telemetry": telemetry,
             "tolerance": json.loads(row[0]),
             "provenance": json.loads(row[1]),
         }
+        leakage = self.leakage_matrix(run_id)
+        if leakage["matrix"]:
+            payload["leakage"] = leakage
+        return payload
+
+    def leakage_matrix(self, run_id: int) -> Dict[str, Any]:
+        """One run's stored leakage surface, in the payload shape."""
+        matrix: Dict[str, Dict[str, Any]] = {}
+        policy = "default"
+        for cpu, primitive, boundary, row_policy, blocked, events, \
+                blocked_by in self._db.execute(
+                    "SELECT cpu, primitive, boundary, policy, blocked, "
+                    "events, blocked_by FROM leakage WHERE run_id = ? "
+                    "ORDER BY cpu, boundary", (run_id,)):
+            policy = row_policy
+            matrix.setdefault(cpu, {})[boundary] = {
+                "primitive": primitive,
+                "leaked": not blocked,
+                "events": events,
+                "blocked_by": [b for b in blocked_by.split(",") if b],
+            }
+        return {"policy": policy, "matrix": matrix}
 
     def trend(self, key: str) -> List[Tuple[int, float, float]]:
         """``(run_id, value, uncertainty)`` per run recording ``key``."""
@@ -696,7 +764,7 @@ class HistoryStore:
                self._db.execute("SELECT id FROM runs ORDER BY id").fetchall()]
         doomed = ids[:max(0, len(ids) - keep)]
         for run_id in doomed:
-            for table in ("cells", "ledger", "telemetry"):
+            for table in ("cells", "ledger", "telemetry", "leakage"):
                 self._db.execute(f"DELETE FROM {table} WHERE run_id = ?",  # noqa: S608
                                  (run_id,))
             self._db.execute("DELETE FROM runs WHERE id = ?", (run_id,))

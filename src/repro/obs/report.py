@@ -8,6 +8,9 @@ with the longitudinal views the paper itself is built around:
   recorded runs, one line per CPU;
 * **per-mitigation cost evolution** — a sparkline card per mitigation
   knob, tracking its mean attributed cost across the grid;
+* **leakage surface** — the newest run's taint-oracle blocked/leaked
+  matrix (CPU model × train→victim boundary) with per-cell blocked-by
+  mitigation attribution;
 * **blame waterfall** — the latest run diffed against its predecessor,
   each changed ledger cell decomposed into per-mitigation cycle steps
   that sum exactly to the cell's TSC delta;
@@ -372,6 +375,57 @@ def _section_mitigations(store: HistoryStore,
             f'<div class="cards">{"".join(cards)}</div>{note}')
 
 
+def _section_leakage(store: HistoryStore, runs: Sequence[RunInfo]) -> str:
+    """Per-CPU × per-boundary leakage matrix from the newest run that
+    recorded a taint-oracle surface (see :mod:`repro.obs.leakage`)."""
+    head = '<h2 id="leakage">Speculative-leakage surface</h2>'
+    matrix_run: Optional[RunInfo] = None
+    surface: Dict[str, object] = {}
+    for run in reversed(runs):
+        surface = store.leakage_matrix(run.id)
+        if surface.get("matrix"):
+            matrix_run = run
+            break
+    if matrix_run is None:
+        return (head + '<p class="note">no leakage surface recorded yet '
+                '&#8212; runs predate the taint tracer.</p>')
+    matrix = surface["matrix"]
+    policy = surface.get("policy", "default")
+    boundaries = sorted({boundary
+                         for row in matrix.values() if row
+                         for boundary in row})
+    header = "".join(f"<th>{_esc(b)}</th>" for b in boundaries)
+    rows = []
+    leaks = 0
+    for cpu in sorted(matrix):
+        row = matrix[cpu]
+        cells = []
+        for boundary in boundaries:
+            cell = (row or {}).get(boundary)
+            if cell is None:
+                cells.append("<td>&#8212;</td>")
+            elif cell["leaked"]:
+                leaks += 1
+                cells.append('<td><span class="flag">LEAK</span> '
+                             f'<span class="note">{cell["events"]} ev</span>'
+                             '</td>')
+            else:
+                why = ", ".join(cell["blocked_by"]) or "no speculation"
+                cells.append(f'<td><span class="ok">&#10003;</span> '
+                             f'<span class="note">{_esc(why)}</span></td>')
+        rows.append(f"<tr><td><code>{_esc(cpu)}</code></td>"
+                    f"{''.join(cells)}</tr>")
+    intro = (f'<p class="sub">run {matrix_run.id} &#183; policy '
+             f'<code>{_esc(policy)}</code> &#183; {leaks} leaking cell(s). '
+             f'Cells show the taint oracle&#8217;s verdict per '
+             f'train&#8594;victim boundary: &#10003; = tainted data never '
+             f'reached an observable channel (blocked-by attribution '
+             f'inline), LEAK = leakage events were filed.</p>')
+    return (head + intro +
+            '<table><thead><tr><th>cpu</th>' + header +
+            f"</tr></thead><tbody>{''.join(rows)}</tbody></table>")
+
+
 def _section_waterfall(diff: Optional[RunDiff],
                        id_a: Optional[int], id_b: Optional[int]) -> str:
     head = '<h2 id="waterfall">Blame waterfall</h2>'
@@ -473,6 +527,7 @@ def render_report(store: HistoryStore, title: str = "spectresim run history",
         _section_self_perf(store, runs),
         _section_trends(store, run_ids),
         _section_mitigations(store, run_ids),
+        _section_leakage(store, runs),
         _section_waterfall(latest_diff, latest_pair[0], latest_pair[1]),
         _section_annotations(diffs, runs),
         _section_runs_table(runs),

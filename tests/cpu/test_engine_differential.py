@@ -100,6 +100,43 @@ _MAKERS = st.sampled_from([
 ])
 
 
+@pytest.mark.parametrize("key", CPU_KEYS)
+def test_lebench_bit_identical_with_leakage_tracing(key):
+    """Tracing on must not perturb execution: the block engine falls back
+    to interpretation (taint is a guard-key input), and a traced run
+    matches an untraced one bit for bit."""
+    from repro.obs import leakage as obs_leakage
+
+    cpu = get_cpu(key)
+    config = linux_default(cpu)
+
+    def traced_cell(mode):
+        with engine.use_engine(mode):
+            tracer = obs_leakage.LeakageTracer()
+            with obs_leakage.use_leakage(tracer):
+                machine = Machine(cpu, seed=7)
+                tracer.taint_region(0x1000, 256)
+                results = run_suite(machine, config, iterations=3, warmup=1,
+                                    cases=GRID_CASES)
+        return results, machine, tracer
+
+    blk_results, blk_machine, blk_tracer = traced_cell(engine.ENGINE_BLOCK)
+    int_results, int_machine, int_tracer = traced_cell(engine.ENGINE_INTERP)
+    _, bare_machine, _ = _run_grid_cell(cpu, config, engine.ENGINE_INTERP)
+
+    # Traced block == traced interp == untraced, on every counter.
+    assert blk_results == int_results
+    assert blk_machine.read_tsc() == int_machine.read_tsc()
+    assert blk_machine.read_tsc() == bare_machine.read_tsc()
+    for name in sorted(ALL_COUNTERS):
+        assert blk_machine.counters.events.get(name, 0) == \
+            int_machine.counters.events.get(name, 0), name
+        assert blk_machine.counters.events.get(name, 0) == \
+            bare_machine.counters.events.get(name, 0), name
+    # And the tracers themselves agree (same taints, same events).
+    assert blk_tracer.state() == int_tracer.state()
+
+
 @given(st.sampled_from(CPU_KEYS),
        st.lists(_MAKERS, min_size=2, max_size=24),
        st.integers(min_value=2, max_value=5))

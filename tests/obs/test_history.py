@@ -300,3 +300,110 @@ def test_report_renders_empty_db(store):
     html = render_report(store)
     assert "0 recorded run(s)" in html
     assert render_report(store) == html
+
+
+# --------------------------------------------------------------------------- #
+# Leakage surface (schema v2)
+# --------------------------------------------------------------------------- #
+
+def make_leakage_block():
+    def cell(leaked, blocked_by=(), events=0):
+        return {"primitive": "spectre_btb", "leaked": leaked,
+                "events": events, "blocked_by": list(blocked_by)}
+    return {
+        "policy": "default",
+        "matrix": {
+            "broadwell": {
+                "user->kernel (syscall)":
+                    cell(False, ["spectre_v2/retpoline"]),
+                "user->user (syscall)":
+                    cell(False, ["spectre_v2/retpoline"]),
+            },
+            "cascade_lake": {
+                "user->kernel (syscall)":
+                    cell(False, ["hardware/btb_isolation"]),
+                "user->user (syscall)": cell(True, events=6),
+            },
+        },
+        "state": {"events": {}, "channels": {}, "blocked": {}, "dropped": 0},
+        "summary": {"events": 6, "unique_sinks": 1, "by_path": {},
+                    "blocked": {}, "dropped": 0},
+    }
+
+
+def test_leakage_round_trips_through_the_store(store):
+    payload = make_payload()
+    payload["leakage"] = make_leakage_block()
+    run_id = store.record_payload(payload)
+    loaded = store.load_run(run_id)
+    surface = loaded["leakage"]
+    assert surface["policy"] == "default"
+    leak = surface["matrix"]["cascade_lake"]["user->user (syscall)"]
+    assert leak["leaked"] and leak["events"] == 6
+    blocked = surface["matrix"]["broadwell"]["user->kernel (syscall)"]
+    assert not blocked["leaked"]
+    assert blocked["blocked_by"] == ["spectre_v2/retpoline"]
+
+
+def test_leakage_absent_payload_omits_block(store):
+    run_id = store.record_payload(make_payload())
+    assert "leakage" not in store.load_run(run_id)
+    assert store.leakage_matrix(run_id)["matrix"] == {}
+
+
+def test_v1_store_migrates_in_place(tmp_path):
+    path = str(tmp_path / "v1.db")
+    with HistoryStore(path) as store:
+        store.record_payload(make_payload())
+    # Rewind the store to schema v1: no leakage table, old version stamp.
+    db = sqlite3.connect(path)
+    db.execute("DROP TABLE leakage")
+    db.execute("DROP INDEX IF EXISTS leakage_by_cpu")
+    db.execute("UPDATE meta SET value = '1' WHERE key = 'schema_version'")
+    db.commit()
+    db.close()
+    with HistoryStore(path) as store:
+        # Opened, stamped to the current version, table recreated, and
+        # the pre-migration run is intact.
+        assert len(store) == 1
+        assert store.leakage_matrix(1)["matrix"] == {}
+        payload = make_payload()
+        payload["leakage"] = make_leakage_block()
+        run_id = store.record_payload(payload)
+        assert store.leakage_matrix(run_id)["matrix"]
+    db = sqlite3.connect(path)
+    version = db.execute(
+        "SELECT value FROM meta WHERE key = 'schema_version'").fetchone()[0]
+    db.close()
+    assert int(version) == 2
+
+
+def test_gc_drops_leakage_rows(store):
+    for _ in range(3):
+        payload = make_payload()
+        payload["leakage"] = make_leakage_block()
+        store.record_payload(payload)
+    store.gc(1)
+    db = sqlite3.connect(store.path)
+    owners = {row[0] for row in
+              db.execute("SELECT DISTINCT run_id FROM leakage")}
+    db.close()
+    assert owners == {3}
+
+
+def test_report_renders_leakage_panel(store):
+    payload = make_payload()
+    payload["leakage"] = make_leakage_block()
+    store.record_payload(payload)
+    html = render_report(store)
+    assert 'id="leakage"' in html
+    assert "LEAK" in html
+    assert "spectre_v2/retpoline" in html
+    assert html == render_report(store)  # byte-stable
+
+
+def test_report_notes_missing_leakage(store):
+    store.record_payload(make_payload())
+    html = render_report(store)
+    assert 'id="leakage"' in html
+    assert "no leakage surface recorded" in html
