@@ -18,6 +18,9 @@ Observability::
     spectresim --trace t.json figure 3 --fast    # trace any command
     spectresim leakage matrix                    # taint-oracle leak surface
     spectresim leakage events --trace-out leaks.json
+    spectresim fuzz --seed 1 --programs 25       # differential fuzzing
+    spectresim fuzz --smoke                      # CI-sized campaign
+    spectresim fuzz --replay fuzz-out/<case>.prog   # confirm a fix
 
 Parallelism and caching (see ``docs/parallelism.md``)::
 
@@ -58,6 +61,20 @@ from .mitigations.mds import attempt_mds_sample, kernel_touched_secret
 from .mitigations.spectre_v1 import attempt_bounds_bypass
 from .mitigations.spectre_v2 import attempt_btb_injection
 from .mitigations.ssb import attempt_store_bypass
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for ``--jobs``-style counts: reject zero, negative,
+    and non-integer values at parse time, so the user gets a one-line
+    usage error instead of a traceback from deep inside the executor."""
+    try:
+        value = int(text)
+    except ValueError:
+        value = 0
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {text!r}")
+    return value
 
 
 def _settings(args: argparse.Namespace) -> Settings:
@@ -604,6 +621,113 @@ def cmd_leakage(args: argparse.Namespace) -> str:
     raise SystemExit(f"unknown leakage action {args.leakage_command!r}")
 
 
+#: The --smoke grid: one part per predictor family (IBRS-classic,
+#: eIBRS mode-tagged, Zen 3 opaque-index), sized for a CI gate.
+_FUZZ_SMOKE_CPUS = ("broadwell", "cascade_lake", "zen3")
+_FUZZ_SMOKE_PROGRAMS = 6
+_FUZZ_DEFAULT_PROGRAMS = 25
+
+
+def _fuzz_violation_lines(violations) -> list:
+    lines = []
+    for v in violations:
+        where = f"{v.cpu} x {v.policy}"
+        if v.scenario:
+            where += f" x {v.scenario}"
+        lines.append(f"  [{v.oracle}] {v.program} on {where}: {v.detail}")
+    return lines
+
+
+def cmd_fuzz(args: argparse.Namespace) -> str:
+    """Differential scenario fuzzing: random programs swept over the
+    CPU x policy grid against the engine-parity and leakage-contract
+    oracles; violations are minimized into replayable reproducers."""
+    from . import fuzz as fuzzmod
+    if args.replay:
+        violations = fuzzmod.replay_reproducer(args.replay)
+        if violations:
+            lines = [f"fuzz: replay of {args.replay} still violates:"]
+            lines.extend(_fuzz_violation_lines(violations))
+            sys.stdout.write("\n".join(lines) + "\n")
+            raise SystemExit(1)
+        return f"fuzz: replay of {args.replay} no longer violates\n"
+
+    programs = args.programs
+    if programs is None:
+        programs = (_FUZZ_SMOKE_PROGRAMS if args.smoke
+                    else _FUZZ_DEFAULT_PROGRAMS)
+    cpu_keys = tuple(args.cpus) if args.cpus else ()
+    if args.smoke and not cpu_keys:
+        cpu_keys = _FUZZ_SMOKE_CPUS
+    config = fuzzmod.FuzzConfig(seed=args.seed, programs=programs,
+                                cpu_keys=cpu_keys, trials=args.trials,
+                                jobs=args.jobs)
+    started = time.perf_counter()
+    result = fuzzmod.fuzz_campaign(config)
+    wall = round(time.perf_counter() - started, 3)
+
+    summary = (f"fuzz: seed={config.seed} programs={len(result.programs)} "
+               f"cpus={len(config.resolved_cpu_keys())} -> "
+               f"{result.cells} cells ({result.skipped} skipped), "
+               f"{len(result.violations)} violation(s) in {wall:.1f}s")
+    lines = [summary]
+
+    reproducers = []
+    if result.violations:
+        by_name = {p.name: p for p in result.programs}
+        seen = set()
+        for violation in result.violations:
+            key = (violation.program, violation.cpu, violation.policy,
+                   violation.oracle)
+            if key in seen:
+                continue
+            seen.add(key)
+            program = by_name[violation.program]
+            try:
+                minimized = fuzzmod.minimize_violation(
+                    program, violation, config.seed)
+            except ValueError:
+                # The violation did not replay under the minimizer's
+                # default repeats/trials; ship it unminimized.
+                minimized = program
+            path = fuzzmod.write_reproducer(args.out, minimized,
+                                            violation, config.seed)
+            reproducers.append(path)
+            lines.extend(_fuzz_violation_lines([violation]))
+            lines.append(f"    minimized to "
+                         f"{minimized.instruction_count()} instruction(s) "
+                         f"-> {path}")
+
+    manifest = obs.build_manifest(
+        command="fuzz", seed=config.seed,
+        cpus=list(config.resolved_cpu_keys()),
+        config={"programs": len(result.programs),
+                "policies": list(config.policies),
+                "trials": config.trials, "jobs": config.jobs},
+        wall_time_s=wall)
+    telemetry = dict(result.telemetry())
+    telemetry["wall_s"] = wall
+    _history_autorecord(args, {
+        "values": {},
+        "ledger": {},
+        "telemetry": telemetry,
+        "tolerance": {},
+        "provenance": manifest.to_dict(),
+    }, kind="fuzz")
+
+    report = "\n".join(lines) + "\n"
+    if args.out:
+        # CI uploads --out as an artifact; always leave the summary
+        # there so the directory exists even on a clean campaign.
+        os.makedirs(args.out, exist_ok=True)
+        with open(os.path.join(args.out, "summary.txt"), "w") as handle:
+            handle.write(report)
+    if result.violations:
+        sys.stdout.write(report)
+        raise SystemExit(1)
+    return report
+
+
 def cmd_all(args: argparse.Namespace) -> str:
     """Run every experiment, writing one file per artifact to --outdir."""
     os.makedirs(args.outdir, exist_ok=True)
@@ -660,7 +784,7 @@ def cmd_all(args: argparse.Namespace) -> str:
 
 def _add_executor_flags(p: argparse.ArgumentParser) -> None:
     """Execution-engine knobs shared by every study-driving subcommand."""
-    p.add_argument("--jobs", type=int, default=1, metavar="N",
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
                    help="fan sweep cells out over N worker processes "
                         "(results are bit-identical to --jobs 1)")
     p.add_argument("--cache-dir", metavar="DIR", default=None,
@@ -806,7 +930,8 @@ def build_parser() -> argparse.ArgumentParser:
     hp.add_argument("payload", metavar="BENCH.json",
                     help="payload produced by 'spectresim bench'")
     hp.add_argument("--kind", default="bench",
-                    choices=["bench", "check", "profile", "study"])
+                    choices=["bench", "check", "profile", "study",
+                             "fuzz"])
     hp.add_argument("--allow-dirty", action="store_true",
                     help="record even when the payload's code fingerprint "
                          "does not match the running code; the row is "
@@ -858,6 +983,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the events as Perfetto instant "
                          "events (Chrome trace-event JSON) here")
 
+    p = sub.add_parser(
+        "fuzz",
+        help="differential scenario fuzzer: random programs vs the "
+             "engine-parity and leakage-contract oracles, with "
+             "minimized replayable reproducers on violation")
+    p.add_argument("--seed", type=int, default=1,
+                   help="campaign base seed (corpus and every cell's "
+                        "noise stream derive from it)")
+    p.add_argument("--programs", type=_positive_int, default=None,
+                   metavar="N",
+                   help="corpus size (default: 25, or 6 with --smoke)")
+    p.add_argument("--smoke", action="store_true",
+                   help="CI-sized campaign: 6 programs over one part "
+                        "per predictor family")
+    p.add_argument("--cpus", nargs="*",
+                   help="CPU keys to sweep (default: all modelled CPUs)")
+    p.add_argument("--trials", type=_positive_int, default=2, metavar="N",
+                   help="probe trials per (cell, scenario); the contract "
+                        "is one-sided so few trials stay sound")
+    p.add_argument("--jobs", type=_positive_int, default=1, metavar="N",
+                   help="fan cells out over N worker processes "
+                        "(verdicts are bit-identical to --jobs 1)")
+    p.add_argument("--out", metavar="DIR", default="fuzz-out",
+                   help="directory for minimized reproducers and the "
+                        "campaign summary")
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="re-run a reproducer file's pinned cell instead "
+                        "of a fresh campaign; exits 1 if it still "
+                        "violates")
+
     p = sub.add_parser("all", help="run everything, write artifacts")
     p.add_argument("--outdir", default="results")
     p.add_argument("--fast", action="store_true")
@@ -884,6 +1039,7 @@ _COMMANDS = {
     "check": cmd_check,
     "history": cmd_history,
     "leakage": cmd_leakage,
+    "fuzz": cmd_fuzz,
     "all": cmd_all,
 }
 

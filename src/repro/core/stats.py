@@ -36,7 +36,18 @@ def derive_seed(base: int, *parts: str) -> int:
     attribution stacks.  ``zlib.crc32`` rather than ``hash()`` keeps the
     derivation stable across interpreter runs and worker processes, so
     parallel and serial executions of the same cell are bit-identical.
+
+    Parts must not contain the ``"/"`` separator: the joined key would be
+    ambiguous (``("a/b", "c")`` and ``("a", "b/c")`` would collide and
+    silently correlate two cells' noise streams).  Rejecting rather than
+    escaping keeps every existing legal key — and therefore every cached
+    cell and recorded baseline — bit-identical.
     """
+    for part in parts:
+        if "/" in part:
+            raise ValueError(
+                f"derive_seed part {part!r} contains the '/' separator; "
+                f"distinct part tuples would collide on the joined key")
     return (base + zlib.crc32("/".join(parts).encode())) & 0x7FFF_FFFF
 
 

@@ -30,6 +30,14 @@ class SweepResult:
     def __post_init__(self) -> None:
         if len(self.xs) != len(self.ys):
             raise ValueError("xs and ys must have equal length")
+        if not self.xs:
+            raise ValueError("a sweep needs at least one point")
+        for left, right in zip(self.xs, self.xs[1:]):
+            if right <= left:
+                raise ValueError(
+                    f"xs must be strictly increasing, got {left!r} before "
+                    f"{right!r} — duplicate or unsorted grids make "
+                    f"interpolate/first_below report wrong crossings")
 
     def interpolate(self, x: float) -> float:
         """Piecewise-linear interpolation of y at ``x`` (clamped)."""

@@ -1,0 +1,127 @@
+"""Test-case minimization: shrink a violating program to a minimal
+printable reproducer.
+
+Two phases, re-checking the oracle after every candidate edit (so the
+output is guaranteed to still violate):
+
+1. **block pass** — repeatedly try deleting whole basic blocks;
+   terminators that referenced a deleted label are retargeted to the
+   first surviving block (or dropped for conditional branches, which
+   tolerate a missing target);
+2. **instruction pass** — ddmin-style binary search over the remaining
+   instructions: delete halving-size chunks of each block's body, then
+   single instructions, then the terminators themselves.
+
+The predicate is any ``Program -> bool`` callable; the harness-level
+helpers in :mod:`repro.fuzz.harness` (``check_cell`` et al.) are the
+intended ones.  Minimization is deterministic: same input program and
+predicate, same reproducer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from .generator import Block, Program
+
+Predicate = Callable[[Program], bool]
+
+
+def _drop_block(program: Program, index: int) -> Program:
+    """A copy of ``program`` without block ``index``, references fixed."""
+    reduced = program.clone()
+    removed = reduced.blocks.pop(index)
+    survivors = [block.label for block in reduced.blocks]
+    fallback = survivors[0] if survivors else None
+    for block in reduced.blocks:
+        term = block.term
+        if term is None or term.target != removed.label:
+            continue
+        if term.kind == "branch_cond":
+            term.target = None
+        elif fallback is None:
+            block.term = None
+        else:
+            term.target = fallback
+    return reduced
+
+
+def _minimize_blocks(program: Program, predicate: Predicate) -> Program:
+    changed = True
+    while changed and len(program.blocks) > 1:
+        changed = False
+        for index in range(len(program.blocks) - 1, -1, -1):
+            if len(program.blocks) == 1:
+                break
+            candidate = _drop_block(program, index)
+            if predicate(candidate):
+                program = candidate
+                changed = True
+    return program
+
+
+def _drop_body_range(program: Program, block_index: int, start: int,
+                     stop: int) -> Program:
+    reduced = program.clone()
+    body = reduced.blocks[block_index].body
+    del body[start:stop]
+    return reduced
+
+
+def _minimize_block_body(program: Program, block_index: int,
+                         predicate: Predicate) -> Program:
+    """Binary-search chunk deletion over one block's body."""
+    chunk = max(1, len(program.blocks[block_index].body) // 2)
+    while chunk >= 1:
+        start = 0
+        while start < len(program.blocks[block_index].body):
+            stop = min(start + chunk,
+                       len(program.blocks[block_index].body))
+            candidate = _drop_body_range(program, block_index, start, stop)
+            if candidate.instruction_count() > 0 and predicate(candidate):
+                program = candidate  # retry the same offset
+            else:
+                start = stop
+        if chunk == 1:
+            break
+        chunk //= 2
+    return program
+
+
+def _minimize_terminators(program: Program,
+                          predicate: Predicate) -> Program:
+    for index in range(len(program.blocks)):
+        if program.blocks[index].term is None:
+            continue
+        candidate = program.clone()
+        candidate.blocks[index].term = None
+        if candidate.instruction_count() > 0 and predicate(candidate):
+            program = candidate
+    return program
+
+
+def minimize_program(program: Program, predicate: Predicate,
+                     ) -> Program:
+    """Shrink ``program`` while ``predicate`` keeps returning True.
+
+    ``predicate(program)`` must be True on entry; the result is the
+    smallest program this strategy reaches that still satisfies it.
+    """
+    if not predicate(program):
+        raise ValueError("predicate does not hold on the input program; "
+                         "nothing to minimize")
+    program = _minimize_blocks(program, predicate)
+    for index in range(len(program.blocks)):
+        program = _minimize_block_body(program, index, predicate)
+    program = _minimize_terminators(program, predicate)
+    # Deleting instructions may have made more whole blocks droppable.
+    program = _minimize_blocks(program, predicate)
+    empty: List[int] = [i for i, block in enumerate(program.blocks)
+                        if not block.body and block.term is None]
+    for index in reversed(empty):
+        if len(program.blocks) == 1:
+            break
+        candidate = _drop_block(program, index)
+        if predicate(candidate):
+            program = candidate
+    return program

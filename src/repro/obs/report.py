@@ -426,6 +426,54 @@ def _section_leakage(store: HistoryStore, runs: Sequence[RunInfo]) -> str:
             f"</tr></thead><tbody>{''.join(rows)}</tbody></table>")
 
 
+def _section_fuzz(store: HistoryStore, runs: Sequence[RunInfo]) -> str:
+    """Differential-fuzzing campaigns: corpus size, cells swept, and
+    oracle verdict per recorded ``spectresim fuzz`` run."""
+    head = '<h2 id="fuzz">Differential fuzzing</h2>'
+    fuzz_runs = [run for run in runs if run.kind == "fuzz"]
+    if not fuzz_runs:
+        return (head + '<p class="note">no fuzz campaigns recorded yet '
+                '&#8212; run <code>spectresim fuzz</code>.</p>')
+    names = ("fuzz.seed", "fuzz.programs", "fuzz.cells", "fuzz.skipped",
+             "fuzz.violations")
+    trend = {name: dict(store.telemetry_trend(name)) for name in names}
+
+    def cell(name: str, run_id: int) -> str:
+        value = trend[name].get(run_id)
+        return "&#8212;" if value is None else f"{int(value):,}"
+
+    rows = []
+    clean = 0
+    for run in fuzz_runs:
+        violations = trend["fuzz.violations"].get(run.id)
+        if violations == 0:
+            verdict = '<span class="ok">&#10003; clean</span>'
+            clean += 1
+        elif violations is None:
+            verdict = "&#8212;"
+        else:
+            verdict = (f'<span class="flag">{int(violations)} '
+                       f'violation(s)</span>')
+        rows.append(
+            f"<tr><td>{run.id}</td><td>{_esc(run.created_at)}</td>"
+            f"<td class='num'>{cell('fuzz.seed', run.id)}</td>"
+            f"<td class='num'>{cell('fuzz.programs', run.id)}</td>"
+            f"<td class='num'>{cell('fuzz.cells', run.id)}</td>"
+            f"<td class='num'>{cell('fuzz.skipped', run.id)}</td>"
+            f"<td>{verdict}</td></tr>")
+    intro = (f'<p class="sub">{len(fuzz_runs)} campaign(s) recorded, '
+             f'{clean} clean. Each campaign sweeps a generated corpus '
+             f'over the CPU &#215; policy grid against the engine-parity '
+             f'and leakage-contract oracles (see docs/fuzzing.md); a '
+             f'violation ships a minimized reproducer.</p>')
+    return (head + intro +
+            '<table><thead><tr><th>run</th><th>recorded</th>'
+            '<th class="num">seed</th><th class="num">programs</th>'
+            '<th class="num">cells</th><th class="num">skipped</th>'
+            '<th>verdict</th></tr></thead>'
+            f"<tbody>{''.join(rows)}</tbody></table>")
+
+
 def _section_waterfall(diff: Optional[RunDiff],
                        id_a: Optional[int], id_b: Optional[int]) -> str:
     head = '<h2 id="waterfall">Blame waterfall</h2>'
@@ -528,6 +576,7 @@ def render_report(store: HistoryStore, title: str = "spectresim run history",
         _section_trends(store, run_ids),
         _section_mitigations(store, run_ids),
         _section_leakage(store, runs),
+        _section_fuzz(store, runs),
         _section_waterfall(latest_diff, latest_pair[0], latest_pair[1]),
         _section_annotations(diffs, runs),
         _section_runs_table(runs),

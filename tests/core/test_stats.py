@@ -1,6 +1,7 @@
 """Statistics: CIs, adaptive sampling, geometric mean, noise."""
 
 import math
+import zlib
 
 import numpy as np
 import pytest
@@ -142,6 +143,22 @@ def test_derive_seed_is_a_valid_rng_seed():
         seed = derive_seed(base, "a", "b")
         assert 0 <= seed < 2**31
         np.random.default_rng(seed)  # accepted by numpy
+
+
+def test_derive_seed_rejects_slash_in_parts():
+    """("a/b", "c") and ("a", "b/c") would join to the same key and
+    silently correlate two cells' noise streams — rejected instead."""
+    with pytest.raises(ValueError, match="separator"):
+        derive_seed(7, "a/b", "c")
+    with pytest.raises(ValueError, match="separator"):
+        derive_seed(7, "a", "b/c")
+
+
+def test_derive_seed_rejection_preserves_existing_keys():
+    """The fix rejects rather than escapes: every legal key — and hence
+    every cached cell and recorded baseline — derives the same seed."""
+    assert derive_seed(7, "figure2", "zen2") == \
+        (7 + zlib.crc32(b"figure2/zen2")) & 0x7FFF_FFFF
 
 
 def test_overhead_percent():

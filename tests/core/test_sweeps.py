@@ -18,6 +18,23 @@ def test_sweep_result_validates_lengths():
         SweepResult("x", (1.0, 2.0), (1.0,))
 
 
+def test_sweep_result_rejects_empty_grid():
+    with pytest.raises(ValueError, match="at least one point"):
+        SweepResult("x", (), ())
+
+
+def test_sweep_result_rejects_duplicate_xs():
+    # A duplicate x makes interpolate() divide by zero and first_below()
+    # report a crossing inside a zero-width segment.
+    with pytest.raises(ValueError, match="strictly increasing"):
+        SweepResult("x", (1.0, 2.0, 2.0), (10.0, 5.0, 0.0))
+
+
+def test_sweep_result_rejects_unsorted_xs():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        SweepResult("x", (2.0, 1.0, 3.0), (10.0, 5.0, 0.0))
+
+
 def test_sweep_evaluates_in_order():
     result = sweep("n", [1, 2, 3], lambda x: x * 10)
     assert result.xs == (1.0, 2.0, 3.0)

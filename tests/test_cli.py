@@ -386,3 +386,79 @@ def test_profile_records_telemetry_run(capsys, tmp_path):
             "--trace-out", str(tmp_path / "t.json"))
     out = run_cli(capsys, "history", "list")
     assert "profile" in out
+
+
+def test_jobs_rejected_at_parse_time(capsys):
+    # Satellite fix: a bad --jobs is an argparse usage error (exit 2,
+    # one line on stderr), not a ValueError traceback from the executor.
+    for argv in (["figure", "2", "--jobs", "0"],
+                 ["export", "figure2", "--jobs", "-3"],
+                 ["fuzz", "--jobs", "x"]):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "expected a positive integer" in err
+
+
+def test_fuzz_campaign_smoke(capsys, tmp_path):
+    out_dir = str(tmp_path / "fuzz-out")
+    out = run_cli(capsys, "fuzz", "--seed", "1", "--programs", "2",
+                  "--cpus", "broadwell", "--out", out_dir)
+    assert "0 violation(s)" in out
+    assert "2 cells" not in out  # 2 programs x 1 cpu x 3 policies = 6
+    assert "6 cells" in out
+    # The summary lands in --out even on a clean campaign (CI artifact).
+    assert open(os.path.join(out_dir, "summary.txt")).read() == out
+
+
+def test_fuzz_auto_records_into_history(capsys, tmp_path):
+    run_cli(capsys, "fuzz", "--programs", "1", "--cpus", "zen2",
+            "--out", str(tmp_path / "f"))
+    out = run_cli(capsys, "history", "list")
+    assert "fuzz" in out
+    html_path = str(tmp_path / "dash.html")
+    run_cli(capsys, "history", "report", "--out", html_path)
+    html = open(html_path).read()
+    assert "Differential fuzzing" in html and "clean" in html
+
+
+def test_fuzz_replay_of_a_fixed_reproducer_is_clean(capsys, tmp_path):
+    from repro.fuzz import (FuzzConfig, fuzz_campaign, parity_fault,
+                            write_reproducer)
+    from repro.core.probe import POLICY_OFF
+    config = FuzzConfig(seed=3, programs=6, cpu_keys=("broadwell",),
+                        policies=(POLICY_OFF,))
+    with parity_fault("verw"):
+        result = fuzz_campaign(config)
+        violation = result.violations[0]
+        program = next(p for p in result.programs
+                       if p.name == violation.program)
+        path = write_reproducer(str(tmp_path), program, violation,
+                                base_seed=3)
+    # The "bug" is gone outside the fault scope: replay exits 0.
+    out = run_cli(capsys, "--no-history", "fuzz", "--replay", path)
+    assert "no longer violates" in out
+
+
+def test_fuzz_smoke_flag_runs_reduced_grid(capsys, tmp_path):
+    out = run_cli(capsys, "--no-history", "fuzz", "--smoke",
+                  "--out", str(tmp_path / "f"))
+    assert "programs=6 cpus=3" in out
+    assert "0 violation(s)" in out
+
+
+def test_fuzz_violations_exit_nonzero_with_reproducers(capsys, tmp_path):
+    from repro.fuzz import parity_fault
+    out_dir = str(tmp_path / "f")
+    with parity_fault("verw"):
+        with pytest.raises(SystemExit) as exc:
+            main(["--no-history", "fuzz", "--seed", "3", "--programs",
+                  "6", "--cpus", "broadwell", "--out", out_dir])
+    assert exc.value.code == 1
+    out = capsys.readouterr().out
+    assert "engine_parity" in out
+    assert "minimized to" in out
+    progs = [f for f in os.listdir(out_dir) if f.endswith(".prog")]
+    assert progs  # one minimized reproducer per violating cell
+    assert "summary.txt" in os.listdir(out_dir)
