@@ -15,9 +15,11 @@ from repro.kernel import GETPID, Kernel
 from repro.mitigations import linux_default
 from repro.obs import (
     NULL_TRACER,
+    EventTimeline,
     LeakageTracer,
     SpanTracer,
     use_leakage,
+    use_timeline,
     use_tracer,
 )
 
@@ -109,6 +111,42 @@ def test_leakage_tracer_off_within_noise():
           f"({100.0 * (on / seed - 1.0):+.2f}%)")
     assert overhead < BUDGET, (
         f"leakage-off syscall path is {100.0 * overhead:.1f}% slower than "
+        f"the uninstrumented seed path (budget {100.0 * BUDGET:.0f}%)")
+
+
+def test_timeline_detached_within_noise():
+    """The event-timeline hooks share the leakage observer slots, so a
+    detached timeline costs the same one ``is None`` test per site: the
+    unrecorded syscall loop must stay within the seed-path noise budget.
+    The recording loop is timed for the record, and its memory must stay
+    bounded by the ring regardless of how long it runs."""
+    kernel = _fresh_kernel()
+    seed = _time_loop(lambda p: _seed_syscall(kernel, p), GETPID)
+
+    kernel = _fresh_kernel()
+    assert kernel.machine.timeline is None
+    off = _time_loop(kernel.syscall, GETPID)
+
+    capacity = 1024
+    with use_timeline(EventTimeline(capacity=capacity)) as timeline:
+        recording = _fresh_kernel()
+    assert recording.machine.timeline is timeline
+    on = _time_loop(recording.syscall, GETPID)
+    held = len(timeline.events)
+    assert held <= capacity, (
+        f"ring held {held} events, capacity {capacity}")
+    assert timeline.total == held + timeline.dropped
+
+    overhead = off / seed - 1.0
+    print(f"\nseed path      : {1e6 * seed / LOOPS:8.3f} us/syscall")
+    print(f"timeline off   : {1e6 * off / LOOPS:8.3f} us/syscall "
+          f"({100.0 * overhead:+.2f}%)")
+    print(f"timeline on    : {1e6 * on / LOOPS:8.3f} us/syscall "
+          f"({100.0 * (on / seed - 1.0):+.2f}%), "
+          f"{timeline.total} events ({held} held, "
+          f"{timeline.dropped} dropped)")
+    assert overhead < BUDGET, (
+        f"timeline-off syscall path is {100.0 * overhead:.1f}% slower than "
         f"the uninstrumented seed path (budget {100.0 * BUDGET:.0f}%)")
 
 

@@ -21,6 +21,8 @@ Observability::
     spectresim fuzz --seed 1 --programs 25       # differential fuzzing
     spectresim fuzz --smoke                      # CI-sized campaign
     spectresim fuzz --replay fuzz-out/<case>.prog   # confirm a fix
+    spectresim explain --replay fuzz-out/<case>.prog   # first divergence
+    spectresim explain --cell broadwell:off --fault verw --json
 
 Parallelism and caching (see ``docs/parallelism.md``)::
 
@@ -38,6 +40,7 @@ Run history (``bench``/``check``/``profile`` auto-record; disable with
     spectresim history diff prev latest
     spectresim history report --out history.html
     spectresim history record BENCH_2.json --allow-dirty
+    spectresim history gc --keep 50 --dry-run
     spectresim history gc --keep 50
 """
 
@@ -551,9 +554,14 @@ def cmd_history(args: argparse.Namespace) -> str:
                 count = len(store)
             return f"history: dashboard over {count} run(s) -> {out}\n"
         if args.history_command == "gc":
+            dry_run = getattr(args, "dry_run", False)
             with hist.HistoryStore(path) as store:
-                removed = store.gc(args.keep)
-                kept = len(store)
+                removed = store.gc(args.keep, dry_run=dry_run)
+                kept = len(store) - (len(removed) if dry_run else 0)
+            if dry_run:
+                doomed = ", ".join(str(i) for i in removed) or "none"
+                return (f"history: would remove {len(removed)} run(s) "
+                        f"[{doomed}], keeping {kept} -> {path}\n")
             return (f"history: removed {len(removed)} run(s), kept {kept} "
                     f"-> {path}\n")
     except HistoryError as exc:
@@ -642,7 +650,9 @@ def cmd_fuzz(args: argparse.Namespace) -> str:
     """Differential scenario fuzzing: random programs swept over the
     CPU x policy grid against the engine-parity and leakage-contract
     oracles; violations are minimized into replayable reproducers."""
+    import json
     from . import fuzz as fuzzmod
+    from .obs.progress import ProgressLine
     if args.replay:
         violations = fuzzmod.replay_reproducer(args.replay)
         if violations:
@@ -663,7 +673,13 @@ def cmd_fuzz(args: argparse.Namespace) -> str:
                                 cpu_keys=cpu_keys, trials=args.trials,
                                 jobs=args.jobs)
     started = time.perf_counter()
-    result = fuzzmod.fuzz_campaign(config)
+    # TTY-gated live line on stderr; a no-op in CI and pipes, so stdout
+    # and captured stderr stay byte-identical.
+    meter = ProgressLine(0, label="fuzz cells")
+    try:
+        result = fuzzmod.fuzz_campaign(config, progress=meter.update)
+    finally:
+        meter.close()
     wall = round(time.perf_counter() - started, 3)
 
     summary = (f"fuzz: seed={config.seed} programs={len(result.programs)} "
@@ -722,10 +738,115 @@ def cmd_fuzz(args: argparse.Namespace) -> str:
         os.makedirs(args.out, exist_ok=True)
         with open(os.path.join(args.out, "summary.txt"), "w") as handle:
             handle.write(report)
+        # Machine-readable twin: full violation records (problems dicts
+        # and first-divergence data) plus the campaign shape.
+        machine_summary = {
+            "seed": config.seed,
+            "programs": len(result.programs),
+            "cpus": list(config.resolved_cpu_keys()),
+            "policies": list(config.policies),
+            "cells": result.cells,
+            "skipped": result.skipped,
+            "wall_s": wall,
+            "violations": [v.to_dict() for v in result.violations],
+            "reproducers": reproducers,
+        }
+        with open(os.path.join(args.out, "summary.json"), "w") as handle:
+            json.dump(machine_summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if result.violations:
         sys.stdout.write(report)
         raise SystemExit(1)
     return report
+
+
+def cmd_explain(args: argparse.Namespace) -> str:
+    """First-divergence explainer: timeline-trace one parity cell and
+    pinpoint the earliest microarchitectural event where two runs of the
+    same cell disagree (structure, tsc, instruction index)."""
+    import json
+    from . import fuzz as fuzzmod
+    from .core.stats import derive_seed
+    if bool(args.replay) == bool(args.cell):
+        raise SystemExit("explain: exactly one of --replay or --cell "
+                         "is required")
+    started = time.perf_counter()
+    if args.replay:
+        report = fuzzmod.explain_reproducer(args.replay)
+        source = args.replay
+    else:
+        cpu_key, sep, policy = args.cell.partition(":")
+        if not sep or not policy:
+            raise SystemExit("explain: --cell takes CPU:POLICY "
+                             "(e.g. broadwell:off)")
+        program = fuzzmod.generate_program(
+            derive_seed(args.seed, "fuzz-program", str(args.program)))
+        report = fuzzmod.explain_cell(program, get_cpu(cpu_key), policy,
+                                      args.seed, fault_op=args.fault)
+        source = f"{program.name} on {args.cell}"
+    wall = round(time.perf_counter() - started, 3)
+
+    current = report.telemetry()["timeline"]
+    against = None
+    if args.against:
+        from .obs.history import HistoryStore
+        with HistoryStore(_history_path(args)) as store:
+            run_id = store.resolve(args.against)
+            stored_all = store.load_run(run_id)["telemetry"]
+        stored = {name[len("timeline."):]: value
+                  for name, value in stored_all.items()
+                  if name.startswith("timeline.")}
+        if not stored:
+            raise SystemExit(f"explain: run {run_id} carries no "
+                             f"timeline telemetry (not an explain run?)")
+        mismatches = {}
+        for name in sorted(set(stored) | set(current)):
+            ours = current.get(name)
+            theirs = stored.get(name)
+            if ours != theirs:
+                mismatches[name] = {"current": ours, "recorded": theirs}
+        against = {"run": run_id, "matches": not mismatches,
+                   "mismatches": mismatches}
+
+    if args.trace_out:
+        obs.write_chrome_trace(args.trace_out, obs.SpanTracer(),
+                               timeline=report.timeline_base)
+
+    manifest = obs.build_manifest(
+        command="explain", seed=args.seed, cpus=[report.cpu],
+        config={"policy": report.policy, "source": source,
+                "fault_op": report.fault_op},
+        wall_time_s=wall)
+    _history_autorecord(args, {
+        "values": {},
+        "ledger": {},
+        "telemetry": report.telemetry(),
+        "tolerance": {},
+        "provenance": manifest.to_dict(),
+    }, kind="explain")
+
+    if args.json:
+        payload = report.to_dict()
+        payload["source"] = source
+        payload["against"] = against
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    lines = [f"explain: {source}",
+             report.render(window=args.window).rstrip("\n")]
+    if against is not None:
+        if against["matches"]:
+            lines.append(f"against run {against['run']}: event digest and "
+                         f"per-structure counts match")
+        else:
+            lines.append(f"against run {against['run']}: "
+                         f"{len(against['mismatches'])} mismatch(es)")
+            for name, pair in sorted(against["mismatches"].items()):
+                lines.append(f"  {name}: current={pair['current']} "
+                             f"recorded={pair['recorded']}")
+    if args.trace_out:
+        lines.append(f"trace: wrote {report.timeline_base.total} timeline "
+                     f"instants to {args.trace_out}")
+    return "\n".join(lines) + "\n"
 
 
 def cmd_all(args: argparse.Namespace) -> str:
@@ -931,7 +1052,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="payload produced by 'spectresim bench'")
     hp.add_argument("--kind", default="bench",
                     choices=["bench", "check", "profile", "study",
-                             "fuzz"])
+                             "fuzz", "explain"])
     hp.add_argument("--allow-dirty", action="store_true",
                     help="record even when the payload's code fingerprint "
                          "does not match the running code; the row is "
@@ -952,6 +1073,9 @@ def build_parser() -> argparse.ArgumentParser:
     hp = hsub.add_parser("gc", help="drop the oldest runs beyond --keep")
     hp.add_argument("--keep", type=int, required=True, metavar="N",
                     help="number of newest runs to retain")
+    hp.add_argument("--dry-run", action="store_true",
+                    help="list the runs gc would remove without "
+                         "touching the database")
 
     p = sub.add_parser(
         "leakage",
@@ -1013,6 +1137,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "of a fresh campaign; exits 1 if it still "
                         "violates")
 
+    p = sub.add_parser(
+        "explain",
+        help="first-divergence explainer: timeline-trace a parity cell "
+             "and pinpoint the earliest divergent microarchitectural "
+             "event (structure, tsc, instruction index)")
+    p.add_argument("--replay", metavar="FILE", default=None,
+                   help="reproducer file from 'spectresim fuzz'; a "
+                        "'# fault:' directive re-applies the injected "
+                        "parity fault on the second traced run")
+    p.add_argument("--cell", metavar="CPU:POLICY", default=None,
+                   help="explain a generated cell (e.g. broadwell:off) "
+                        "instead of a reproducer file")
+    p.add_argument("--seed", type=int, default=1,
+                   help="base seed for --cell program generation")
+    p.add_argument("--program", type=int, default=0, metavar="N",
+                   help="fuzz-corpus index of the --cell program")
+    p.add_argument("--fault", metavar="OP", default=None,
+                   help="inject the deterministic parity fault on OP "
+                        "in the second traced run (--cell only)")
+    p.add_argument("--against", metavar="RUN", default=None,
+                   help="compare event digest and per-structure counts "
+                        "against a recorded explain run (id, 'latest', "
+                        "or 'prev')")
+    p.add_argument("--window", type=_positive_int, default=8, metavar="N",
+                   help="events of context on each side of the "
+                        "divergence (default: 8)")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable JSON instead of text")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write the recorded event stream as Perfetto "
+                        "instant events (Chrome trace-event JSON) here")
+
     p = sub.add_parser("all", help="run everything, write artifacts")
     p.add_argument("--outdir", default="results")
     p.add_argument("--fast", action="store_true")
@@ -1040,6 +1196,7 @@ _COMMANDS = {
     "history": cmd_history,
     "leakage": cmd_leakage,
     "fuzz": cmd_fuzz,
+    "explain": cmd_explain,
     "all": cmd_all,
 }
 

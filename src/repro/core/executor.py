@@ -43,6 +43,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from ..cpu import engine as blockengine
 from ..errors import ExecutorError
 from ..obs import leakage as obs_leakage
+from ..obs import timeline as obs_timeline
+from ..obs.progress import ProgressLine
 from ..obs import ledger as obs_ledger
 from ..obs import spans as obs_spans
 from ..obs.metrics import MetricsRegistry
@@ -370,7 +372,8 @@ class RunStats:
 def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
                      collect_ledger: bool = False,
                      engine_mode: Optional[str] = None,
-                     collect_leakage: bool = False) -> Dict[str, Any]:
+                     collect_leakage: bool = False,
+                     collect_timeline: bool = False) -> Dict[str, Any]:
     """Process-pool entry point: run one cell, return result + telemetry.
 
     Top-level (picklable) and import-light: the heavy imports happen in
@@ -391,6 +394,12 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
     tracer: the worker runs under its own
     :class:`~repro.obs.leakage.LeakageTracer` and ships ``state()`` home
     for :meth:`~repro.obs.leakage.LeakageTracer.merge_state`.
+
+    ``collect_timeline`` does the same for the microarchitectural event
+    timeline: the worker records into its own
+    :class:`~repro.obs.timeline.EventTimeline` and ships ``state()``
+    home for :meth:`~repro.obs.timeline.EventTimeline.merge_state`
+    (the parent's ring bound still applies after the merge).
     """
     from . import study
     if engine_mode is not None:
@@ -402,24 +411,31 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
     obs_payload = None
     ledger_payload = None
     leakage_payload = None
+    timeline_payload = None
     ledger = obs_ledger.CycleLedger() if collect_ledger else None
     leakage = obs_leakage.LeakageTracer() if collect_leakage else None
-    with obs_leakage.use_leakage(leakage):
-        with obs_ledger.use_ledger(ledger):
-            if collect_obs:
-                tracer = obs_spans.SpanTracer()
-                with obs_spans.use_tracer(tracer):
+    timeline = (obs_timeline.EventTimeline(capacity=None)
+                if collect_timeline else None)
+    with obs_timeline.use_timeline(timeline):
+        with obs_leakage.use_leakage(leakage):
+            with obs_ledger.use_ledger(ledger):
+                if collect_obs:
+                    tracer = obs_spans.SpanTracer()
+                    with obs_spans.use_tracer(tracer):
+                        result = runner(spec)
+                    obs_payload = tracer.to_payload()
+                else:
                     result = runner(spec)
-                obs_payload = tracer.to_payload()
-            else:
-                result = runner(spec)
     if ledger is not None:
         ledger.verify()  # per-cell invariant, enforced worker-side
         ledger_payload = ledger.state()
     if leakage is not None:
         leakage_payload = leakage.state()
+    if timeline is not None:
+        timeline_payload = timeline.state()
     return {"result": encode_result(kind, result), "obs": obs_payload,
             "ledger": ledger_payload, "leakage": leakage_payload,
+            "timeline": timeline_payload,
             "engine": blockengine.STATS.as_dict()}
 
 
@@ -487,6 +503,9 @@ class StudyExecutor:
         if checkpoint is not None and self.resume:
             resumed = checkpoint.load()
 
+        # TTY-gated live line on stderr; a no-op in CI and pipes, so the
+        # stderr the parallel-smoke gates grep stays byte-identical.
+        meter = ProgressLine(len(specs), label="cells")
         results: Dict[int, Any] = {}
         pending: List[Tuple[int, CellSpec]] = []
         for index, spec in enumerate(specs):
@@ -513,6 +532,7 @@ class StudyExecutor:
                     self.stats.cache_misses += 1
                     self._count("cache_miss")
             pending.append((index, spec))
+        meter.update(len(results))  # cache/checkpoint hits count as done
 
         def record_completion(index: int, spec: CellSpec, result: Any) -> None:
             kind = study.DRIVER_KINDS[spec.driver]
@@ -523,12 +543,16 @@ class StudyExecutor:
                 cache.put(spec, kind, result)
             if checkpoint is not None:
                 checkpoint.record(spec, kind, result)
+            meter.update(len(results))
 
-        if self.jobs == 1 or len(pending) <= 1:
-            for index, spec in pending:
-                record_completion(index, spec, self._run_inline(spec))
-        else:
-            self._run_pool(pending, record_completion)
+        try:
+            if self.jobs == 1 or len(pending) <= 1:
+                for index, spec in pending:
+                    record_completion(index, spec, self._run_inline(spec))
+            else:
+                self._run_pool(pending, record_completion)
+        finally:
+            meter.close()
 
         if checkpoint is not None and len(results) == len(specs):
             checkpoint.discard()
@@ -556,13 +580,15 @@ class StudyExecutor:
         collect_obs = bool(getattr(tracer, "enabled", False))
         ledger = obs_ledger.current_ledger()
         leakage = obs_leakage.current_leakage()
+        timeline = obs_timeline.current_timeline()
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {
                 pool.submit(_worker_run_cell, spec.to_dict(), collect_obs,
                             ledger is not None,
                             blockengine.default_engine(),
-                            leakage is not None):
+                            leakage is not None,
+                            timeline is not None):
                     (index, spec)
                 for index, spec in pending
             }
@@ -581,6 +607,8 @@ class StudyExecutor:
                     ledger.merge_state(payload["ledger"])
                 if leakage is not None and payload.get("leakage") is not None:
                     leakage.merge_state(payload["leakage"])
+                if timeline is not None and payload.get("timeline") is not None:
+                    timeline.merge_state(payload["timeline"])
                 if payload.get("engine") is not None:
                     blockengine.STATS.merge(payload["engine"])
                 record_completion(index, spec,

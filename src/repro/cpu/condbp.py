@@ -31,6 +31,9 @@ class ConditionalPredictor:
             raise ValueError("initial state must be a 2-bit counter value")
         self._initial = initial
         self._counters: Dict[int, int] = {}
+        #: Optional event-timeline hook (``repro.obs.timeline``); None
+        #: when recording is off, so updates pay one identity test.
+        self.observer = None
 
     def state(self, pc: int) -> int:
         return self._counters.get(pc, self._initial)
@@ -46,9 +49,13 @@ class ConditionalPredictor:
         else:
             state = max(STRONG_NOT_TAKEN, state - 1)
         self._counters[pc] = state
+        if self.observer is not None:
+            self.observer.cond_update(pc, taken, state)
 
     def flush(self) -> None:
         self._counters.clear()
+        if self.observer is not None:
+            self.observer.cond_flush()
 
     def __len__(self) -> int:
         return len(self._counters)

@@ -355,10 +355,15 @@ class BlockEngine:
         tuples are immutable and skip the in-place-mutation check that
         lists need.
         """
-        if self.machine.leakage is not None:
+        machine = self.machine
+        if machine.leakage is not None or machine.timeline is not None:
             # Leakage tracing on: taint is a guard-key input the compiled
-            # deltas do not model, so traced segments replay interpreted
-            # (bit-identical by the engine's differential contract).
+            # deltas do not model.  Timeline recording on: batched replay
+            # deduplicates LRU touches and collapses residue, so it cannot
+            # reproduce the per-event stream.  Either way the segment
+            # replays interpreted (bit-identical by the engine's
+            # differential contract), so the recorded event stream under
+            # --engine=block equals the interpreter's.
             STATS.interp_fallbacks += 1
             return self._interpret(seq)
         entry = self._blocks.get(id(seq))

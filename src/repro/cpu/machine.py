@@ -29,6 +29,7 @@ from ..errors import SegmentationFault, UnsupportedFeatureError
 from ..obs import ledger as obs_ledger
 from ..obs import leakage as obs_leakage
 from ..obs import spans as obs_spans
+from ..obs import timeline as obs_timeline
 from . import counters as ctr
 from . import engine as blockengine
 from . import msr as msrdef
@@ -130,13 +131,21 @@ class Machine:
             self.counters.ledger = self.ledger
             self.ledger.attach(self.counters)
 
-        # Speculative-leakage tracer: when one is installed, taint flows
-        # through the structures above and leakage events are filed (see
-        # repro.obs.leakage).  None = tracing off, strictly zero cost.
+        # Speculative-leakage tracer and microarchitectural event
+        # timeline: when installed, taint flows / structure-state
+        # transitions (train/flush/hit/miss/...) are recorded (see
+        # repro.obs.leakage and repro.obs.timeline).  None = off,
+        # strictly zero cost.  Both slots must exist before either
+        # attach runs: attach_leakage re-tees an already-attached
+        # timeline behind the tracer.
         self.leakage = None
+        self.timeline = None
         ambient_leakage = obs_leakage.current_leakage()
         if ambient_leakage is not None:
             self.attach_leakage(ambient_leakage)
+        ambient_timeline = obs_timeline.current_timeline()
+        if ambient_timeline is not None:
+            self.attach_timeline(ambient_timeline)
 
         # eIBRS periodic BTB scrub state (paper section 6.2.2).
         self._rng = np.random.default_rng(seed)
@@ -166,6 +175,22 @@ class Machine:
         traced segments fall back to bit-identical interpreted replay."""
         self.leakage = tracer
         tracer.bind_machine(self)
+        if self.timeline is not None:
+            # The leakage tracer claimed the structure observer slots;
+            # rebind the timeline so it tees itself back in.
+            self.timeline.bind_machine(self)
+
+    def attach_timeline(self, timeline) -> None:
+        """Adopt a :class:`repro.obs.timeline.EventTimeline`: every
+        structure-state transition on this machine is recorded into its
+        ring buffer.  Composes with an attached leakage tracer (the
+        shared observer slots are teed) and, like the tracer, forces
+        ``run()`` onto the interpreter — batched block-engine replay
+        cannot reproduce the per-event stream, and the interpreted
+        fallback is bit-identical by the engine's differential
+        contract."""
+        self.timeline = timeline
+        timeline.bind_machine(self)
 
     # ------------------------------------------------------------------ #
     # MSR side effects
@@ -213,6 +238,7 @@ class Machine:
         engine = self.engine
         if (engine is not None and self.tracer is None
                 and self.leakage is None
+                and self.timeline is None
                 and instructions.__class__ in (list, tuple)
                 and len(instructions) > 1):
             return engine.run(instructions)

@@ -84,7 +84,10 @@ class StoreBuffer:
 
     def forward(self, address: int) -> Optional[int]:
         """Store-to-load forwarding: value of the youngest matching store."""
-        return self._pending.get(self._line_of(address))
+        value = self._pending.get(self._line_of(address))
+        if value is not None and self.observer is not None:
+            self.observer.sb_forward(address)
+        return value
 
     def speculative_bypass_possible(self, address: int, ssbd: bool) -> bool:
         """Could a speculative load bypass a pending store here?

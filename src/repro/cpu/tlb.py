@@ -77,6 +77,8 @@ class TLB:
             return 0
         invalidated = len(self._entries)
         self._entries.clear()
+        if self.observer is not None:
+            self.observer.tlb_flush(invalidated)
         return invalidated
 
     def flush_all(self, include_global: bool = False) -> int:
@@ -86,6 +88,8 @@ class TLB:
         if include_global:
             invalidated += len(self._global_pages)
             self._global_pages.clear()
+        if self.observer is not None:
+            self.observer.tlb_flush(invalidated)
         return invalidated
 
     def resident(self) -> int:

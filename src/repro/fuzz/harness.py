@@ -50,6 +50,7 @@ from ..cpu.counters import ALL_COUNTERS
 from ..cpu.model import CPUModel
 from ..obs import leakage as obs_leakage
 from ..obs import ledger as obs_ledger
+from ..obs import timeline as obs_timeline
 from .generator import Program, generate_program, parse_program
 
 #: Policy sweep order (stable: cell keys and history records depend on it).
@@ -69,7 +70,16 @@ FUZZ_TRIALS = 2
 
 @dataclass(frozen=True)
 class Violation:
-    """One oracle failure, addressable and replayable."""
+    """One oracle failure, addressable and replayable.
+
+    ``problems`` is the machine-readable form: one dict per finding,
+    each with a ``kind`` plus kind-specific fields and its rendered
+    ``detail`` line; the flat ``detail`` string is the joined rendering
+    kept for compatibility.  ``divergence`` (engine-parity only) carries
+    the first divergent timeline event — structure, tsc, instruction
+    index and the surrounding window — from
+    :func:`repro.obs.timeline.first_divergence`.
+    """
 
     oracle: str
     program: str
@@ -78,6 +88,8 @@ class Violation:
     policy: str
     detail: str
     scenario: str = ""
+    problems: Tuple[Dict[str, Any], ...] = ()
+    divergence: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -88,6 +100,8 @@ class Violation:
             "policy": self.policy,
             "detail": self.detail,
             "scenario": self.scenario,
+            "problems": [dict(problem) for problem in self.problems],
+            "divergence": self.divergence,
         }
 
 
@@ -138,6 +152,139 @@ def _run_parity_side(program: Program, cpu: CPUModel, policy: str,
     return cycles, machine, ledger, stream
 
 
+def _problem(kind: str, detail: str, **fields: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"kind": kind, "detail": detail}
+    entry.update(fields)
+    return entry
+
+
+def _traced_parity_run(program: Program, cpu: CPUModel, policy: str,
+                       seed: int, repeats: int,
+                       fault_op: Optional[str] = None
+                       ) -> obs_timeline.EventTimeline:
+    """One interpreted, timeline-recorded run of a parity cell.
+
+    An attached timeline already forces interpretation (bit-identical by
+    the engine's differential contract), so the recorded stream stands
+    for *both* engine modes.  ``fault_op`` re-applies the injected
+    parity fault in the execution domain: the extra cycle per matching
+    op is charged *before* the instruction executes, so every event the
+    faulted instruction files — and everything after it — carries the
+    skewed TSC, and the first divergent event lands exactly on the
+    faulted instruction.
+    """
+    with engine.use_engine(engine.ENGINE_INTERP):
+        timeline = obs_timeline.EventTimeline(capacity=None)
+        with obs_timeline.use_timeline(timeline):
+            machine, retpoline = _policy_machine(cpu, policy, seed)
+            program.install(machine, retpoline=retpoline)
+            stream = program.instructions(retpoline=retpoline)
+            for _ in range(repeats):
+                if fault_op is None:
+                    machine.run(stream)
+                else:
+                    for instr in stream:
+                        if instr.op.name.lower() == fault_op:
+                            machine.counters.tsc += 1
+                        machine.execute(instr)
+    return timeline
+
+
+def explain_parity(program: Program, cpu: CPUModel, policy: str, seed: int,
+                   repeats: int = PARITY_REPEATS,
+                   fault_op: Optional[str] = None):
+    """Timeline-diffed diagnosis of one parity cell.
+
+    Returns ``(timeline_base, timeline_other, divergence)``: the clean
+    interpreted event stream, the stream with ``fault_op`` re-applied,
+    and their first divergence (None when the streams agree — e.g. a
+    hypothetical engine-internal divergence the interpreted replay
+    cannot reproduce, which the structured ``problems`` still record).
+    """
+    base = _traced_parity_run(program, cpu, policy, seed, repeats)
+    other = _traced_parity_run(program, cpu, policy, seed, repeats,
+                               fault_op=fault_op)
+    return base, other, obs_timeline.first_divergence(base, other)
+
+
+@dataclass
+class ExplainReport:
+    """One explained parity cell: two traced streams and their diff."""
+
+    program: str
+    cpu: str
+    policy: str
+    base_seed: int
+    fault_op: Optional[str]
+    timeline_base: obs_timeline.EventTimeline
+    timeline_other: obs_timeline.EventTimeline
+    divergence: Optional[obs_timeline.Divergence]
+
+    def diverged(self) -> bool:
+        return self.divergence is not None
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Flat ``timeline.*`` gauges for the history store (floats only)."""
+        base = self.timeline_base
+        values: Dict[str, float] = {
+            "events": float(base.total),
+            "dropped": float(base.dropped),
+            "digest": float(base.digest()),
+            "diverged": 1.0 if self.diverged() else 0.0,
+        }
+        if self.divergence is not None:
+            values["divergence_index"] = float(self.divergence.index)
+            values["divergence_tsc"] = float(self.divergence.tsc)
+            values["divergence_instr"] = float(self.divergence.instr)
+        for structure, count in sorted(base.structure_counts().items()):
+            values[f"count.{structure}"] = float(count)
+        return {"timeline": values}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "cpu": self.cpu,
+            "policy": self.policy,
+            "base_seed": self.base_seed,
+            "fault_op": self.fault_op,
+            "base": self.timeline_base.stats(),
+            "other": self.timeline_other.stats(),
+            "divergence": (self.divergence.to_dict()
+                           if self.divergence is not None else None),
+        }
+
+    def render(self, window: int = 8) -> str:
+        lines = [f"cell: {self.program} cpu={self.cpu} "
+                 f"policy={self.policy} base-seed={self.base_seed}",
+                 f"events: base={self.timeline_base.total} "
+                 f"other={self.timeline_other.total}"]
+        if self.fault_op is not None:
+            lines.append(f"injected fault: op={self.fault_op}")
+        if self.divergence is None:
+            lines.append("streams agree: no divergent event")
+        else:
+            div = obs_timeline.first_divergence(
+                self.timeline_base, self.timeline_other, window=window)
+            lines.append(obs_timeline.render_divergence(
+                div, label_a="base", label_b="faulted"
+                if self.fault_op is not None else "other"))
+        return "\n".join(lines) + "\n"
+
+
+def explain_cell(program: Program, cpu: CPUModel, policy: str,
+                 base_seed: int, repeats: int = PARITY_REPEATS,
+                 fault_op: Optional[str] = None) -> ExplainReport:
+    """Trace one cell (same seed derivation as :func:`check_cell`) and
+    diff the clean stream against one with ``fault_op`` re-applied."""
+    seed = derive_seed(base_seed, "fuzz", program.name, cpu.key, policy)
+    base, other, div = explain_parity(program, cpu, policy, seed,
+                                      repeats=repeats, fault_op=fault_op)
+    return ExplainReport(program=program.name, cpu=cpu.key, policy=policy,
+                         base_seed=base_seed, fault_op=fault_op,
+                         timeline_base=base, timeline_other=other,
+                         divergence=div)
+
+
 def check_engine_parity(program: Program, cpu: CPUModel, policy: str,
                         seed: int,
                         repeats: int = PARITY_REPEATS) -> List[Violation]:
@@ -147,34 +294,51 @@ def check_engine_parity(program: Program, cpu: CPUModel, policy: str,
     int_cycles, int_machine, int_ledger, _ = _run_parity_side(
         program, cpu, policy, seed, engine.ENGINE_INTERP, repeats)
 
-    problems: List[str] = []
+    problems: List[Dict[str, Any]] = []
     blk_tsc = blk_machine.read_tsc() + _fault_delta(stream)
-    if blk_tsc != int_machine.read_tsc():
-        problems.append(f"tsc: block={blk_tsc} "
-                        f"interp={int_machine.read_tsc()}")
+    int_tsc = int_machine.read_tsc()
+    if blk_tsc != int_tsc:
+        problems.append(_problem(
+            "tsc", f"tsc: block={blk_tsc} interp={int_tsc}",
+            block=blk_tsc, interp=int_tsc))
     if blk_cycles != int_cycles:
-        problems.append(f"per-repeat cycles: block={blk_cycles} "
-                        f"interp={int_cycles}")
+        problems.append(_problem(
+            "cycles",
+            f"per-repeat cycles: block={blk_cycles} interp={int_cycles}",
+            block=list(blk_cycles), interp=list(int_cycles)))
     for name in sorted(ALL_COUNTERS):
         blk = blk_machine.counters.events.get(name, 0)
         ref = int_machine.counters.events.get(name, 0)
         if blk != ref:
-            problems.append(f"counter {name}: block={blk} interp={ref}")
+            problems.append(_problem(
+                "counter", f"counter {name}: block={blk} interp={ref}",
+                name=name, block=blk, interp=ref))
     if blk_ledger.paths() != int_ledger.paths():
-        problems.append("ledger paths diverged")
+        problems.append(_problem("ledger_paths", "ledger paths diverged"))
     if blk_ledger.rollup() != int_ledger.rollup():
-        problems.append("ledger rollup diverged")
+        problems.append(_problem("ledger_rollup", "ledger rollup diverged"))
     if (list(blk_machine.store_buffer._pending.items())
             != list(int_machine.store_buffer._pending.items())):
-        problems.append("store-buffer state diverged")
+        problems.append(_problem("store_buffer",
+                                 "store-buffer state diverged"))
     if (list(blk_machine.tlb._entries.items())
             != list(int_machine.tlb._entries.items())):
-        problems.append("TLB state diverged")
+        problems.append(_problem("tlb", "TLB state diverged"))
     if not problems:
         return []
+    if _parity_fault_op is not None:
+        problems.append(_problem(
+            "injected_fault", f"injected_fault: op={_parity_fault_op}",
+            op=_parity_fault_op))
+    _, _, diverged = explain_parity(program, cpu, policy, seed,
+                                    repeats=repeats,
+                                    fault_op=_parity_fault_op)
     return [Violation(oracle=ORACLE_PARITY, program=program.name,
                       seed=program.seed, cpu=cpu.key, policy=policy,
-                      detail="; ".join(problems))]
+                      detail="; ".join(p["detail"] for p in problems),
+                      problems=tuple(problems),
+                      divergence=(diverged.to_dict()
+                                  if diverged is not None else None))]
 
 
 # --------------------------------------------------------------------------- #
@@ -228,21 +392,30 @@ def check_leakage_contract(program: Program, cpu: CPUModel, policy: str,
                                  policy=policy)
         verdict = probe.probe_verdict(scenario, trials)
         if verdict.leaked != verdict.speculated:
+            problem = _problem(
+                "oracle_disagreement",
+                (f"oracle disagreement: leaked={verdict.leaked} "
+                 f"speculated={verdict.speculated}"),
+                leaked=bool(verdict.leaked),
+                speculated=bool(verdict.speculated))
             violations.append(Violation(
                 oracle=ORACLE_LEAKAGE, program=program.name,
                 seed=program.seed, cpu=cpu.key, policy=policy,
-                scenario=scenario.label,
-                detail=(f"oracle disagreement: leaked={verdict.leaked} "
-                        f"speculated={verdict.speculated}")))
+                scenario=scenario.label, detail=problem["detail"],
+                problems=(problem,)))
         promises = blocked_promise(cpu, policy, scenario, retpoline)
         if promises and verdict.leaked:
+            problem = _problem(
+                "promise_broken",
+                (f"leak on a promised-blocked cell: "
+                 f"{', '.join(promises)} promised, but "
+                 f"{verdict.events} leakage event(s) fired"),
+                promises=list(promises), events=verdict.events)
             violations.append(Violation(
                 oracle=ORACLE_LEAKAGE, program=program.name,
                 seed=program.seed, cpu=cpu.key, policy=policy,
-                scenario=scenario.label,
-                detail=(f"leak on a promised-blocked cell: "
-                        f"{', '.join(promises)} promised, but "
-                        f"{verdict.events} leakage event(s) fired")))
+                scenario=scenario.label, detail=problem["detail"],
+                problems=(problem,)))
     return violations
 
 
@@ -351,10 +524,16 @@ def generate_corpus(config: FuzzConfig) -> List[Program]:
 
 def fuzz_campaign(config: FuzzConfig,
                   programs: Optional[Sequence[Program]] = None,
+                  progress: Optional[Any] = None,
                   ) -> CampaignResult:
     """Sweep the corpus over the CPU x policy grid, both oracles per
     cell.  ``jobs > 1`` fans cells out over processes; results are
-    assembled in submission order, so parallel == serial bit for bit."""
+    assembled in submission order, so parallel == serial bit for bit.
+
+    ``progress``, when given, is called as ``progress(done, total)``
+    after every completed cell (``pool.map`` yields results in order, so
+    the parallel path reports incrementally too).
+    """
     corpus = list(programs) if programs is not None \
         else generate_corpus(config)
     result = CampaignResult(config=config, programs=corpus)
@@ -370,11 +549,18 @@ def fuzz_campaign(config: FuzzConfig,
                               config.repeats, config.trials,
                               _parity_fault_op))
     result.cells = len(tasks)
+    done = 0
     if config.jobs > 1 and len(tasks) > 1:
         with ProcessPoolExecutor(max_workers=config.jobs) as pool:
             for cell_violations in pool.map(_cell_worker, tasks):
                 result.violations.extend(cell_violations)
+                done += 1
+                if progress is not None:
+                    progress(done, len(tasks))
     else:
         for task in tasks:
             result.violations.extend(_cell_worker(task))
+            done += 1
+            if progress is not None:
+                progress(done, len(tasks))
     return result

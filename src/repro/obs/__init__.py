@@ -52,6 +52,16 @@ from .ledger import (
     use_ledger,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .timeline import (
+    Divergence,
+    EventTimeline,
+    TimelineEvent,
+    current_timeline,
+    first_divergence,
+    install_timeline,
+    render_divergence,
+    use_timeline,
+)
 from .spans import (
     NULL_TRACER,
     NullTracer,
@@ -81,6 +91,8 @@ from .provenance import (
 __all__ = [
     "Counter",
     "CycleLedger",
+    "Divergence",
+    "EventTimeline",
     "Gauge",
     "Histogram",
     "HistoryStore",
@@ -94,20 +106,25 @@ __all__ = [
     "RunManifest",
     "Span",
     "SpanTracer",
+    "TimelineEvent",
     "build_manifest",
     "code_fingerprint",
     "config_to_dict",
     "current_leakage",
     "current_ledger",
+    "current_timeline",
     "current_tracer",
     "default_history_db",
     "diff_payloads",
+    "first_divergence",
     "install_leakage",
     "install_ledger",
+    "install_timeline",
     "install_tracer",
     "ledger_scope",
     "manifest_comment_lines",
     "render_diff",
+    "render_divergence",
     "settings_to_dict",
     "stamp_payload",
     "to_chrome_trace",
@@ -115,6 +132,7 @@ __all__ = [
     "to_collapsed_stacks",
     "use_leakage",
     "use_ledger",
+    "use_timeline",
     "use_tracer",
     "write_chrome_trace",
     "write_flamegraph",

@@ -756,13 +756,19 @@ class HistoryStore:
 
     # -- retention ---------------------------------------------------------- #
 
-    def gc(self, keep: int) -> List[int]:
-        """Drop the oldest runs beyond ``keep``; returns the removed ids."""
+    def gc(self, keep: int, dry_run: bool = False) -> List[int]:
+        """Drop the oldest runs beyond ``keep``; returns the removed ids.
+
+        ``dry_run=True`` returns the ids that *would* be removed without
+        touching the database.
+        """
         if keep < 0:
             raise HistoryError("gc keep count must be >= 0")
         ids = [row[0] for row in
                self._db.execute("SELECT id FROM runs ORDER BY id").fetchall()]
         doomed = ids[:max(0, len(ids) - keep)]
+        if dry_run:
+            return doomed
         for run_id in doomed:
             for table in ("cells", "ledger", "telemetry", "leakage"):
                 self._db.execute(f"DELETE FROM {table} WHERE run_id = ?",  # noqa: S608

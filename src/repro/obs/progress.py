@@ -1,0 +1,78 @@
+"""Live progress line for long grid sweeps (fuzz campaigns, studies).
+
+One ``\\r``-rewritten stderr line — ``done/total``, percentage, rate and
+ETA — rate-limited so tight loops don't spend their time printing.  The
+line is **off** unless the stream is a TTY (CI logs and piped stderr
+stay byte-stable), and callers pass it as the plain ``progress(done,
+total)`` callback the sweep loops already accept.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+
+class ProgressLine:
+    """Rate-limited single-line progress meter.
+
+    ``enabled=None`` (the default) resolves to ``stream.isatty()``: on a
+    real terminal the line renders, under CI/pipes every method is a
+    no-op.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, total: int, label: str = "cells",
+                 stream: Optional[TextIO] = None,
+                 min_interval: float = 0.2,
+                 enabled: Optional[bool] = None,
+                 clock=time.monotonic) -> None:
+        self.total = total
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval = min_interval
+        self.clock = clock
+        if enabled is None:
+            isatty = getattr(self.stream, "isatty", None)
+            enabled = bool(isatty()) if callable(isatty) else False
+        self.enabled = enabled
+        self.started = clock()
+        self._last_emit: Optional[float] = None
+        self._dirty = False
+
+    def update(self, done: int, total: Optional[int] = None) -> None:
+        """Record progress; repaints at most every ``min_interval`` s
+        (the final ``done == total`` update always paints)."""
+        if total is not None:
+            self.total = total
+        if not self.enabled:
+            return
+        now = self.clock()
+        final = self.total > 0 and done >= self.total
+        if (not final and self._last_emit is not None
+                and now - self._last_emit < self.min_interval):
+            self._dirty = True
+            return
+        self._last_emit = now
+        self._dirty = False
+        self.stream.write("\r" + self._render(done, now))
+        self.stream.flush()
+
+    def _render(self, done: int, now: float) -> str:
+        elapsed = max(now - self.started, 1e-9)
+        rate = done / elapsed
+        parts = [f"[{self.label}] {done}/{self.total}"]
+        if self.total > 0:
+            parts.append(f"{100.0 * done / self.total:5.1f}%")
+        parts.append(f"{rate:6.1f}/s")
+        if rate > 0 and self.total > done:
+            parts.append(f"eta {(self.total - done) / rate:5.1f}s")
+        return "  ".join(parts)
+
+    def close(self) -> None:
+        """Finish the line: newline so subsequent output starts clean."""
+        if not self.enabled:
+            return
+        if self._last_emit is not None or self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()

@@ -137,6 +137,43 @@ def test_lebench_bit_identical_with_leakage_tracing(key):
     assert blk_tracer.state() == int_tracer.state()
 
 
+@pytest.mark.parametrize("key", CPU_KEYS)
+def test_lebench_bit_identical_with_timeline_recording(key):
+    """An attached timeline must not perturb execution either, and the
+    block engine (which replays interpreted under a timeline) must emit
+    the interpreter's event stream exactly."""
+    from repro.obs import timeline as obs_timeline
+
+    cpu = get_cpu(key)
+    config = linux_default(cpu)
+
+    def recorded_cell(mode):
+        with engine.use_engine(mode):
+            timeline = obs_timeline.EventTimeline(capacity=None)
+            with obs_timeline.use_timeline(timeline):
+                machine = Machine(cpu, seed=7)
+                results = run_suite(machine, config, iterations=3, warmup=1,
+                                    cases=GRID_CASES)
+        return results, machine, timeline
+
+    blk_results, blk_machine, blk_timeline = \
+        recorded_cell(engine.ENGINE_BLOCK)
+    int_results, int_machine, int_timeline = \
+        recorded_cell(engine.ENGINE_INTERP)
+    _, bare_machine, _ = _run_grid_cell(cpu, config, engine.ENGINE_INTERP)
+
+    assert blk_results == int_results
+    assert blk_machine.read_tsc() == int_machine.read_tsc()
+    assert blk_machine.read_tsc() == bare_machine.read_tsc()
+    for name in sorted(ALL_COUNTERS):
+        assert blk_machine.counters.events.get(name, 0) == \
+            int_machine.counters.events.get(name, 0), name
+    # Same event stream, event for event.
+    assert blk_timeline.total == int_timeline.total
+    assert blk_timeline.digest() == int_timeline.digest()
+    assert obs_timeline.first_divergence(blk_timeline, int_timeline) is None
+
+
 @given(st.sampled_from(CPU_KEYS),
        st.lists(_MAKERS, min_size=2, max_size=24),
        st.integers(min_value=2, max_value=5))

@@ -1,0 +1,101 @@
+"""The live progress line: rate limiting, TTY gating, rendering."""
+
+import io
+
+from repro.obs.progress import ProgressLine
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TtyStringIO(io.StringIO):
+    def isatty(self):
+        return True
+
+
+def _line(total=10, **kwargs):
+    clock = FakeClock()
+    stream = TtyStringIO()
+    kwargs.setdefault("enabled", True)
+    return ProgressLine(total, stream=stream, clock=clock, **kwargs), \
+        stream, clock
+
+
+def test_disabled_on_non_tty_by_default():
+    stream = io.StringIO()  # isatty() -> False
+    meter = ProgressLine(10, stream=stream)
+    assert not meter.enabled
+    meter.update(5)
+    meter.close()
+    assert stream.getvalue() == ""
+
+
+def test_tty_enables_by_default():
+    assert ProgressLine(10, stream=TtyStringIO()).enabled
+
+
+def test_renders_count_percent_rate_and_eta():
+    meter, stream, clock = _line(total=10)
+    clock.advance(2.0)
+    meter.update(4)
+    out = stream.getvalue()
+    assert "4/10" in out
+    assert "40.0%" in out
+    assert "2.0/s" in out
+    assert "eta" in out and "3.0s" in out  # 6 left at 2/s
+
+
+def test_rate_limited_between_updates():
+    meter, stream, clock = _line(total=100, min_interval=0.5)
+    clock.advance(0.1)
+    meter.update(1)
+    painted = stream.getvalue()
+    clock.advance(0.1)
+    meter.update(2)  # too soon: suppressed
+    assert stream.getvalue() == painted
+    clock.advance(1.0)
+    meter.update(3)  # interval elapsed: repaints
+    assert "3/100" in stream.getvalue()
+
+
+def test_final_update_always_paints():
+    meter, stream, clock = _line(total=5, min_interval=10.0)
+    clock.advance(0.1)
+    meter.update(1)
+    clock.advance(0.1)
+    meter.update(5)  # final: bypasses the rate limit
+    assert "5/5" in stream.getvalue()
+
+
+def test_updates_rewrite_one_line_and_close_ends_it():
+    meter, stream, clock = _line(total=3)
+    for done in (1, 2, 3):
+        clock.advance(1.0)
+        meter.update(done)
+    meter.close()
+    out = stream.getvalue()
+    assert out.count("\r") == 3
+    assert out.endswith("\n")
+
+
+def test_close_without_updates_stays_silent():
+    meter, stream, _ = _line(total=3)
+    meter.close()
+    assert stream.getvalue() == ""
+
+
+def test_total_can_arrive_with_the_update():
+    """fuzz_campaign reports (done, total) pairs; total lands lazily."""
+    meter, stream, clock = _line(total=0)
+    clock.advance(1.0)
+    meter.update(2, 8)
+    assert meter.total == 8
+    assert "2/8" in stream.getvalue()

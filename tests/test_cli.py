@@ -462,3 +462,123 @@ def test_fuzz_violations_exit_nonzero_with_reproducers(capsys, tmp_path):
     progs = [f for f in os.listdir(out_dir) if f.endswith(".prog")]
     assert progs  # one minimized reproducer per violating cell
     assert "summary.txt" in os.listdir(out_dir)
+
+
+# --------------------------------------------------------------------------- #
+# First-divergence explainer
+# --------------------------------------------------------------------------- #
+
+def _faulted_reproducer(tmp_path):
+    from repro.fuzz import (FuzzConfig, fuzz_campaign, parity_fault,
+                            write_reproducer)
+    from repro.core.probe import POLICY_OFF
+    config = FuzzConfig(seed=3, programs=6, cpu_keys=("broadwell",),
+                        policies=(POLICY_OFF,))
+    with parity_fault("verw"):
+        result = fuzz_campaign(config)
+        violation = result.violations[0]
+        program = next(p for p in result.programs
+                       if p.name == violation.program)
+        path = write_reproducer(str(tmp_path), program, violation,
+                                base_seed=3)
+    return path, violation
+
+
+def test_explain_replay_pinpoints_the_injected_fault(capsys, tmp_path):
+    path, violation = _faulted_reproducer(tmp_path)
+    out = run_cli(capsys, "--no-history", "explain", "--replay", path)
+    div = violation.divergence
+    assert f"first divergence at event #{div['index']}" in out
+    assert f"tsc={div['tsc']}" in out
+    assert f"instr={div['instr']}" in out
+    assert div["structure"] in out
+    assert "faulted" in out
+
+
+def test_explain_cell_json_and_trace(capsys, tmp_path):
+    import json
+    trace_path = str(tmp_path / "t.json")
+    out = run_cli(capsys, "--no-history", "explain", "--cell",
+                  "broadwell:off", "--seed", "1", "--program", "3",
+                  "--fault", "verw", "--json", "--trace-out", trace_path)
+    payload = json.loads(out)
+    assert payload["divergence"] is not None
+    assert payload["divergence"]["structure"] == "mds"
+    assert payload["fault_op"] == "verw"
+    assert payload["base"]["total"] > 0
+    trace = json.load(open(trace_path))
+    instants = [e for e in trace["traceEvents"] if e.get("ph") == "i"]
+    assert len(instants) == payload["base"]["held"]
+    assert trace["otherData"]["timeline"]["total"] \
+        == payload["base"]["total"]
+
+
+def test_explain_clean_cell_agrees(capsys):
+    out = run_cli(capsys, "--no-history", "explain", "--cell",
+                  "broadwell:off")
+    assert "agree" in out
+
+
+def test_explain_requires_exactly_one_source(capsys):
+    for argv in (["explain"],
+                 ["explain", "--replay", "x.prog", "--cell",
+                  "broadwell:off"]):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["--no-history"] + argv)
+        capsys.readouterr()
+
+
+def test_explain_records_and_compares_against_history(capsys):
+    run_cli(capsys, "explain", "--cell", "broadwell:off", "--program", "3",
+            "--fault", "verw")
+    out = run_cli(capsys, "history", "list")
+    assert "explain" in out
+    # Same cell again: digests and counts must match the recorded run.
+    out = run_cli(capsys, "explain", "--cell", "broadwell:off",
+                  "--program", "3", "--fault", "verw",
+                  "--against", "latest")
+    assert "match" in out
+    # A different program mismatches.
+    out = run_cli(capsys, "--no-history", "explain", "--cell",
+                  "broadwell:off", "--program", "0",
+                  "--against", "latest")
+    assert "mismatch" in out
+
+
+def test_explain_against_non_explain_run_exits(capsys, tmp_path):
+    bench_path = _bench_to(capsys, tmp_path, "B1.json")
+    with pytest.raises(SystemExit, match="no\\s+timeline telemetry"):
+        main(["explain", "--cell", "broadwell:off", "--against", "latest"])
+    capsys.readouterr()
+
+
+def test_fuzz_writes_machine_readable_summary(capsys, tmp_path):
+    import json
+    from repro.fuzz import parity_fault
+    out_dir = str(tmp_path / "f")
+    with parity_fault("verw"):
+        with pytest.raises(SystemExit):
+            main(["--no-history", "fuzz", "--seed", "3", "--programs",
+                  "6", "--cpus", "broadwell", "--out", out_dir])
+    capsys.readouterr()
+    summary = json.load(open(os.path.join(out_dir, "summary.json")))
+    assert summary["seed"] == 3
+    assert summary["violations"]
+    first = summary["violations"][0]
+    assert first["problems"]
+    assert {p["kind"] for p in first["problems"]} >= {"tsc",
+                                                      "injected_fault"}
+    assert first["divergence"]["structure"] == "mds"
+    assert summary["reproducers"]
+
+
+def test_history_gc_dry_run_does_not_mutate(capsys, tmp_path):
+    bench_path = _bench_to(capsys, tmp_path, "B1.json")
+    _bench_to(capsys, tmp_path, "B2.json")
+    before = run_cli(capsys, "history", "list")
+    out = run_cli(capsys, "history", "gc", "--keep", "1", "--dry-run")
+    assert "would remove 1 run(s)" in out
+    assert "keeping 1" in out
+    assert run_cli(capsys, "history", "list") == before
+    out = run_cli(capsys, "history", "gc", "--keep", "1")
+    assert "removed 1 run(s)" in out
