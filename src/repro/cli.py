@@ -55,6 +55,7 @@ from typing import Dict, Optional, Sequence
 from . import obs
 from .cpu import Machine, Mode, all_cpus, get_cpu
 from .cpu import engine as blockengine
+from .cpu import replicas as replicabatch
 from .core import microbench, reporting, study
 from .core.probe import DEFAULT_TRIALS, speculation_matrix
 from .core.study import Settings
@@ -81,7 +82,12 @@ def _positive_int(text: str) -> int:
 
 
 def _settings(args: argparse.Namespace) -> Settings:
-    return Settings.fast() if getattr(args, "fast", False) else Settings()
+    import dataclasses as _dataclasses
+    settings = Settings.fast() if getattr(args, "fast", False) else Settings()
+    replicas = getattr(args, "replicas", None)
+    if replicas is not None and replicas != settings.replicas:
+        settings = _dataclasses.replace(settings, replicas=replicas)
+    return settings
 
 
 def _study_executor(args: argparse.Namespace) -> "StudyExecutor":
@@ -430,6 +436,7 @@ def cmd_profile(args: argparse.Namespace) -> str:
         lines.append(f"ledger: {ledger.total():,} cycles attributed, "
                      f"invariant verified -> {args.ledger_out}")
     blockengine.publish_metrics(tracer.metrics)
+    replicabatch.publish_metrics(tracer.metrics)
     if args.metrics_out:
         with open(args.metrics_out, "w") as f:
             f.write(tracer.metrics.to_json())
@@ -440,6 +447,8 @@ def cmd_profile(args: argparse.Namespace) -> str:
     # longitudinal record.
     engine_stats = blockengine.STATS.as_dict()
     engine_stats["hit_rate"] = blockengine.STATS.hit_rate()
+    replica_stats = replicabatch.STATS.as_dict()
+    replica_stats["hit_rate"] = replicabatch.STATS.hit_rate()
     ledgers = {}
     if ledger is not None:
         ledgers["+".join(cpu.key for cpu in cpus)] = {
@@ -450,6 +459,9 @@ def cmd_profile(args: argparse.Namespace) -> str:
         "telemetry": {
             "wall_s": wall,
             "engine": engine_stats,
+            "replicas": replica_stats,
+            "replicas_per_s": (replica_stats["replicas"] / wall
+                               if wall > 0 else 0.0),
             "coverage": tracer.coverage(),
         },
         "tolerance": {},
@@ -461,6 +473,7 @@ def cmd_profile(args: argparse.Namespace) -> str:
                  f"to named spans")
     lines.append(f"engine: {blockengine.default_engine()} — "
                  f"{blockengine.STATS.summary()}")
+    lines.append(f"replicas: {replicabatch.STATS.summary()}")
     lines.append("")
     lines.append(tracer.report().rstrip("\n"))
     return "\n".join(lines) + "\n"
@@ -942,6 +955,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-history", action="store_true",
         help="do not auto-record bench/check/profile runs into the "
              "run-history database")
+    def _add_replicas_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--replicas", type=int, default=None, metavar="N",
+            help="seeded machine replicas per cell, executed through the "
+                 "batched SoA replica tier (default 1: the classic "
+                 "single-run measurement, bit for bit)")
+
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("cpus", help="list the modelled CPUs (Table 2)")
@@ -954,16 +974,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("number", type=int)
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_replicas_flag(p)
     _add_executor_flags(p)
 
     p = sub.add_parser("vm", help="section 4.4 VM experiments")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_replicas_flag(p)
     _add_executor_flags(p)
 
     p = sub.add_parser("parsec", help="section 4.5 compute experiment")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_replicas_flag(p)
     _add_executor_flags(p)
 
     p = sub.add_parser("bimodal", help="section 6.2.2 eIBRS entry latency")
@@ -984,6 +1007,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "table9", "table10"])
     p.add_argument("--fast", action="store_true")
     p.add_argument("--cpus", nargs="*")
+    _add_replicas_flag(p)
     _add_executor_flags(p)
 
     p = sub.add_parser("summary",
@@ -1014,6 +1038,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ledger-out", metavar="PATH", default=None,
                    help="attribute every cycle with the ledger and write "
                         "the (layer, mitigation, primitive) report here")
+    _add_replicas_flag(p)
 
     p = sub.add_parser(
         "bench",
@@ -1029,6 +1054,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="directory whose next free BENCH_<n>.json is used")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="explicit output path (overrides --dir numbering)")
+    _add_replicas_flag(p)
     _add_executor_flags(p)
 
     p = sub.add_parser(

@@ -21,13 +21,18 @@ from ..mitigations.base import Knob, MitigationConfig
 from .stats import (
     DEFAULT_NOISE_SIGMA,
     Measurement,
-    NoisySampler,
+    ReplicaSampler,
     adaptive_measure,
     derive_seed,
 )
 
 #: Signature of a deterministic experiment: config -> metric value.
 RunFn = Callable[[MitigationConfig], float]
+
+#: Replica-aware variant: (config, machine_seed) -> metric value.  The
+#: runner must seed every machine it builds from ``machine_seed`` so the
+#: batch tier can enumerate seeded replicas (see repro.cpu.replicas).
+ReplicaRunFn = Callable[[MitigationConfig, int], float]
 
 #: Metric directions.
 CYCLES = "cycles"   # lower is better (LEBench, PARSEC, LFS)
@@ -90,17 +95,33 @@ def _measure_config(
     seed: int,
     rel_tol: float,
     max_samples: int,
+    machine_seed: int = 0,
+    replicas: int = 1,
+    run_replica: Optional[ReplicaRunFn] = None,
 ) -> Measurement:
     """Measure one configuration with the section-4.1 methodology.
 
-    The simulator is deterministic, so its value is computed once; the
-    run-to-run variability of real hardware is layered on by the seeded
-    :class:`NoisySampler`, and :func:`adaptive_measure` converges the mean
-    back out of the noise.
+    The simulator is deterministic per machine seed, so each replica's
+    value is computed once — through the batched replica tier
+    (:mod:`repro.cpu.replicas`), which collapses converged replicas onto
+    one probe run.  The run-to-run variability of real hardware is
+    layered on by the seeded :class:`ReplicaSampler`, and
+    :func:`adaptive_measure` converges the mean back out of the noise in
+    vectorized geometric chunks.  Without a replica-aware runner the
+    batch degenerates to the single probe run — the exact pre-batch
+    behavior, bit for bit.
     """
-    deterministic = float(run_fn(config))
-    sampler = NoisySampler(lambda: deterministic, sigma=sigma, seed=seed)
-    return adaptive_measure(sampler, rel_tol=rel_tol, max_samples=max_samples)
+    from ..cpu import replicas as replicabatch
+    if run_replica is None:
+        replica_fn = lambda _machine_seed: run_fn(config)
+        replicas = 1
+    else:
+        replica_fn = lambda machine_seed: run_replica(config, machine_seed)
+    batch = replicabatch.run_replicas(replica_fn, seed=machine_seed,
+                                      n=replicas)
+    sampler = ReplicaSampler(batch.values, sigma=sigma, seed=seed)
+    return adaptive_measure(sampler, rel_tol=rel_tol, max_samples=max_samples,
+                            sample_batch=sampler.sample_batch)
 
 
 def attribute_overhead(
@@ -114,25 +135,39 @@ def attribute_overhead(
     rel_tol: float = 0.005,
     max_samples: int = 60,
     seed: int = 0,
+    replicas: int = 1,
+    run_replica: Optional[ReplicaRunFn] = None,
 ) -> AttributionResult:
     """Successively disable ``knobs`` starting from ``default_config``.
 
     Knobs that do not change the configuration on this CPU (e.g. ``nopti``
     on an AMD part) are skipped without measurement — their contribution
     is structurally zero, matching the blank cells of Table 1.
+
+    ``replicas``/``run_replica`` route each configuration's measurement
+    through the batched replica tier: ``run_replica(config, machine_seed)``
+    re-runs the cell with an explicit machine seed, and replica 0 uses
+    ``seed`` itself, so ``replicas=1`` reproduces the classic single-run
+    measurement exactly.
     """
     if metric not in (CYCLES, SCORE):
         raise ValueError(f"unknown metric {metric!r}")
 
-    # Decorrelate run-to-run noise across CPUs/workloads: real machines
-    # don't share their jitter (see stats.derive_seed).
+    # The cell's machines are seeded with the caller's seed as passed
+    # (replica 0 of every config re-runs exactly the classic cell run);
+    # the *noise* streams below are decorrelated across CPUs/workloads —
+    # real machines don't share their jitter (see stats.derive_seed).
+    machine_seed = seed
     seed = derive_seed(seed, cpu, workload)
 
     baseline = _measure_config(run_fn, MitigationConfig.all_off(), sigma,
-                               seed ^ 0x5A5A, rel_tol, max_samples)
+                               seed ^ 0x5A5A, rel_tol, max_samples,
+                               machine_seed=machine_seed, replicas=replicas,
+                               run_replica=run_replica)
     current_config = default_config
     current = _measure_config(run_fn, current_config, sigma, seed, rel_tol,
-                              max_samples)
+                              max_samples, machine_seed=machine_seed,
+                              replicas=replicas, run_replica=run_replica)
     result = AttributionResult(
         cpu=cpu, workload=workload, metric=metric,
         baseline=baseline, default=current,
@@ -143,7 +178,9 @@ def attribute_overhead(
         if next_config == current_config:
             continue  # mitigation not in use on this part
         nxt = _measure_config(run_fn, next_config, sigma, seed + index,
-                              rel_tol, max_samples)
+                              rel_tol, max_samples,
+                              machine_seed=machine_seed, replicas=replicas,
+                              run_replica=run_replica)
         if metric == SCORE:
             percent = 100.0 * (nxt.mean - current.mean) / baseline.mean
         else:

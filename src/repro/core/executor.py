@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..cpu import engine as blockengine
+from ..cpu import replicas as replicabatch
 from ..errors import ExecutorError
 from ..obs import leakage as obs_leakage
 from ..obs import timeline as obs_timeline
@@ -337,12 +338,16 @@ class RunStats:
     executed: int = 0
     jobs: int = 1
     wall_s: float = 0.0
+    replicas: int = 0
+    replicas_batched: int = 0
+    replicas_scalar: int = 0
 
     def summary(self) -> str:
         return (f"{self.total} cells: {self.cache_hits} cache hits, "
                 f"{self.resumed} resumed, {self.executed} executed "
                 f"(jobs={self.jobs}, {self.cache_misses} misses, "
-                f"{self.cache_stale} stale, {self.wall_s:.2f}s)")
+                f"{self.cache_stale} stale, {self.replicas} replicas, "
+                f"{self.wall_s:.2f}s)")
 
     def as_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -362,11 +367,25 @@ class RunStats:
         self.executed += other.executed
         self.jobs = max(self.jobs, other.jobs)
         self.wall_s += other.wall_s
+        self.replicas += other.replicas
+        self.replicas_batched += other.replicas_batched
+        self.replicas_scalar += other.replicas_scalar
 
     def cache_hit_rate(self) -> float:
         """Fraction of cache lookups that hit (resumed cells excluded)."""
         looked = self.cache_hits + self.cache_misses + self.cache_stale
         return self.cache_hits / looked if looked else 0.0
+
+    def replicas_per_s(self) -> float:
+        """Replica throughput of the run (the grid's wall-clock floor)."""
+        return self.replicas / self.wall_s if self.wall_s > 0 else 0.0
+
+    def batch_hit_rate(self) -> float:
+        """Fraction of non-probe replicas served by the SoA broadcast
+        (1.0 when no batch had more than one replica — vacuously, none
+        needed a scalar fallback)."""
+        eligible = self.replicas_batched + self.replicas_scalar
+        return self.replicas_batched / eligible if eligible else 1.0
 
 
 def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
@@ -405,6 +424,7 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
     if engine_mode is not None:
         blockengine.set_default_engine(engine_mode)
     blockengine.STATS.reset()  # per-cell delta (workers run many cells)
+    replicabatch.STATS.reset()
     spec = CellSpec.from_dict(spec_dict)
     runner = study.CELL_RUNNERS[spec.driver]
     kind = study.DRIVER_KINDS[spec.driver]
@@ -436,7 +456,8 @@ def _worker_run_cell(spec_dict: Dict[str, Any], collect_obs: bool,
     return {"result": encode_result(kind, result), "obs": obs_payload,
             "ledger": ledger_payload, "leakage": leakage_payload,
             "timeline": timeline_payload,
-            "engine": blockengine.STATS.as_dict()}
+            "engine": blockengine.STATS.as_dict(),
+            "replicas": replicabatch.STATS.as_dict()}
 
 
 class StudyExecutor:
@@ -493,6 +514,7 @@ class StudyExecutor:
         """
         from . import study
         started = time.perf_counter()
+        replicas_before = replicabatch.STATS.as_dict()
         self.stats = RunStats(total=len(specs), jobs=self.jobs)
         self._count("scheduled", len(specs))
 
@@ -557,12 +579,25 @@ class StudyExecutor:
         if checkpoint is not None and len(results) == len(specs):
             checkpoint.discard()
         self.stats.wall_s = time.perf_counter() - started
+        # Replica-tier delta for this run: inline cells accumulate into
+        # the process counters directly; pool workers ship their per-cell
+        # counters home (merged in _run_pool), so both paths land here.
+        replicas_after = replicabatch.STATS.as_dict()
+        self.stats.replicas = (replicas_after["replicas"]
+                               - replicas_before["replicas"])
+        self.stats.replicas_batched = (replicas_after["batched"]
+                                       - replicas_before["batched"])
+        self.stats.replicas_scalar = (
+            replicas_after["scalar_fallbacks"]
+            - replicas_before["scalar_fallbacks"])
         return [results[index] for index in range(len(specs))]
 
     def telemetry(self) -> Dict[str, Any]:
         """The last run's counters plus derived rates, for history rows."""
         out = self.stats.as_dict()
         out["cache_hit_rate"] = self.stats.cache_hit_rate()
+        out["replicas_per_s"] = self.stats.replicas_per_s()
+        out["batch_hit_rate"] = self.stats.batch_hit_rate()
         return out
 
     def _run_inline(self, spec: CellSpec) -> Any:
@@ -611,5 +646,7 @@ class StudyExecutor:
                     timeline.merge_state(payload["timeline"])
                 if payload.get("engine") is not None:
                     blockengine.STATS.merge(payload["engine"])
+                if payload.get("replicas") is not None:
+                    replicabatch.STATS.merge(payload["replicas"])
                 record_completion(index, spec,
                                   decode_result(kind, payload["result"]))

@@ -37,7 +37,7 @@ from .attribution import CYCLES, SCORE, AttributionResult, attribute_overhead
 from .stats import (
     DEFAULT_NOISE_SIGMA,
     Measurement,
-    NoisySampler,
+    ReplicaSampler,
     adaptive_measure,
     derive_seed,
     suite_geometric_mean,
@@ -60,7 +60,15 @@ FIGURE3_KNOBS: Tuple[Knob, ...] = tuple(
 
 @dataclass(frozen=True)
 class Settings:
-    """Measurement effort; ``fast()`` keeps tests snappy."""
+    """Measurement effort; ``fast()`` keeps tests snappy.
+
+    ``replicas`` is the number of seeded machine replicas each cell
+    executes through the batched replica tier (see
+    :mod:`repro.cpu.replicas`): noise samples cycle over the replica
+    metrics, so the measured mean averages over machine-seed variation
+    the way real-hardware campaigns average over reboots.  The default
+    of 1 reproduces the classic single-run measurement bit for bit.
+    """
 
     iterations: int = 24
     warmup: int = 6
@@ -68,6 +76,7 @@ class Settings:
     rel_tol: float = 0.005
     max_samples: int = 60
     seed: int = 7
+    replicas: int = 1
 
     @classmethod
     def fast(cls) -> "Settings":
@@ -117,6 +126,8 @@ def _figure2_cell(spec) -> AttributionResult:
     seed = spec.seed()
     tracer = obs_spans.current_tracer()
     run_fn = lambda config: lebench_geomean(cpu, config, settings, seed=seed)
+    run_replica = lambda config, machine_seed: lebench_geomean(
+        cpu, config, settings, seed=machine_seed)
     with tracer.span(f"study.figure2.{cpu.key}", cpu=cpu.key,
                      workload="lebench"):
         return attribute_overhead(
@@ -124,6 +135,7 @@ def _figure2_cell(spec) -> AttributionResult:
             cpu=cpu.key, workload="lebench", metric=CYCLES,
             sigma=settings.sigma, rel_tol=settings.rel_tol,
             max_samples=settings.max_samples, seed=seed,
+            replicas=settings.replicas, run_replica=run_replica,
         )
 
 
@@ -160,6 +172,8 @@ def _figure3_cell(spec) -> AttributionResult:
     seed = spec.seed()
     tracer = obs_spans.current_tracer()
     run_fn = lambda config: octane_suite_score(cpu, config, settings, seed=seed)
+    run_replica = lambda config, machine_seed: octane_suite_score(
+        cpu, config, settings, seed=machine_seed)
     with tracer.span(f"study.figure3.{cpu.key}", cpu=cpu.key,
                      workload="octane2"):
         return attribute_overhead(
@@ -167,6 +181,7 @@ def _figure3_cell(spec) -> AttributionResult:
             cpu=cpu.key, workload="octane2", metric=SCORE,
             sigma=settings.sigma, rel_tol=settings.rel_tol,
             max_samples=settings.max_samples, seed=seed,
+            replicas=settings.replicas, run_replica=run_replica,
         )
 
 
@@ -202,22 +217,33 @@ class PairedOverhead:
         return not self.baseline.overlaps(self.treated)
 
 
-def _paired(cpu: CPUModel, workload: str, base_fn: Callable[[], float],
-            treat_fn: Callable[[], float], settings: Settings,
+def _paired(cpu: CPUModel, workload: str, base_fn: Callable[[int], float],
+            treat_fn: Callable[[int], float], settings: Settings,
             seed: Optional[int] = None) -> PairedOverhead:
     # Decorrelated noise per cell: the executor passes the spec-derived
     # seed; direct library callers fall back to the same derivation over
-    # (cpu, workload).
+    # (cpu, workload).  The two arms' noise streams are derived with
+    # distinct tags rather than seed/seed+1 — adjacent raw seeds can
+    # collide with a neighboring cell's stream and correlate its errors.
     if seed is None:
         seed = derive_seed(settings.seed, cpu.key, workload)
-    base_value = float(base_fn())
-    treat_value = float(treat_fn())
+    from ..cpu import replicas as replicabatch
+    base_batch = replicabatch.run_replicas(base_fn, seed=seed,
+                                           n=settings.replicas)
+    treat_batch = replicabatch.run_replicas(treat_fn, seed=seed,
+                                            n=settings.replicas)
+    base_sampler = ReplicaSampler(base_batch.values, settings.sigma,
+                                  derive_seed(seed, "base"))
+    treat_sampler = ReplicaSampler(treat_batch.values, settings.sigma,
+                                   derive_seed(seed, "treat"))
     base = adaptive_measure(
-        NoisySampler(lambda: base_value, settings.sigma, seed),
-        rel_tol=settings.rel_tol, max_samples=settings.max_samples)
+        base_sampler, rel_tol=settings.rel_tol,
+        max_samples=settings.max_samples,
+        sample_batch=base_sampler.sample_batch)
     treat = adaptive_measure(
-        NoisySampler(lambda: treat_value, settings.sigma, seed + 1),
-        rel_tol=settings.rel_tol, max_samples=settings.max_samples)
+        treat_sampler, rel_tol=settings.rel_tol,
+        max_samples=settings.max_samples,
+        sample_batch=treat_sampler.sample_batch)
     pct = 100.0 * (treat.mean / base.mean - 1.0)
     return PairedOverhead(cpu=cpu.key, workload=workload, baseline=base,
                           treated=treat, overhead_percent=pct)
@@ -263,12 +289,12 @@ def _figure5_cell(spec) -> PairedOverhead:
                      workload="parsec"):
         return _paired(
             cpu, workload.name,
-            lambda: parsec.run_workload(
-                Machine(cpu, seed=seed), linux_default(cpu), workload,
+            lambda machine_seed: parsec.run_workload(
+                Machine(cpu, seed=machine_seed), linux_default(cpu), workload,
                 force_ssbd=False, iterations=settings.iterations,
                 warmup=settings.warmup),
-            lambda: parsec.run_workload(
-                Machine(cpu, seed=seed), linux_default(cpu), workload,
+            lambda machine_seed: parsec.run_workload(
+                Machine(cpu, seed=machine_seed), linux_default(cpu), workload,
                 force_ssbd=True, iterations=settings.iterations,
                 warmup=settings.warmup),
             settings, seed=seed,
@@ -301,12 +327,12 @@ def _parsec_default_cell(spec) -> PairedOverhead:
                      workload="parsec"):
         return _paired(
             cpu, workload.name,
-            lambda: parsec.run_workload(
-                Machine(cpu, seed=seed), MitigationConfig.all_off(),
+            lambda machine_seed: parsec.run_workload(
+                Machine(cpu, seed=machine_seed), MitigationConfig.all_off(),
                 workload, iterations=settings.iterations,
                 warmup=settings.warmup),
-            lambda: parsec.run_workload(
-                Machine(cpu, seed=seed), linux_default(cpu), workload,
+            lambda machine_seed: parsec.run_workload(
+                Machine(cpu, seed=machine_seed), linux_default(cpu), workload,
                 iterations=settings.iterations, warmup=settings.warmup),
             settings, seed=seed,
         )
@@ -337,9 +363,9 @@ def _vm_lebench_cell(spec) -> PairedOverhead:
     settings = spec.settings
     seed = spec.seed()
 
-    def run(host_config: MitigationConfig) -> float:
+    def run(host_config: MitigationConfig, machine_seed: int) -> float:
         results = vm_lebench.run_suite(
-            Machine(cpu, seed=seed), host_config,
+            Machine(cpu, seed=machine_seed), host_config,
             iterations=settings.iterations, warmup=settings.warmup)
         return suite_geometric_mean(
             results,
@@ -350,8 +376,8 @@ def _vm_lebench_cell(spec) -> PairedOverhead:
                      workload="vm_lebench"):
         return _paired(
             cpu, "vm_lebench",
-            lambda: run(MitigationConfig.all_off()),
-            lambda: run(linux_default(cpu)),
+            lambda machine_seed: run(MitigationConfig.all_off(), machine_seed),
+            lambda machine_seed: run(linux_default(cpu), machine_seed),
             settings, seed=seed,
         )
 
@@ -388,11 +414,11 @@ def _lfs_cell(spec) -> PairedOverhead:
     with tracer.span(f"study.lfs.{cpu.key}", cpu=cpu.key, workload="lfs"):
         return _paired(
             cpu, workload.name,
-            lambda: lfs.run_workload(
-                Machine(cpu, seed=seed), MitigationConfig.all_off(),
+            lambda machine_seed: lfs.run_workload(
+                Machine(cpu, seed=machine_seed), MitigationConfig.all_off(),
                 workload, iterations=iters, warmup=warm),
-            lambda: lfs.run_workload(
-                Machine(cpu, seed=seed), linux_default(cpu), workload,
+            lambda machine_seed: lfs.run_workload(
+                Machine(cpu, seed=machine_seed), linux_default(cpu), workload,
                 iterations=iters, warmup=warm),
             settings, seed=seed,
         )

@@ -21,6 +21,7 @@ interval uses any) flows from the seed passed at construction.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
@@ -58,6 +59,30 @@ AMD_RETPOLINE = "amd"
 #: repro.cpu.isa so instructions can resolve their tag at construction;
 #: the old name is kept as an alias.
 _OP_DEFAULT_TAGS = OP_DEFAULT_TAGS
+
+#: Ambient scrub probe (see :mod:`repro.cpu.replicas`): machines built
+#: while one is installed register themselves and report every
+#: scrub-eligible kernel entry, which is all the replica tier needs to
+#: prove two seeds execute bit-identically without running both.
+_SCRUB_PROBE = None
+
+
+@contextmanager
+def use_scrub_probe(probe):
+    """Install ``probe`` for machines constructed inside the block.
+
+    The probe is duck-typed: ``register(machine, seed) -> slot`` at
+    construction, ``count(slot)`` per scrub-eligible kernel entry.
+    Counting only — the machine's own floats and state transitions are
+    untouched, so a probed run is bit-identical to an unprobed one.
+    """
+    global _SCRUB_PROBE
+    previous = _SCRUB_PROBE
+    _SCRUB_PROBE = probe
+    try:
+        yield probe
+    finally:
+        _SCRUB_PROBE = previous
 
 
 class Machine:
@@ -150,6 +175,16 @@ class Machine:
         # eIBRS periodic BTB scrub state (paper section 6.2.2).
         self._rng = np.random.default_rng(seed)
         self._scrub_countdown = self._next_scrub_interval()
+
+        # Replica-batch scrub probe (see repro.cpu.replicas): the only
+        # seed-dependent behavior in the machine is the scrub interval
+        # above, so counting scrub-eligible kernel entries is enough for
+        # the batch tier to decide which replica seeds share this run's
+        # execution bit-for-bit.
+        self._scrub_probe = _SCRUB_PROBE
+        self._scrub_probe_slot = (
+            self._scrub_probe.register(self, seed)
+            if self._scrub_probe is not None else -1)
 
         # Wire MSR side effects.
         self.msr.on_ibpb(self._do_ibpb)
@@ -646,6 +681,8 @@ class Machine:
         cycles = self.costs.syscall
         behavior = self.cpu.predictor
         if behavior.eibrs_periodic_scrub and self.msr.eibrs_active:
+            if self._scrub_probe is not None:
+                self._scrub_probe.count(self._scrub_probe_slot)
             self._scrub_countdown -= 1
             if self._scrub_countdown <= 0:
                 self._scrub_countdown = self._next_scrub_interval()

@@ -217,6 +217,7 @@ def collect(
     """
     from ..core import study
     from ..cpu import engine as blockengine
+    from ..cpu import replicas as replicabatch
 
     started = time.perf_counter()
     cpu_keys = list(cpus or DEFAULT_BENCH_CPUS)
@@ -225,6 +226,7 @@ def collect(
     models = [get_cpu(key) for key in cpu_keys]
 
     engine_before = blockengine.STATS.as_dict()
+    replicas_before = replicabatch.STATS.as_dict()
     phases: Dict[str, float] = {}
     executor_totals: Optional[Dict[str, Any]] = None
 
@@ -291,9 +293,21 @@ def collect(
     eligible = engine_delta["block_hits"] + engine_delta["interp_fallbacks"]
     engine_delta["hit_rate"] = (engine_delta["block_hits"] / eligible
                                 if eligible else 0.0)
+    replicas_after = replicabatch.STATS.as_dict()
+    replicas_delta: Dict[str, float] = {
+        name: replicas_after[name] - replicas_before.get(name, 0)
+        for name in replicas_after
+    }
+    batch_eligible = (replicas_delta["batched"]
+                      + replicas_delta["scalar_fallbacks"])
+    replicas_delta["hit_rate"] = (replicas_delta["batched"] / batch_eligible
+                                  if batch_eligible else 1.0)
     telemetry: Dict[str, Any] = {
         "phases": phases,
         "engine": engine_delta,
+        "replicas": replicas_delta,
+        "replicas_per_s": (replicas_delta["replicas"] / wall
+                           if wall > 0 else 0.0),
         "wall_s": wall,
     }
     if executor_totals is not None:

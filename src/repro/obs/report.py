@@ -288,6 +288,8 @@ def _section_self_perf(store: HistoryStore, runs: Sequence[RunInfo]) -> str:
         ("cells / sec", "cells_per_s", "", 1),
         ("engine hit rate", "engine.hit_rate", "%", 2),
         ("cache hit rate", "cache_hit_rate", "%", 2),
+        ("replicas / sec", "replicas_per_s", "", 1),
+        ("batch hit rate", "replicas.hit_rate", "%", 2),
     ]
     for label, name, unit, digits in specs:
         trend = store.telemetry_trend(name)

@@ -52,10 +52,13 @@ def test_figure5_ordering(settings):
 
 
 def test_parsec_default_within_noise(settings):
+    # Band covers ~3 sigma of the paired noise at fast-settings sample
+    # counts; the arms' streams are decorrelated (tag-derived seeds), so
+    # their errors no longer partially cancel.
     results = study.parsec_default_overheads([get_cpu("zen2")],
                                              settings=settings)
     for r in results:
-        assert abs(r.overhead_percent) < 2.0
+        assert abs(r.overhead_percent) < 2.5
 
 
 def test_vm_lebench_band(settings):
@@ -75,3 +78,26 @@ def test_paired_overhead_significance_fields(settings):
     (result,) = study.vm_lebench_overheads([get_cpu("zen")], settings)
     assert result.baseline.samples >= 2
     assert result.treated.samples >= 2
+
+
+def test_paired_noise_seeds_are_tag_derived(settings):
+    """Regression: the two arms' noise streams must come from
+    derive_seed(seed, "base") / derive_seed(seed, "treat"), not the
+    adjacent raw seeds seed/seed+1 — a neighboring cell's stream can sit
+    at seed+1 and would correlate this cell's treated-arm errors."""
+    from repro.core.stats import ReplicaSampler, adaptive_measure, derive_seed
+
+    seed = 1234
+    result = study._paired(get_cpu("zen"), "unit",
+                           lambda machine_seed: 100.0,
+                           lambda machine_seed: 130.0,
+                           settings, seed=seed)
+
+    def manual(value, tag):
+        sampler = ReplicaSampler([value], settings.sigma,
+                                 derive_seed(seed, tag))
+        return adaptive_measure(sampler, rel_tol=settings.rel_tol,
+                                max_samples=settings.max_samples)
+
+    assert result.baseline == manual(100.0, "base")
+    assert result.treated == manual(130.0, "treat")

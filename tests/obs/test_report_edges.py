@@ -119,6 +119,22 @@ def test_timeline_panel_lists_explain_runs(store):
     assert f"{3735928559:08x}" in html
 
 
+def test_self_perf_panel_shows_replica_tiles(store):
+    payload = _payload()
+    payload["telemetry"] = {"cells_per_s": 2.0, "replicas_per_s": 48.5,
+                            "replicas": {"batches": 2, "replicas": 8,
+                                         "batched": 5, "scalar_fallbacks": 1,
+                                         "probe_runs": 2, "hit_rate": 0.75}}
+    store.record_payload(payload)
+    first = render_report(store)
+    assert first == render_report(store)  # byte-stable with replica tiles
+    _assert_well_formed(first)
+    assert "replicas / sec" in first
+    assert "batch hit rate" in first
+    assert "48.5" in first
+    assert ">75<" in first  # hit rate 0.75 rendered as a percentage tile
+
+
 def test_write_report_round_trips(tmp_path, store):
     out = str(tmp_path / "dash.html")
     path = write_report(store, out)
